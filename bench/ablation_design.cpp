@@ -1,0 +1,130 @@
+// Ablation study for the design choices DESIGN.md calls out:
+//
+//  A. LLFD's Adjust exchangeable-set repair — on vs off, across skews
+//     (the "re-overloading problem" of Section III-A).
+//  B. Cleaning degree n: the Mixed spectrum's two extremes (MinTable:
+//     n = N_A, MinMig: n = 0) versus Mixed's adaptive n.
+//  C. HLHE greedy error cancellation vs nearest-representative rounding
+//     (load-estimation error of the resulting plans).
+//
+// Not a paper figure; complements Figs. 8-12 by isolating each mechanism.
+#include "bench_common.h"
+#include "core/compact.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+PartitionSnapshot snapshot_with_skew(double z, std::uint64_t seed) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 50'000;
+  opts.skew = z;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 0.0;
+  opts.seed = seed;
+  ZipfFluctuatingSource source(opts);
+  const auto load = source.next_interval();
+  const ConsistentHashRing ring(10, 128, seed ^ 0x77);
+
+  PartitionSnapshot snap;
+  snap.num_instances = 10;
+  snap.cost.resize(opts.num_keys);
+  snap.state.resize(opts.num_keys);
+  snap.hash_dest.resize(opts.num_keys);
+  for (std::size_t k = 0; k < opts.num_keys; ++k) {
+    snap.cost[k] = static_cast<Cost>(load.counts[k]);
+    snap.state[k] = 8.0 * static_cast<Bytes>(load.counts[k]);
+    snap.hash_dest[k] = ring.owner(static_cast<KeyId>(k));
+  }
+  snap.current = snap.hash_dest;
+  return snap;
+}
+
+}  // namespace
+
+int main() {
+  PlannerConfig cfg;
+  cfg.theta_max = 0.0;  // demand absolute balance: stresses Adjust
+  cfg.max_table_entries = 0;
+
+  // ---- A: Adjust on/off across skews.
+  ResultTable adjust_table(
+      "Ablation A: achieved theta with / without LLFD's Adjust",
+      {"zipf_z", "with_adjust", "without_adjust", "ratio"});
+  for (const double z : {0.5, 0.7, 0.85, 1.0, 1.2}) {
+    const auto snap = snapshot_with_skew(z, 5);
+    MinTablePlanner with_adjust;
+    LlfdNoAdjustPlanner without;
+    const double theta_with = with_adjust.plan(snap, cfg).achieved_theta;
+    const double theta_without = without.plan(snap, cfg).achieved_theta;
+    adjust_table.add_row(
+        {fmt(z, 2), fmt(theta_with, 5), fmt(theta_without, 5),
+         fmt(theta_without / std::max(theta_with, 1e-12), 1)});
+  }
+  adjust_table.print();
+
+  // ---- B: the cleaning-degree spectrum.
+  ResultTable clean_table(
+      "Ablation B: cleaning degree (MinMig n=0, Mixed adaptive, MinTable "
+      "n=NA)",
+      {"algorithm", "migration_pct", "table_size", "gen_ms"});
+  {
+    ZipfFluctuatingSource::Options opts;
+    opts.num_keys = 50'000;
+    opts.skew = 0.85;
+    opts.tuples_per_interval = 1'000'000;
+    opts.fluctuation = 1.0;
+    opts.seed = 23;
+    for (int which = 0; which < 3; ++which) {
+      ZipfFluctuatingSource source(opts);
+      DriverOptions dopts;
+      dopts.theta_max = 0.08;
+      dopts.max_table_entries = which == 0 ? 0 : 2000;  // MinMig unbounded
+      dopts.window = 5;
+      dopts.intervals = 10;
+      PlannerPtr planner;
+      const char* name;
+      switch (which) {
+        case 0:
+          planner = std::make_unique<MinMigPlanner>();
+          name = "MinMig (n=0)";
+          break;
+        case 1:
+          planner = std::make_unique<MixedPlanner>();
+          name = "Mixed (adaptive n)";
+          break;
+        default:
+          planner = std::make_unique<MinTablePlanner>();
+          name = "MinTable (n=NA)";
+          break;
+      }
+      const auto result = drive_planner(source, std::move(planner), dopts);
+      clean_table.add_row({name, fmt(result.migration_pct.mean(), 2),
+                           fmt(result.table_size.mean(), 0),
+                           fmt(result.generation_ms.mean(), 2)});
+    }
+  }
+  clean_table.print();
+
+  // ---- C: discretizer variants.
+  ResultTable disc_table(
+      "Ablation C: HLHE greedy vs nearest rounding (load estimation error %)",
+      {"R", "hlhe_greedy", "nearest"});
+  const auto snap = snapshot_with_skew(0.85, 9);
+  PlannerConfig dcfg;
+  dcfg.theta_max = 0.08;
+  for (const int r : {1, 2, 3, 4, 6}) {
+    CompactMixedPlanner greedy(r, true);
+    CompactMixedPlanner nearest(r, false);
+    (void)greedy.plan(snap, dcfg);
+    (void)nearest.plan(snap, dcfg);
+    disc_table.add_row({"R=" + std::to_string(1 << r),
+                        fmt(greedy.last_load_estimation_error_pct(), 4),
+                        fmt(nearest.last_load_estimation_error_pct(), 4)});
+  }
+  disc_table.print();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 7 — "Load Skewness Phenomenon": cumulative distribution of
+// per-instance workload skewness (max L(d) / L̄ per interval, collected
+// over 50 intervals) under the pure hash-based scheme.
+//   (a) varying the number of task instances N_D ∈ {5, 10, 20, 40}
+//   (b) varying the key-domain size K ∈ {5e3, 1e4, 1e5, 1e6}
+//
+// Expected shape (paper): skewness grows with N_D; smaller key domains
+// are far more skewed (K = 5000 reaches ~4x the average at the tail).
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/consistent_hash.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+
+namespace {
+
+/// Per-interval skewness samples (max load / average load) of hashing the
+/// synthetic Zipf workload onto nd instances.
+std::vector<double> skew_samples(InstanceId nd, std::uint64_t num_keys,
+                                 int intervals) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = num_keys;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 0.0;
+  opts.sample_noise = true;  // natural per-interval variation
+  opts.seed = 7 + num_keys + static_cast<std::uint64_t>(nd);
+  ZipfFluctuatingSource source(opts);
+  const ConsistentHashRing ring(nd, 128, 5);
+
+  std::vector<InstanceId> dest(static_cast<std::size_t>(num_keys));
+  for (std::size_t k = 0; k < dest.size(); ++k) {
+    dest[k] = ring.owner(static_cast<KeyId>(k));
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(intervals));
+  for (int i = 0; i < intervals; ++i) {
+    const auto load = source.next_interval();
+    std::vector<double> inst(static_cast<std::size_t>(nd), 0.0);
+    for (std::size_t k = 0; k < load.counts.size(); ++k) {
+      inst[static_cast<std::size_t>(dest[k])] +=
+          static_cast<double>(load.counts[k]);
+    }
+    double total = 0.0;
+    double max = 0.0;
+    for (const double l : inst) {
+      total += l;
+      max = std::max(max, l);
+    }
+    samples.push_back(max / (total / static_cast<double>(nd)));
+  }
+  return samples;
+}
+
+void print_cdf(const std::string& title,
+               const std::vector<std::pair<std::string, std::vector<double>>>&
+                   series) {
+  std::vector<std::string> cols = {"percentile"};
+  for (const auto& [name, values] : series) cols.push_back(name);
+  ResultTable table(title, cols);
+  for (const double q : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<std::string> row = {fmt(q * 100.0, 0) + "%"};
+    for (const auto& [name, values] : series) {
+      row.push_back(fmt(percentile(values, q), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIntervals = 50;
+
+  std::vector<std::pair<std::string, std::vector<double>>> by_nd;
+  for (const InstanceId nd : {5, 10, 20, 40}) {
+    by_nd.emplace_back("ND=" + std::to_string(nd),
+                       skew_samples(nd, 100'000, kIntervals));
+  }
+  print_cdf("Fig 7(a) workload skewness CDF vs #instances (K=1e5)", by_nd);
+
+  std::vector<std::pair<std::string, std::vector<double>>> by_k;
+  for (const std::uint64_t k : {5'000ULL, 10'000ULL, 100'000ULL,
+                                1'000'000ULL}) {
+    by_k.emplace_back("K=" + std::to_string(k),
+                      skew_samples(10, k, kIntervals));
+  }
+  print_cdf("Fig 7(b) workload skewness CDF vs key-domain size (ND=10)",
+            by_k);
+  return 0;
+}

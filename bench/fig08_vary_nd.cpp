@@ -1,0 +1,66 @@
+// Fig. 8 — scheduling efficiency and migration cost with varying number
+// of task instances N_D ∈ {5..40}, Mixed vs MinTable, windows w ∈ {1, 5}.
+//
+// Expected shape (paper): generation time grows with N_D for both
+// algorithms (Mixed slightly above MinTable); Mixed's migration cost is
+// much lower than MinTable's for N_D ≤ 35 and approaches it at N_D = 40
+// (table-bound degeneration); w = 5 migrates less than w = 1.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+DriverResult run(InstanceId nd, int window, bool mixed) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.reference_instances = nd;
+  opts.seed = 11;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.num_instances = nd;
+  dopts.theta_max = 0.08;
+  // Amax scales with the expected number of displaced hot keys.
+  dopts.max_table_entries = 3000;
+  dopts.window = window;
+  dopts.intervals = 12;
+  PlannerPtr planner = mixed ? PlannerPtr(std::make_unique<MixedPlanner>())
+                             : PlannerPtr(std::make_unique<MinTablePlanner>());
+  return drive_planner(source, std::move(planner), dopts);
+}
+
+}  // namespace
+
+int main() {
+  ResultTable time_table(
+      "Fig 8(a) avg generation time (ms) vs ND",
+      {"ND", "Mixed", "MinTable"});
+  ResultTable cost_table(
+      "Fig 8(b) migration cost (%) vs ND",
+      {"ND", "Mixed w=1", "MinTable w=1", "Mixed w=5", "MinTable w=5"});
+
+  for (const InstanceId nd : {5, 10, 15, 20, 25, 30, 35, 40}) {
+    const auto mixed_w1 = run(nd, 1, true);
+    const auto mintable_w1 = run(nd, 1, false);
+    const auto mixed_w5 = run(nd, 5, true);
+    const auto mintable_w5 = run(nd, 5, false);
+    time_table.add_row({std::to_string(nd),
+                        fmt(mixed_w1.generation_ms.mean(), 2),
+                        fmt(mintable_w1.generation_ms.mean(), 2)});
+    cost_table.add_row({std::to_string(nd),
+                        fmt(mixed_w1.migration_pct.mean(), 2),
+                        fmt(mintable_w1.migration_pct.mean(), 2),
+                        fmt(mixed_w5.migration_pct.mean(), 2),
+                        fmt(mintable_w5.migration_pct.mean(), 2)});
+  }
+  time_table.print();
+  cost_table.print();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 9 — scheduling efficiency and migration cost with varying
+// imbalance tolerance θmax ∈ {0.02 .. 0.5}, Mixed vs MinTable, w ∈ {1,5}.
+//
+// Expected shape (paper): larger θmax -> faster planning and less
+// migration; MinTable migrates ~3x more than Mixed at equal θmax; even at
+// θmax = 0.02 the plan generates well under a second.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+DriverResult run(double theta_max, int window, bool mixed) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.seed = 13;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = theta_max;
+  dopts.max_table_entries = 3000;
+  dopts.window = window;
+  dopts.intervals = 12;
+  PlannerPtr planner = mixed ? PlannerPtr(std::make_unique<MixedPlanner>())
+                             : PlannerPtr(std::make_unique<MinTablePlanner>());
+  return drive_planner(source, std::move(planner), dopts);
+}
+
+}  // namespace
+
+int main() {
+  ResultTable time_table("Fig 9(a) avg generation time (ms) vs theta_max",
+                         {"theta_max", "Mixed", "MinTable"});
+  ResultTable cost_table(
+      "Fig 9(b) migration cost (%) vs theta_max",
+      {"theta_max", "Mixed w=1", "MinTable w=1", "Mixed w=5",
+       "MinTable w=5"});
+
+  for (const double theta : {0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.2, 0.3,
+                             0.4, 0.5}) {
+    const auto mixed_w1 = run(theta, 1, true);
+    const auto mintable_w1 = run(theta, 1, false);
+    const auto mixed_w5 = run(theta, 5, true);
+    const auto mintable_w5 = run(theta, 5, false);
+    time_table.add_row({fmt(theta, 2), fmt(mixed_w1.generation_ms.mean(), 2),
+                        fmt(mintable_w1.generation_ms.mean(), 2)});
+    cost_table.add_row({fmt(theta, 2), fmt(mixed_w1.migration_pct.mean(), 2),
+                        fmt(mintable_w1.migration_pct.mean(), 2),
+                        fmt(mixed_w5.migration_pct.mean(), 2),
+                        fmt(mintable_w5.migration_pct.mean(), 2)});
+  }
+  time_table.print();
+  cost_table.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 10 — scheduling efficiency and migration cost with varying
+// key-domain size K ∈ {5e3, 1e4, 1e5, 1e6}, Mixed vs MinTable, w ∈ {1,5}.
+//
+// Expected shape (paper): generation time grows with K (Mixed somewhat
+// above MinTable at the top end), migration cost decreases with K (larger
+// domains hash more evenly, Fig. 7b) and decreases with w.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+DriverResult run(std::uint64_t num_keys, int window, bool mixed) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = num_keys;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.seed = 17;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = 0.08;
+  dopts.max_table_entries = 3000;
+  dopts.window = window;
+  dopts.intervals = 8;
+  PlannerPtr planner = mixed ? PlannerPtr(std::make_unique<MixedPlanner>())
+                             : PlannerPtr(std::make_unique<MinTablePlanner>());
+  return drive_planner(source, std::move(planner), dopts);
+}
+
+}  // namespace
+
+int main() {
+  ResultTable time_table("Fig 10(a) avg generation time (ms) vs K",
+                         {"K", "Mixed", "MinTable"});
+  ResultTable cost_table(
+      "Fig 10(b) migration cost (%) vs K",
+      {"K", "Mixed w=1", "MinTable w=1", "Mixed w=5", "MinTable w=5"});
+
+  for (const std::uint64_t k : {5'000ULL, 10'000ULL, 100'000ULL,
+                                1'000'000ULL}) {
+    const auto mixed_w1 = run(k, 1, true);
+    const auto mintable_w1 = run(k, 1, false);
+    const auto mixed_w5 = run(k, 5, true);
+    const auto mintable_w5 = run(k, 5, false);
+    time_table.add_row({std::to_string(k),
+                        fmt(mixed_w1.generation_ms.mean(), 2),
+                        fmt(mintable_w1.generation_ms.mean(), 2)});
+    cost_table.add_row({std::to_string(k),
+                        fmt(mixed_w1.migration_pct.mean(), 2),
+                        fmt(mintable_w1.migration_pct.mean(), 2),
+                        fmt(mixed_w5.migration_pct.mean(), 2),
+                        fmt(mintable_w5.migration_pct.mean(), 2)});
+  }
+  time_table.print();
+  cost_table.print();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig. 11 — effect of the compact representation's discretization degree
+// R ∈ {1 .. 256} on (a) plan-generation time versus the "Original key
+// space" (exact Mixed), and (b) the load-estimation error for several
+// θmax values. An extra column ablates the HLHE greedy error-cancelling
+// step against plain nearest-representative rounding.
+//
+// Expected shape (paper): generation time drops by about an order of
+// magnitude once R ≥ 8 versus the original key space; estimation error
+// grows with R but stays below ~1%.
+#include "bench_common.h"
+#include "common/clock.h"
+#include "core/compact.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+PartitionSnapshot build_snapshot(std::uint64_t num_keys, InstanceId nd) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = num_keys;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 0.0;
+  opts.seed = 19;
+  ZipfFluctuatingSource source(opts);
+  const auto load = source.next_interval();
+  const ConsistentHashRing ring(nd, 128, 21);
+
+  PartitionSnapshot snap;
+  snap.num_instances = nd;
+  snap.cost.resize(num_keys);
+  snap.state.resize(num_keys);
+  snap.hash_dest.resize(num_keys);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    snap.cost[k] = static_cast<Cost>(load.counts[k]);
+    snap.state[k] = 8.0 * static_cast<Bytes>(load.counts[k]);
+    snap.hash_dest[k] = ring.owner(static_cast<KeyId>(k));
+  }
+  snap.current = snap.hash_dest;
+  return snap;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kNumKeys = 100'000;
+  const auto snap = build_snapshot(kNumKeys, 10);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.08;
+  cfg.max_table_entries = 0;
+
+  // Generation time = controller-side planning. For the compact planner
+  // the record build happens at the reporting instances (Fig. 5 step 1)
+  // and is listed separately in the build_ms column.
+  ResultTable time_table(
+      "Fig 11(a) avg generation time (ms) vs discretization degree R",
+      {"R", "gen_ms", "build_ms", "records"});
+  {
+    MixedPlanner exact;
+    const auto plan = exact.plan(snap, cfg);
+    time_table.add_row({"original-key-space",
+                        fmt(static_cast<double>(plan.generation_micros) /
+                                1000.0,
+                            2),
+                        "-", std::to_string(kNumKeys)});
+  }
+  for (const int r : {0, 1, 2, 3, 4, 5, 6, 7, 8}) {
+    CompactMixedPlanner planner(r);
+    const auto plan = planner.plan(snap, cfg);
+    time_table.add_row(
+        {"R=" + std::to_string(1 << r),
+         fmt(static_cast<double>(plan.generation_micros) / 1000.0, 2),
+         fmt(static_cast<double>(planner.last_build_micros()) / 1000.0, 2),
+         std::to_string(planner.last_num_records())});
+  }
+  time_table.print();
+
+  ResultTable err_table(
+      "Fig 11(b) load estimation error (%) vs R, per theta_max",
+      {"R", "theta=0", "theta=0.02", "theta=0.08", "theta=0.15",
+       "nearest(0.08)"});
+  for (const int r : {0, 1, 2, 3, 4, 5, 6, 7, 8}) {
+    std::vector<std::string> row = {"R=" + std::to_string(1 << r)};
+    for (const double theta : {0.0, 0.02, 0.08, 0.15}) {
+      PlannerConfig tcfg = cfg;
+      tcfg.theta_max = theta;
+      CompactMixedPlanner planner(r);
+      (void)planner.plan(snap, tcfg);
+      row.push_back(fmt(planner.last_load_estimation_error_pct(), 4));
+    }
+    // Ablation: nearest-representative rounding instead of HLHE greedy.
+    CompactMixedPlanner nearest(r, /*greedy=*/false);
+    PlannerConfig ncfg = cfg;
+    (void)nearest.plan(snap, ncfg);
+    row.push_back(fmt(nearest.last_load_estimation_error_pct(), 4));
+    err_table.add_row(std::move(row));
+  }
+  err_table.print();
+  return 0;
+}

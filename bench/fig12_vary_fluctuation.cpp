@@ -1,0 +1,74 @@
+// Fig. 12 — scheduling efficiency and migration cost with varying
+// distribution-change frequency f ∈ {0.1 .. 0.9} for Mixed, MinTable,
+// Readj and MixedBF (θmax = 0.08).
+//
+// Expected shape (paper): Readj's generation time is orders of magnitude
+// above Mixed's and grows with f; MixedBF is the slowest; Mixed's
+// migration cost grows more slowly with f than Readj's, and MixedBF
+// tracks Mixed closely.
+#include "baselines/readj.h"
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+DriverResult run(double fluctuation, int which) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 50'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = fluctuation;
+  opts.seed = 23;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = 0.08;
+  dopts.max_table_entries = 3000;
+  dopts.intervals = 5;
+  PlannerPtr planner;
+  switch (which) {
+    case 0:
+      planner = std::make_unique<MixedPlanner>();
+      break;
+    case 1:
+      planner = std::make_unique<MinTablePlanner>();
+      break;
+    case 2:
+      planner = std::make_unique<ReadjPlanner>();
+      break;
+    default:
+      planner = std::make_unique<MixedBfPlanner>(/*max_trials=*/128);
+      break;
+  }
+  return drive_planner(source, std::move(planner), dopts);
+}
+
+}  // namespace
+
+int main() {
+  ResultTable time_table(
+      "Fig 12(a) avg generation time (ms) vs f",
+      {"f", "Mixed", "MinTable", "Readj", "MixedBF"});
+  ResultTable cost_table(
+      "Fig 12(b) migration cost (%) vs f",
+      {"f", "Mixed", "MinTable", "Readj", "MixedBF"});
+
+  for (const double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::vector<std::string> trow = {fmt(f, 1)};
+    std::vector<std::string> crow = {fmt(f, 1)};
+    for (int which = 0; which < 4; ++which) {
+      const auto result = run(f, which);
+      trow.push_back(fmt(result.generation_ms.mean(), 2));
+      crow.push_back(fmt(result.migration_pct.mean(), 2));
+    }
+    time_table.add_row(std::move(trow));
+    cost_table.add_row(std::move(crow));
+  }
+  time_table.print();
+  cost_table.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 17 (appendix) — Mixed's migration cost versus the routing-table
+// bound N_A = 2^i, for θmax ∈ {0.02, 0.08, 0.15, 0.3}.
+//
+// Expected shape (paper): with a tight table bound the algorithm is
+// forced into MinTable-like cleaning and migration cost is high; once
+// N_A crosses the knee (~2000 entries at θmax = 0.08) migration cost
+// drops sharply; stricter θmax needs a larger minimum N_A.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+double run(std::size_t amax, double theta) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.seed = 31;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = theta;
+  dopts.max_table_entries = amax;
+  // w = 5: the window separates Mixed's cheap-migration selection from
+  // MinTable-style full cleaning, which is exactly what a tight table
+  // bound forces Mixed into.
+  dopts.window = 5;
+  dopts.intervals = 14;
+  const auto result =
+      drive_planner(source, std::make_unique<MixedPlanner>(), dopts);
+  return result.migration_pct.mean();
+}
+
+}  // namespace
+
+int main() {
+  ResultTable table("Fig 17 migration cost (%) vs NA = 2^i (Mixed)",
+                    {"NA", "theta=0.02", "theta=0.08", "theta=0.15",
+                     "theta=0.30"});
+  for (int i = 1; i <= 13; i += 2) {
+    const auto amax = static_cast<std::size_t>(1) << i;
+    table.add_row({std::to_string(amax), fmt(run(amax, 0.02), 2),
+                   fmt(run(amax, 0.08), 2), fmt(run(amax, 0.15), 2),
+                   fmt(run(amax, 0.30), 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 19 (appendix) — migration cost versus window size w ∈ {1 .. 15},
+// Mixed vs MinTable.
+//
+// Expected shape (paper): Mixed's migration cost stays below MinTable's
+// at every window size; larger windows give the γ criterion more state
+// history to find cheap migration candidates.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+double run(int window, bool mixed) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.seed = 41;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = 0.08;
+  dopts.max_table_entries = 3000;
+  dopts.window = window;
+  dopts.intervals = window + 5;  // enough intervals to fill the window
+  PlannerPtr planner = mixed ? PlannerPtr(std::make_unique<MixedPlanner>())
+                             : PlannerPtr(std::make_unique<MinTablePlanner>());
+  return drive_planner(source, std::move(planner), dopts)
+      .migration_pct.mean();
+}
+
+}  // namespace
+
+int main() {
+  ResultTable table("Fig 19 migration cost (%) vs window size w",
+                    {"w", "Mixed", "MinTable"});
+  for (const int w : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    table.add_row({std::to_string(w), fmt(run(w, true), 2),
+                   fmt(run(w, false), 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figs. 20 & 21 (appendix) — routing-table size and migration cost versus
+// the migration-selection factor β ∈ [1.0, 2.0] (MinMig, average over 10
+// balance adjustments), for θmax ∈ {0.02, 0.08, 0.15, 0.3}.
+//
+// Expected shape (paper): β = 1 selects small-load keys (γ = load per
+// byte) producing large tables; as β grows the criterion favours heavy
+// keys, the table shrinks and stabilizes for β ∈ [1.5, 2.0] — the basis
+// for the paper's default β = 1.5. Migration cost varies mildly with β.
+#include "bench_common.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+using namespace skewless::bench;
+
+namespace {
+
+DriverResult run(double beta, double theta) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100'000;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = 1'000'000;
+  opts.fluctuation = 1.0;
+  opts.seed = 43;
+  ZipfFluctuatingSource source(opts);
+
+  DriverOptions dopts;
+  dopts.theta_max = theta;
+  dopts.max_table_entries = 0;  // MinMig: unbounded table
+  dopts.beta = beta;
+  // w = 5 decorrelates S(k, w) (five intervals of history) from c(k)
+  // (last interval only): keys' cost-per-byte ratios spread out and the
+  // beta trade-off becomes visible, as with the paper's real traces.
+  dopts.window = 5;
+  dopts.intervals = 14;  // ~10 balance adjustments after warmup
+  // Real traces carry different state volumes per key (tweet text vs
+  // trade records); heterogeneity makes the beta trade-off non-trivial.
+  dopts.state_heterogeneity = 8.0;
+  return drive_planner(source, std::make_unique<MinMigPlanner>(), dopts);
+}
+
+}  // namespace
+
+int main() {
+  ResultTable size_table(
+      "Fig 20 routing-table size vs beta (MinMig)",
+      {"beta", "theta=0.02", "theta=0.08", "theta=0.15", "theta=0.30"});
+  ResultTable cost_table(
+      "Fig 21 migration cost (%) vs beta (MinMig)",
+      {"beta", "theta=0.02", "theta=0.08", "theta=0.15", "theta=0.30"});
+
+  for (const double beta : {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8,
+                            1.9, 2.0}) {
+    std::vector<std::string> srow = {fmt(beta, 1)};
+    std::vector<std::string> crow = {fmt(beta, 1)};
+    for (const double theta : {0.02, 0.08, 0.15, 0.30}) {
+      const auto result = run(beta, theta);
+      srow.push_back(fmt(result.table_size.mean(), 0));
+      crow.push_back(fmt(result.migration_pct.mean(), 2));
+    }
+    size_table.add_row(std::move(srow));
+    cost_table.add_row(std::move(crow));
+  }
+  size_table.print();
+  cost_table.print();
+  return 0;
+}

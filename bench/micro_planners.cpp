@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the planning algorithms: per-plan
+// latency of LLFD-based planners, the compact representation build, and
+// the end-to-end Mixed pass across key-domain sizes. Complements the
+// figure benches with statistically robust single-operation timings.
+#include <benchmark/benchmark.h>
+
+#include "baselines/readj.h"
+#include "common/consistent_hash.h"
+#include "core/compact.h"
+#include "core/planners.h"
+#include "workload/synthetic.h"
+
+namespace skewless {
+namespace {
+
+PartitionSnapshot snapshot_for(std::uint64_t num_keys) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = num_keys;
+  opts.skew = 0.85;
+  opts.tuples_per_interval = num_keys * 10;
+  opts.fluctuation = 0.0;
+  opts.seed = 47;
+  ZipfFluctuatingSource source(opts);
+  const auto load = source.next_interval();
+  const ConsistentHashRing ring(10, 128, 21);
+
+  PartitionSnapshot snap;
+  snap.num_instances = 10;
+  snap.cost.resize(num_keys);
+  snap.state.resize(num_keys);
+  snap.hash_dest.resize(num_keys);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    snap.cost[k] = static_cast<Cost>(load.counts[k]);
+    snap.state[k] = 8.0 * static_cast<Bytes>(load.counts[k]);
+    snap.hash_dest[k] = ring.owner(static_cast<KeyId>(k));
+  }
+  snap.current = snap.hash_dest;
+  return snap;
+}
+
+PlannerConfig default_config() {
+  PlannerConfig cfg;
+  cfg.theta_max = 0.08;
+  cfg.max_table_entries = 0;
+  return cfg;
+}
+
+void BM_MixedPlan(benchmark::State& state) {
+  const auto snap = snapshot_for(static_cast<std::uint64_t>(state.range(0)));
+  const auto cfg = default_config();
+  MixedPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(snap, cfg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MixedPlan)->Range(1'000, 100'000)->Complexity();
+
+void BM_MinTablePlan(benchmark::State& state) {
+  const auto snap = snapshot_for(static_cast<std::uint64_t>(state.range(0)));
+  const auto cfg = default_config();
+  MinTablePlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(snap, cfg));
+  }
+}
+BENCHMARK(BM_MinTablePlan)->Range(1'000, 100'000);
+
+void BM_ReadjPlan(benchmark::State& state) {
+  const auto snap = snapshot_for(static_cast<std::uint64_t>(state.range(0)));
+  const auto cfg = default_config();
+  ReadjPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(snap, cfg));
+  }
+}
+BENCHMARK(BM_ReadjPlan)->Range(1'000, 32'000);
+
+void BM_CompactBuild(benchmark::State& state) {
+  const auto snap = snapshot_for(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompactSpace::build(snap, 3));
+  }
+}
+BENCHMARK(BM_CompactBuild)->Range(1'000, 100'000);
+
+void BM_CompactMixedPlan(benchmark::State& state) {
+  const auto snap = snapshot_for(static_cast<std::uint64_t>(state.range(0)));
+  const auto cfg = default_config();
+  CompactMixedPlanner planner(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(snap, cfg));
+  }
+}
+BENCHMARK(BM_CompactMixedPlan)->Range(1'000, 100'000);
+
+void BM_HashRingOwner(benchmark::State& state) {
+  const ConsistentHashRing ring(static_cast<InstanceId>(state.range(0)), 128);
+  KeyId key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.owner(key++));
+  }
+}
+BENCHMARK(BM_HashRingOwner)->Arg(5)->Arg(10)->Arg(40);
+
+}  // namespace
+}  // namespace skewless
+
+BENCHMARK_MAIN();

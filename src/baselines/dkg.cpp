@@ -1,0 +1,49 @@
+#include "baselines/dkg.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "core/working_assignment.h"
+
+namespace skewless {
+
+RebalancePlan DkgPlanner::plan(const PartitionSnapshot& snap,
+                               const PlannerConfig& config) {
+  WallTimer timer;
+  const Cost avg = snap.average_load();
+  const Cost threshold = options_.heavy_fraction * avg;
+
+  // Light keys at their hash destination; heavy keys collected.
+  std::vector<InstanceId> assignment = snap.hash_dest;
+  std::vector<Cost> loads(static_cast<std::size_t>(snap.num_instances), 0.0);
+  std::vector<KeyId> heavy;
+  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+    if (snap.cost[k] >= threshold && snap.cost[k] > 0.0) {
+      heavy.push_back(static_cast<KeyId>(k));
+    } else {
+      loads[static_cast<std::size_t>(snap.hash_dest[k])] += snap.cost[k];
+    }
+  }
+
+  // Greedy LPT: heaviest first onto the least-loaded instance.
+  std::sort(heavy.begin(), heavy.end(), [&](KeyId a, KeyId b) {
+    const Cost ca = snap.cost[static_cast<std::size_t>(a)];
+    const Cost cb = snap.cost[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  for (const KeyId k : heavy) {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < loads.size(); ++d) {
+      if (loads[d] < loads[best]) best = d;
+    }
+    assignment[static_cast<std::size_t>(k)] = static_cast<InstanceId>(best);
+    loads[best] += snap.cost[static_cast<std::size_t>(k)];
+  }
+
+  auto result = finalize_plan(snap, std::move(assignment), config);
+  result.generation_micros = timer.elapsed_micros();
+  return result;
+}
+
+}  // namespace skewless

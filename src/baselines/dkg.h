@@ -1,0 +1,38 @@
+// DKG — Distribution-aware Key Grouping (Rivetti et al., DEBS'15,
+// reference [23] of the paper): "distinguishes heavy keys from light ones
+// by granularities and applies greedy algorithms for load balance".
+//
+// Our rendering as a Planner: keys whose cost exceeds a threshold
+// (a fraction of the average instance load) are "heavy" and placed
+// individually, largest first, onto the least-loaded instance (greedy
+// multiprocessor scheduling); light keys stay wherever the hash function
+// put them. DKG plans from scratch each time — it has no notion of
+// migration cost or routing-table bounds, which is exactly the contrast
+// the paper draws with its own Mixed algorithm.
+#pragma once
+
+#include "core/plan.h"
+
+namespace skewless {
+
+class DkgPlanner final : public Planner {
+ public:
+  struct Options {
+    /// A key is heavy iff c(k) ≥ heavy_fraction · L̄ (average instance
+    /// load). DEBS'15 uses sketch-estimated frequencies; with exact
+    /// statistics the threshold is the only tunable left.
+    double heavy_fraction = 0.01;
+  };
+
+  DkgPlanner() = default;
+  explicit DkgPlanner(Options options) : options_(options) {}
+
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "DKG"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace skewless

@@ -1,0 +1,163 @@
+#include "baselines/readj.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/clock.h"
+#include "core/working_assignment.h"
+
+namespace skewless {
+namespace {
+
+double max_load(const std::vector<Cost>& loads) {
+  double m = 0.0;
+  for (const Cost l : loads) m = std::max(m, l);
+  return m;
+}
+
+InstanceId argmax_load(const std::vector<Cost>& loads) {
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < loads.size(); ++d) {
+    if (loads[d] > loads[best]) best = d;
+  }
+  return static_cast<InstanceId>(best);
+}
+
+struct BestAction {
+  enum class Kind { kNone, kMove, kSwap } kind = Kind::kNone;
+  KeyId key_a = 0;       // key leaving the hottest instance
+  KeyId key_b = 0;       // swap partner (kSwap only)
+  InstanceId target = 0; // destination instance
+  double objective = 0.0;
+};
+
+/// One σ attempt. Returns the resulting dense assignment.
+std::vector<InstanceId> readj_attempt(const PartitionSnapshot& snap,
+                                      const PlannerConfig& config,
+                                      double sigma,
+                                      std::size_t max_iterations) {
+  WorkingAssignment wa(snap);
+  const Cost total =
+      snap.average_load() * static_cast<Cost>(snap.num_instances);
+  // Heavy-hitter semantics: a key participates iff it carries at least a
+  // sigma fraction of the TOTAL workload. Small sigma tracks thousands of
+  // candidate keys, which is what makes Readj's exhaustive pairing slow.
+  const Cost heavy_threshold = sigma * total;
+  const Cost lmax = snap.overload_threshold(config.theta_max);
+
+  // Move back every routed key that is not heavy — Readj's bias toward
+  // restoring the hash function's placement.
+  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+    if (snap.current[k] != snap.hash_dest[k] &&
+        snap.cost[k] < heavy_threshold) {
+      wa.move_back(static_cast<KeyId>(k));
+    }
+  }
+
+  // Heavy candidates per instance are recomputed from the buckets each
+  // iteration; the full enumeration per step is the point (it is what
+  // makes Readj slow on fluctuating workloads).
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    const auto& loads = wa.loads();
+    if (max_load(loads) <= lmax) break;
+    const InstanceId hot = argmax_load(loads);
+
+    std::vector<KeyId> heavy_hot;
+    for (const KeyId k : wa.keys_of(hot)) {
+      if (snap.cost[static_cast<std::size_t>(k)] >= heavy_threshold) {
+        heavy_hot.push_back(k);
+      }
+    }
+    if (heavy_hot.empty()) break;  // nothing movable — Readj gives up
+
+    BestAction best;
+    best.objective = max_load(loads);
+    for (const KeyId ka : heavy_hot) {
+      const Cost ca = snap.cost[static_cast<std::size_t>(ka)];
+      for (InstanceId d2 = 0; d2 < wa.num_instances(); ++d2) {
+        if (d2 == hot) continue;
+        const auto di = static_cast<std::size_t>(d2);
+        // Plain move ka -> d2.
+        {
+          const double after =
+              std::max(loads[static_cast<std::size_t>(hot)] - ca,
+                       loads[di] + ca);
+          double rest = 0.0;
+          for (std::size_t d = 0; d < loads.size(); ++d) {
+            if (d != static_cast<std::size_t>(hot) && d != di) {
+              rest = std::max(rest, loads[d]);
+            }
+          }
+          const double objective = std::max(after, rest);
+          if (objective + 1e-12 < best.objective) {
+            best = BestAction{BestAction::Kind::kMove, ka, 0, d2, objective};
+          }
+        }
+        // Swaps ka <-> kb for every heavy kb on d2 with smaller cost.
+        for (const KeyId kb : wa.keys_of(d2)) {
+          const Cost cb = snap.cost[static_cast<std::size_t>(kb)];
+          if (cb < heavy_threshold || cb >= ca) continue;
+          const double after =
+              std::max(loads[static_cast<std::size_t>(hot)] - ca + cb,
+                       loads[di] + ca - cb);
+          double rest = 0.0;
+          for (std::size_t d = 0; d < loads.size(); ++d) {
+            if (d != static_cast<std::size_t>(hot) && d != di) {
+              rest = std::max(rest, loads[d]);
+            }
+          }
+          const double objective = std::max(after, rest);
+          if (objective + 1e-12 < best.objective) {
+            best = BestAction{BestAction::Kind::kSwap, ka, kb, d2, objective};
+          }
+        }
+      }
+    }
+
+    if (best.kind == BestAction::Kind::kNone) break;  // no improving action
+    wa.disassociate(best.key_a);
+    if (best.kind == BestAction::Kind::kSwap) {
+      wa.disassociate(best.key_b);
+      wa.assign(best.key_b, hot);
+    }
+    wa.assign(best.key_a, best.target);
+  }
+  return wa.to_assignment();
+}
+
+}  // namespace
+
+RebalancePlan ReadjPlanner::plan(const PartitionSnapshot& snap,
+                                 const PlannerConfig& config) {
+  WallTimer timer;
+  SKW_EXPECTS(!options_.sigma_grid.empty());
+
+  bool have_best = false;
+  RebalancePlan best;
+  for (const double sigma : options_.sigma_grid) {
+    auto assignment =
+        readj_attempt(snap, config, sigma, options_.max_iterations);
+    RebalancePlan trial = finalize_plan(snap, std::move(assignment), config);
+    bool better = false;
+    if (!have_best) {
+      better = true;
+    } else if (trial.balanced != best.balanced) {
+      better = trial.balanced;
+    } else if (trial.balanced) {
+      better = trial.migration_bytes < best.migration_bytes;
+    } else {
+      better = trial.achieved_theta < best.achieved_theta;
+    }
+    if (better) {
+      best = std::move(trial);
+      have_best = true;
+    }
+    if (best.balanced && best.migration_bytes == 0.0) break;
+  }
+  SKW_ENSURES(have_best);
+  best.generation_micros = timer.elapsed_micros();
+  return best;
+}
+
+}  // namespace skewless

@@ -1,0 +1,47 @@
+// Readj — our implementation of the closest related work (Gedik,
+// "Partitioning functions for stateful data parallelism in stream
+// processing", VLDBJ 23(4), 2014), as characterized in Section V of the
+// reproduced paper:
+//
+//   * only keys with "relatively larger workload" participate: a key is a
+//     candidate iff c(k) ≥ σ · (total workload) — heavy-hitter tracking;
+//     smaller σ tracks more candidates and finds better plans, slower,
+//   * the algorithm first tries to move keys back to their hash
+//     destinations, then repeatedly enumerates ALL candidate moves and
+//     pairwise swaps between instances, applying the single best one,
+//     until balance is reached or no move improves imbalance — this
+//     exhaustive pairing is what makes its plan generation slow,
+//   * following the evaluation protocol, ReadjPlanner runs a small
+//     σ-search (geometric grid) and reports the best plan found; the
+//     measured generation time covers the whole search.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+
+namespace skewless {
+
+class ReadjPlanner final : public Planner {
+ public:
+  struct Options {
+    /// σ grid searched per plan() call, highest (cheapest) first. σ is the
+    /// fraction of the TOTAL workload above which a key counts as heavy.
+    std::vector<double> sigma_grid = {0.01, 0.003, 0.001, 0.0003, 0.0001};
+    /// Cap on best-move iterations per σ (each iteration is an O(H·N_D·H)
+    /// enumeration over H candidate keys).
+    std::size_t max_iterations = 512;
+  };
+
+  ReadjPlanner() = default;
+  explicit ReadjPlanner(Options options) : options_(std::move(options)) {}
+
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "Readj"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace skewless

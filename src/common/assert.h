@@ -1,0 +1,40 @@
+// Lightweight contract-checking macros used across the library.
+//
+// Follows the C++ Core Guidelines (I.6/I.8: prefer Expects()/Ensures()-style
+// contract statements). We keep checks enabled in all build types: the
+// algorithms in this library are control-plane code (rebalance planning runs
+// once per interval), so the cost of checking is negligible compared to the
+// cost of silently mis-planning a migration.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skewless {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "skewless: %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace skewless
+
+// Precondition on a public API boundary.
+#define SKW_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::skewless::contract_failure("precondition", #cond, __FILE__, \
+                                         __LINE__))
+
+// Postcondition / invariant established by the implementation.
+#define SKW_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::skewless::contract_failure("postcondition", #cond, __FILE__, \
+                                         __LINE__))
+
+// Internal sanity check.
+#define SKW_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::skewless::contract_failure("assertion", #cond, __FILE__, \
+                                         __LINE__))

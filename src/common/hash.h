@@ -1,0 +1,30 @@
+// Hashing primitives: 64-bit finalizers and a string hash used when
+// interning textual keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace skewless {
+
+/// FNV-1a 64-bit string hash. Used only to intern textual keys (words,
+/// stock symbols) into the dense KeyId domain, never on the routing path.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Seeded 64-bit hash of a 64-bit key. The seed lets the consistent-hash
+/// ring, PKG's two choices, and tests derive independent hash functions
+/// from the same primitive.
+constexpr std::uint64_t hash64(std::uint64_t key, std::uint64_t seed = 0) {
+  return mix64(key ^ (seed * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL));
+}
+
+}  // namespace skewless

@@ -1,0 +1,63 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skewless {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  SKW_EXPECTS(bins > 0);
+  SKW_EXPECTS(hi > lo);
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  if (value < lo_) return 0;
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  counts_[bin_of(value)] += weight;
+  total_ += weight;
+  sum_ += value * static_cast<double>(weight);
+}
+
+double Histogram::quantile(double q) const {
+  SKW_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (cum + c >= target && c > 0.0) {
+      const double frac = std::clamp((target - cum) / c, 0.0, 1.0);
+      return bin_lo(b) + frac * width_;
+    }
+    cum += c;
+  }
+  return bin_lo(counts_.size() - 1) + width_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  SKW_EXPECTS(counts_.size() == other.counts_.size());
+  SKW_EXPECTS(lo_ == other.lo_ && width_ == other.width_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace skewless

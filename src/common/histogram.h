@@ -1,0 +1,49 @@
+// Fixed-bin histogram for latency/size distributions: O(1) insertion,
+// mergeable across threads, quantile estimates by linear interpolation
+// within the owning bin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) evenly; values outside clamp to the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  /// Estimated q-quantile (q in [0, 1]); 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const {
+    SKW_EXPECTS(bin < counts_.size());
+    return counts_[bin];
+  }
+
+  /// Merges another histogram with identical binning.
+  void merge(const Histogram& other);
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double value) const;
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace skewless

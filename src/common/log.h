@@ -1,0 +1,29 @@
+// Minimal leveled logger. Off by default above WARN so bench output stays
+// clean; examples turn on INFO to narrate the rebalance protocol.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace skewless {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace skewless
+
+#define SKW_LOG_DEBUG(...) \
+  ::skewless::log_message(::skewless::LogLevel::kDebug, __VA_ARGS__)
+#define SKW_LOG_INFO(...) \
+  ::skewless::log_message(::skewless::LogLevel::kInfo, __VA_ARGS__)
+#define SKW_LOG_WARN(...) \
+  ::skewless::log_message(::skewless::LogLevel::kWarn, __VA_ARGS__)
+#define SKW_LOG_ERROR(...) \
+  ::skewless::log_message(::skewless::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,50 @@
+// Streaming and batch statistics used by the metrics pipeline and the
+// benchmark harness: Welford moments, percentiles, CDF sampling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace skewless {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class Welford {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction, Chan et al.).
+  void merge(const Welford& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation; `q` in [0, 1].
+/// Sorts a copy — intended for end-of-run reporting, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// In-place variant for repeated queries on the same sample set.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
+
+/// Evenly spaced CDF points over a sample set: returns pairs
+/// (quantile in [0,1], value), `points` of them, for plotting the Fig. 7
+/// style cumulative skewness curves.
+[[nodiscard]] std::vector<std::pair<double, double>> cdf_points(
+    std::vector<double> values, int points);
+
+}  // namespace skewless

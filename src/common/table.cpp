@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  SKW_EXPECTS(!columns_.empty());
+}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  SKW_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::add_row_numeric(const std::vector<double>& cells,
+                                  int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(fmt(c, precision));
+  add_row(std::move(row));
+}
+
+void ResultTable::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("# CSV\n%s", to_csv().c_str());
+  std::fflush(stdout);
+}
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace skewless

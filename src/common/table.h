@@ -1,0 +1,40 @@
+// Console table / CSV emitter for the benchmark harness.
+//
+// Every bench binary prints the series of one paper figure; a uniform
+// fixed-width table plus a machine-readable CSV block keeps the output
+// both human-diffable against the paper and easy to plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skewless {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; the number of cells must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders the aligned table followed by a `# CSV` block to stdout.
+  void print() const;
+
+  /// CSV text (header + rows), e.g. for tee-ing into files.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace skewless

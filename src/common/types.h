@@ -1,0 +1,40 @@
+// Core scalar type aliases shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace skewless {
+
+/// Identifier of a key in the stream's key domain K. Keys are dense
+/// integers in [0, K); textual keys (e.g. words) are interned to KeyId by
+/// the workload generators.
+using KeyId = std::uint64_t;
+
+/// Identifier of a task instance (worker) inside one logical operator.
+/// Instances of a downstream operator D are dense integers in [0, N_D).
+using InstanceId = std::int32_t;
+
+/// Sentinel meaning "no instance" — used by the compact representation to
+/// model a key temporarily disassociated into the candidate set C.
+inline constexpr InstanceId kNilInstance = -1;
+
+/// Index of a discrete time interval T_i.
+using IntervalId = std::int64_t;
+
+/// Computation cost c_i(k): CPU resource consumed by all tuples with key k
+/// during one interval. Unit: microseconds of service time.
+using Cost = double;
+
+/// Memory/state size s_i(k) or S_i(k, w). Unit: bytes.
+using Bytes = double;
+
+/// Virtual or wall-clock time in microseconds.
+using Micros = std::int64_t;
+
+inline constexpr Micros kMicrosPerSecond = 1'000'000;
+
+/// A value guaranteed to compare greater than any real cost.
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::infinity();
+
+}  // namespace skewless

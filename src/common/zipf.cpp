@@ -1,0 +1,88 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t num_keys, double skew,
+                                   bool permute_ranks, std::uint64_t seed)
+    : num_keys_(num_keys), skew_(skew) {
+  SKW_EXPECTS(num_keys > 0);
+  SKW_EXPECTS(skew >= 0.0);
+  cdf_.resize(num_keys);
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < num_keys; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf_[r] = acc;
+  }
+  const double norm = acc;
+  for (auto& c : cdf_) c /= norm;
+  cdf_.back() = 1.0;  // guard against rounding
+
+  rank_to_key_.resize(num_keys);
+  std::iota(rank_to_key_.begin(), rank_to_key_.end(), KeyId{0});
+  if (permute_ranks) {
+    Xoshiro256 rng(seed);
+    for (std::uint64_t i = num_keys - 1; i > 0; --i) {
+      const std::uint64_t j = rng.next_below(i + 1);
+      std::swap(rank_to_key_[i], rank_to_key_[j]);
+    }
+  }
+}
+
+KeyId ZipfDistribution::sample(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  return rank_to_key_[rank];
+}
+
+double ZipfDistribution::probability(KeyId key) const {
+  SKW_EXPECTS(key < num_keys_);
+  // Invert the permutation lazily: probability queries are test-path only.
+  for (std::uint64_t r = 0; r < num_keys_; ++r) {
+    if (rank_to_key_[r] == key) {
+      const double lo = (r == 0) ? 0.0 : cdf_[r - 1];
+      return cdf_[r] - lo;
+    }
+  }
+  SKW_ASSERT(false);
+  return 0.0;
+}
+
+std::vector<std::uint64_t> ZipfDistribution::expected_counts(
+    std::uint64_t total_tuples) const {
+  std::vector<std::uint64_t> counts(num_keys_, 0);
+  // Largest-remainder rounding so that the counts sum exactly.
+  std::vector<std::pair<double, std::uint64_t>> remainders;
+  remainders.reserve(num_keys_);
+  std::uint64_t assigned = 0;
+  for (std::uint64_t r = 0; r < num_keys_; ++r) {
+    const double lo = (r == 0) ? 0.0 : cdf_[r - 1];
+    const double expected =
+        (cdf_[r] - lo) * static_cast<double>(total_tuples);
+    const auto floor_part = static_cast<std::uint64_t>(expected);
+    counts[rank_to_key_[r]] = floor_part;
+    assigned += floor_part;
+    remainders.emplace_back(expected - static_cast<double>(floor_part),
+                            rank_to_key_[r]);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::uint64_t i = 0; assigned < total_tuples && i < remainders.size();
+       ++i, ++assigned) {
+    ++counts[remainders[i].second];
+  }
+  return counts;
+}
+
+KeyId ZipfDistribution::key_at_rank(std::uint64_t rank) const {
+  SKW_EXPECTS(rank < num_keys_);
+  return rank_to_key_[rank];
+}
+
+}  // namespace skewless

@@ -1,0 +1,53 @@
+// Zipf(z) distribution over a dense integer key domain, plus helpers to
+// produce exact expected-frequency snapshots (Table II's synthetic
+// workload: "tuples follow Zipf distributions controlled by skewness
+// parameter z").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace skewless {
+
+/// Samples ranks 1..K with P(rank = r) proportional to 1 / r^z.
+///
+/// Sampling uses inversion on a precomputed CDF (O(log K) per sample, exact
+/// for any z >= 0 including the uniform case z = 0). The mapping from rank
+/// to KeyId is an optional permutation so that "hot" keys are not the
+/// numerically smallest ones (which would correlate with hashing artifacts
+/// in tests).
+class ZipfDistribution {
+ public:
+  /// `num_keys` = K, `skew` = z in the paper (0 = uniform, 1 = classic
+  /// Zipf). `permute_ranks` shuffles the rank->key mapping with `seed`.
+  ZipfDistribution(std::uint64_t num_keys, double skew,
+                   bool permute_ranks = true, std::uint64_t seed = 0x217f);
+
+  /// Draws one key.
+  [[nodiscard]] KeyId sample(Xoshiro256& rng) const;
+
+  /// Probability mass of the given key.
+  [[nodiscard]] double probability(KeyId key) const;
+
+  /// Expected per-key counts for a snapshot of `total_tuples` tuples,
+  /// rounded so the counts sum to exactly `total_tuples`. Index = KeyId.
+  [[nodiscard]] std::vector<std::uint64_t> expected_counts(
+      std::uint64_t total_tuples) const;
+
+  [[nodiscard]] std::uint64_t num_keys() const { return num_keys_; }
+  [[nodiscard]] double skew() const { return skew_; }
+
+  /// Key occupying the given zero-based rank (rank 0 = hottest).
+  [[nodiscard]] KeyId key_at_rank(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t num_keys_;
+  double skew_;
+  std::vector<double> cdf_;          // cdf_[r] = P(rank <= r+1)
+  std::vector<KeyId> rank_to_key_;   // permutation (identity if !permute)
+};
+
+}  // namespace skewless

@@ -1,0 +1,69 @@
+// AssignmentFunction — the paper's Eq. (1):
+//
+//   F(k) = A[k]   if an entry (k, d) exists in the routing table A,
+//          h(k)   otherwise (consistent hashing).
+//
+// This is the object the upstream router evaluates per tuple; rebalance
+// plans are installed by swapping the table contents atomically between
+// intervals.
+#pragma once
+
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/types.h"
+#include "core/routing_table.h"
+
+namespace skewless {
+
+class AssignmentFunction {
+ public:
+  AssignmentFunction(ConsistentHashRing ring, std::size_t max_table_entries)
+      : ring_(std::move(ring)), table_(max_table_entries) {}
+
+  /// Evaluates F(k).
+  [[nodiscard]] InstanceId operator()(KeyId key) const {
+    if (const auto dest = table_.lookup(key)) return *dest;
+    return ring_.owner(key);
+  }
+
+  /// The hash default h(k) regardless of table contents.
+  [[nodiscard]] InstanceId hash_dest(KeyId key) const {
+    return ring_.owner(key);
+  }
+
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+  [[nodiscard]] RoutingTable& table() { return table_; }
+  [[nodiscard]] const ConsistentHashRing& ring() const { return ring_; }
+  [[nodiscard]] InstanceId num_instances() const {
+    return ring_.num_instances();
+  }
+
+  /// Scale-out: adds a new instance to the hash ring. Keys that the ring
+  /// reassigns but that must stay put (stateful!) get explicit entries via
+  /// the next rebalance; callers normally follow this with a plan install.
+  void add_instance() { ring_.add_instance(); }
+
+  /// Materializes F over the dense key domain [0, num_keys).
+  [[nodiscard]] std::vector<InstanceId> materialize(
+      std::size_t num_keys) const;
+
+  /// Materializes h over the dense key domain.
+  [[nodiscard]] std::vector<InstanceId> materialize_hash(
+      std::size_t num_keys) const;
+
+  /// Installs a new dense assignment: table entries are exactly the keys
+  /// where `assignment[k] != h(k)`.
+  void install(const std::vector<InstanceId>& assignment);
+
+ private:
+  ConsistentHashRing ring_;
+  RoutingTable table_;
+};
+
+/// ∆(F, F') — keys whose destination differs between two dense assignments.
+[[nodiscard]] std::vector<KeyId> assignment_delta(
+    const std::vector<InstanceId>& before,
+    const std::vector<InstanceId>& after);
+
+}  // namespace skewless

@@ -1,0 +1,496 @@
+#include "core/compact.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/assert.h"
+#include "common/clock.h"
+
+namespace skewless {
+
+CompactSpace CompactSpace::build(const PartitionSnapshot& snap, int r_degree,
+                                 bool greedy) {
+  const std::size_t num_keys = snap.num_keys();
+
+  // Discretize costs and states independently; each discretizer consumes
+  // its values in non-increasing order (required by the greedy step).
+  std::vector<std::size_t> by_cost(num_keys);
+  std::iota(by_cost.begin(), by_cost.end(), std::size_t{0});
+  std::sort(by_cost.begin(), by_cost.end(), [&](std::size_t a, std::size_t b) {
+    if (snap.cost[a] != snap.cost[b]) return snap.cost[a] > snap.cost[b];
+    return a < b;
+  });
+  std::vector<std::size_t> by_state(num_keys);
+  std::iota(by_state.begin(), by_state.end(), std::size_t{0});
+  std::sort(by_state.begin(), by_state.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (snap.state[a] != snap.state[b])
+                return snap.state[a] > snap.state[b];
+              return a < b;
+            });
+
+  const double max_cost = num_keys ? snap.cost[by_cost.front()] : 0.0;
+  const double max_state = num_keys ? snap.state[by_state.front()] : 0.0;
+  HlheDiscretizer cost_disc(r_degree, max_cost);
+  HlheDiscretizer state_disc(r_degree, max_state);
+
+  std::vector<double> vc(num_keys), vs(num_keys);
+  for (const std::size_t k : by_cost) {
+    vc[k] = greedy ? cost_disc.discretize(snap.cost[k])
+                   : cost_disc.discretize_nearest(snap.cost[k]);
+  }
+  for (const std::size_t k : by_state) {
+    vs[k] = greedy ? state_disc.discretize(snap.state[k])
+                   : state_disc.discretize_nearest(snap.state[k]);
+  }
+
+  // Group keys by (curr, hash, vc, vs); d' starts equal to curr.
+  std::map<std::tuple<InstanceId, InstanceId, double, double>, std::size_t>
+      index;
+  CompactSpace space;
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    const auto sig = std::make_tuple(snap.current[k], snap.hash_dest[k],
+                                     vc[k], vs[k]);
+    const auto [it, inserted] = index.emplace(sig, space.records_.size());
+    if (inserted) {
+      space.records_.push_back(CompactRecord{snap.current[k],
+                                             snap.current[k],
+                                             snap.hash_dest[k],
+                                             vc[k],
+                                             vs[k],
+                                             {}});
+    }
+    space.records_[it->second].keys.push_back(static_cast<KeyId>(k));
+  }
+  // Order members so that any contiguous tail split carries roughly the
+  // bucket-average true cost: sort by true cost descending, then zigzag
+  // (largest, smallest, 2nd largest, 2nd smallest, ...). Splits take keys
+  // from the back, so a biased ordering (pure ascending/descending) would
+  // systematically under- or over-deliver true mass versus the vc·m
+  // estimate; the zigzag keeps the estimation error near zero.
+  for (auto& rec : space.records_) {
+    std::sort(rec.keys.begin(), rec.keys.end(), [&](KeyId a, KeyId b) {
+      const Cost ca = snap.cost[static_cast<std::size_t>(a)];
+      const Cost cb = snap.cost[static_cast<std::size_t>(b)];
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+    std::vector<KeyId> zigzag;
+    zigzag.reserve(rec.keys.size());
+    std::size_t lo = 0;
+    std::size_t hi = rec.keys.size();
+    while (lo < hi) {
+      zigzag.push_back(rec.keys[lo++]);
+      if (lo < hi) zigzag.push_back(rec.keys[--hi]);
+    }
+    rec.keys = std::move(zigzag);
+  }
+  return space;
+}
+
+std::vector<Cost> CompactSpace::estimated_loads(
+    InstanceId num_instances) const {
+  std::vector<Cost> loads(static_cast<std::size_t>(num_instances), 0.0);
+  for (const auto& rec : records_) {
+    if (rec.next == kNilInstance) continue;
+    SKW_ASSERT(rec.next >= 0 && rec.next < num_instances);
+    loads[static_cast<std::size_t>(rec.next)] += rec.load();
+  }
+  return loads;
+}
+
+namespace {
+
+/// Mutable record store for one planning trial. Splitting takes keys from
+/// the *back* of the member list (smallest true cost first), matching the
+/// smallest-memory-first cleaning and keeping the hottest keys attached to
+/// the record that stays put.
+class RecordPlanState {
+ public:
+  RecordPlanState(std::vector<CompactRecord> recs, InstanceId num_instances)
+      : records_(std::move(recs)),
+        loads_(static_cast<std::size_t>(num_instances), 0.0) {
+    for (const auto& rec : records_) {
+      if (rec.next != kNilInstance) {
+        loads_[static_cast<std::size_t>(rec.next)] += rec.load();
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<CompactRecord>& records() { return records_; }
+  [[nodiscard]] const std::vector<Cost>& loads() const { return loads_; }
+
+  [[nodiscard]] InstanceId least_loaded() const {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < loads_.size(); ++d) {
+      if (loads_[d] < loads_[best]) best = d;
+    }
+    return static_cast<InstanceId>(best);
+  }
+
+  /// Splits `m` keys off record `idx` into a new record with destination
+  /// `next` (which may be kNilInstance for the candidate set). Returns the
+  /// index of the record now holding those m keys.
+  std::size_t split(std::size_t idx, std::size_t m, InstanceId next) {
+    SKW_EXPECTS(m > 0 && m <= records_[idx].count());
+    if (m == records_[idx].count()) {
+      retarget(idx, next);
+      return idx;
+    }
+    CompactRecord& src = records_[idx];
+    CompactRecord part = src;
+    part.keys.assign(src.keys.end() - static_cast<std::ptrdiff_t>(m),
+                     src.keys.end());
+    src.keys.resize(src.keys.size() - m);
+    part.next = src.next;  // retarget() below fixes loads consistently
+    records_.push_back(std::move(part));
+    retarget(records_.size() - 1, next);
+    return records_.size() - 1;
+  }
+
+  /// Changes a whole record's destination, maintaining load accounting.
+  void retarget(std::size_t idx, InstanceId next) {
+    CompactRecord& rec = records_[idx];
+    if (rec.next == next) return;
+    if (rec.next != kNilInstance) {
+      loads_[static_cast<std::size_t>(rec.next)] -= rec.load();
+    }
+    rec.next = next;
+    if (next != kNilInstance) {
+      loads_[static_cast<std::size_t>(next)] += rec.load();
+    }
+  }
+
+  /// Expands records into a dense assignment (every key must be placed).
+  [[nodiscard]] std::vector<InstanceId> to_assignment(
+      std::size_t num_keys) const {
+    std::vector<InstanceId> out(num_keys, kNilInstance);
+    for (const auto& rec : records_) {
+      SKW_ASSERT(rec.next != kNilInstance);
+      for (const KeyId k : rec.keys) {
+        out[static_cast<std::size_t>(k)] = rec.next;
+      }
+    }
+    for (const InstanceId d : out) SKW_ENSURES(d != kNilInstance);
+    return out;
+  }
+
+ private:
+  std::vector<CompactRecord> records_;
+  std::vector<Cost> loads_;
+};
+
+/// One Mixed trial over records with cleaning count n. Returns the dense
+/// assignment.
+std::vector<InstanceId> compact_trial(const CompactSpace& space,
+                                      const PartitionSnapshot& snap,
+                                      const PlannerConfig& config,
+                                      std::size_t clean_n,
+                                      std::vector<Cost>* est_loads_out) {
+  RecordPlanState state(space.records(), snap.num_instances);
+
+  // ---- Phase I: move back clean_n keys, smallest vs first, among records
+  // that occupy routing-table entries (next != hash).
+  {
+    std::vector<std::size_t> table_records;
+    for (std::size_t i = 0; i < state.records().size(); ++i) {
+      const auto& rec = state.records()[i];
+      if (rec.next != rec.hash) table_records.push_back(i);
+    }
+    std::sort(table_records.begin(), table_records.end(),
+              [&](std::size_t a, std::size_t b) {
+                const auto& ra = state.records()[a];
+                const auto& rb = state.records()[b];
+                if (ra.vs != rb.vs) return ra.vs < rb.vs;
+                return a < b;
+              });
+    std::size_t remaining = clean_n;
+    for (const std::size_t idx : table_records) {
+      if (remaining == 0) break;
+      const std::size_t m = std::min(remaining, state.records()[idx].count());
+      const InstanceId home = state.records()[idx].hash;
+      state.split(idx, m, home);
+      remaining -= m;
+    }
+  }
+
+  // Estimated balance targets (from discretized loads).
+  double total_est = 0.0;
+  for (const auto& rec : state.records()) total_est += rec.load();
+  const double avg_est = total_est / static_cast<double>(snap.num_instances);
+  const double lmax = (1.0 + config.theta_max) * avg_est;
+
+  // ---- Phase II: disassociate records (splitting as needed) from
+  // overloaded instances, γ = vc^β / vs descending.
+  std::vector<std::size_t> candidates;  // record indices with next == nil
+  {
+    const auto gamma = [&](const CompactRecord& rec) {
+      return std::pow(rec.vc, config.beta) / std::max(rec.vs, 1.0);
+    };
+    for (InstanceId d = 0; d < snap.num_instances; ++d) {
+      if (state.loads()[static_cast<std::size_t>(d)] <= lmax) continue;
+      std::vector<std::size_t> on_d;
+      for (std::size_t i = 0; i < state.records().size(); ++i) {
+        if (state.records()[i].next == d && state.records()[i].count() > 0) {
+          on_d.push_back(i);
+        }
+      }
+      std::sort(on_d.begin(), on_d.end(), [&](std::size_t a, std::size_t b) {
+        const double ga = gamma(state.records()[a]);
+        const double gb = gamma(state.records()[b]);
+        if (ga != gb) return ga > gb;
+        return a < b;
+      });
+      for (const std::size_t idx : on_d) {
+        const double excess = state.loads()[static_cast<std::size_t>(d)] - lmax;
+        if (excess <= 0.0) break;
+        const auto& rec = state.records()[idx];
+        if (rec.vc <= 0.0) continue;
+        const auto want = static_cast<std::size_t>(
+            std::ceil(excess / rec.vc));
+        const std::size_t m = std::min(want, rec.count());
+        if (m == 0) continue;
+        candidates.push_back(state.split(idx, m, kNilInstance));
+      }
+    }
+  }
+
+  // ---- Phase III: adapted LLFD over records, including the Adjust
+  // exchangeable-set repair. Records are processed in descending vc (a
+  // max-heap, because evictions re-enter the queue); each record spreads
+  // over least-loaded instances, splitting so no placement pushes an
+  // instance past lmax. When even the least-loaded instance has no room
+  // for one key, smaller-vc keys are evicted from it (condition (ii) of
+  // Adjust — strictly smaller cost — guarantees termination).
+  const auto vc_less = [&state](std::size_t a, std::size_t b) {
+    const auto& ra = state.records()[a];
+    const auto& rb = state.records()[b];
+    if (ra.vc != rb.vc) return ra.vc < rb.vc;  // max-heap on vc
+    return a > b;
+  };
+  using Heap = std::priority_queue<std::size_t, std::vector<std::size_t>,
+                                   decltype(vc_less)>;
+  Heap heap(vc_less, std::move(candidates));
+
+  const auto gamma = [&](const CompactRecord& rec) {
+    return std::pow(rec.vc, config.beta) / std::max(rec.vs, 1.0);
+  };
+
+  // Safety valve mirroring PlannerConfig::llfd_op_budget_factor.
+  std::size_t ops = 0;
+  const std::size_t op_budget =
+      1024 + 64 * (state.records().size() + snap.num_keys() / 8);
+
+  const auto place_all = [&](Heap& work) {
+  while (!work.empty()) {
+    const std::size_t idx = work.top();
+    work.pop();
+    while (state.records()[idx].count() > 0 &&
+           state.records()[idx].next == kNilInstance) {
+      const bool over_budget = ++ops > op_budget;
+      const InstanceId d = state.least_loaded();
+      const auto di = static_cast<std::size_t>(d);
+      const double vc = state.records()[idx].vc;
+      const double room = lmax - state.loads()[di];
+      // Water-filling: bulk-place only up to the second-lowest load level
+      // so placements equalize instead of pushing the minimum straight to
+      // lmax (which would strand other instances underloaded).
+      double level = lmax;
+      for (std::size_t o = 0; o < state.loads().size(); ++o) {
+        if (o == di) continue;
+        level = std::min(level, state.loads()[o]);
+      }
+      const double head = std::max(level, state.loads()[di] + 1.0) -
+                          state.loads()[di];
+      std::size_t fit =
+          vc > 0.0 ? static_cast<std::size_t>(
+                         std::min(std::max(0.0, room), head) / vc)
+                   : state.records()[idx].count();
+
+      // Head-room below the water level but above lmax-room: one key is
+      // fine (slight overshoot of the level, still within lmax).
+      if (fit == 0 && room >= vc) fit = 1;
+
+      if (fit == 0 && !over_budget) {
+        // Adjust: free room on d by evicting records with strictly
+        // smaller vc, highest gamma first.
+        const double need = vc - std::max(room, 0.0);
+        std::vector<std::size_t> pool;
+        for (std::size_t i = 0; i < state.records().size(); ++i) {
+          const auto& r = state.records()[i];
+          if (r.next == d && r.count() > 0 && r.vc < vc) pool.push_back(i);
+        }
+        std::sort(pool.begin(), pool.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const double ga = gamma(state.records()[a]);
+                    const double gb = gamma(state.records()[b]);
+                    if (ga != gb) return ga > gb;
+                    return a < b;
+                  });
+        double freed = 0.0;
+        for (const std::size_t pi : pool) {
+          if (freed >= need) break;
+          const auto& r = state.records()[pi];
+          const auto want = static_cast<std::size_t>(
+              std::ceil((need - freed) / std::max(r.vc, 1e-9)));
+          const std::size_t m = std::min(want, r.count());
+          if (m == 0) continue;
+          freed += static_cast<double>(m) * r.vc;
+          work.push(state.split(pi, m, kNilInstance));
+        }
+        if (freed >= need) fit = 1;  // room now exists for one key
+      }
+      // Fallback (giant key or budget exhausted): force one key.
+      fit = std::max<std::size_t>(fit, 1);
+
+      const std::size_t m = std::min(fit, state.records()[idx].count());
+      if (m == state.records()[idx].count()) {
+        state.retarget(idx, d);
+      } else {
+        state.split(idx, m, d);
+      }
+    }
+  }
+  };  // place_all
+
+  place_all(heap);
+
+  // ---- Underload refinement. The three phases only trim instances above
+  // Lmax, which can strand an instance below (1 − θmax)·L̄ when the freed
+  // mass is absorbed elsewhere (e.g. an atomic hot record pinning one
+  // instance at Lmax). A few bounded rounds free additional mass from
+  // above-average instances (γ descending, the cheapest migrations) and
+  // water-fill it back in.
+  for (int round = 0; round < 4; ++round) {
+    const double lmin = (1.0 - config.theta_max) * avg_est;
+    double min_load = state.loads().front();
+    double deficit = 0.0;
+    for (const double l : state.loads()) {
+      min_load = std::min(min_load, l);
+      // Size the fill toward the average for violating instances (see
+      // rebalance_two_sided for the rationale).
+      if (l < lmin) deficit += avg_est - l;
+    }
+    if (min_load >= lmin - 1e-9 || deficit <= 0.0) break;
+
+    std::vector<std::size_t> order(state.loads().size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return state.loads()[a] > state.loads()[b];
+    });
+
+    std::vector<std::size_t> extra;
+    double freed = 0.0;
+    for (const std::size_t di : order) {
+      if (freed >= deficit) break;
+      double spare = state.loads()[di] - avg_est;
+      if (spare <= 0.0) break;
+      std::vector<std::size_t> on_d;
+      for (std::size_t i = 0; i < state.records().size(); ++i) {
+        const auto& r = state.records()[i];
+        if (r.next == static_cast<InstanceId>(di) && r.count() > 0) {
+          on_d.push_back(i);
+        }
+      }
+      std::sort(on_d.begin(), on_d.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double ga = gamma(state.records()[a]);
+                  const double gb = gamma(state.records()[b]);
+                  if (ga != gb) return ga > gb;
+                  return a < b;
+                });
+      for (const std::size_t idx : on_d) {
+        if (freed >= deficit || spare <= 0.0) break;
+        const auto& r = state.records()[idx];
+        if (r.vc <= 0.0) continue;
+        const double take = std::min(deficit - freed, spare);
+        // Only records fine-grained enough for the remaining need: a
+        // coarser record would overshoot on the receiving side and
+        // ping-pong back on the next round.
+        if (r.vc > take) continue;
+        const auto want = static_cast<std::size_t>(std::floor(take / r.vc));
+        const std::size_t m =
+            std::min(std::max<std::size_t>(want, 1), r.count());
+        const double mass = static_cast<double>(m) * r.vc;
+        freed += mass;
+        spare -= mass;
+        extra.push_back(state.split(idx, m, kNilInstance));
+      }
+    }
+    if (extra.empty()) break;
+    Heap refill(vc_less, std::move(extra));
+    place_all(refill);
+  }
+
+  if (std::getenv("SKW_DEBUG_COMPACT") != nullptr) {
+    for (std::size_t d = 0; d < state.loads().size(); ++d) {
+      std::fprintf(stderr, "est d%zu = %.0f\n", d, state.loads()[d]);
+    }
+    std::fprintf(stderr, "avg_est=%.0f lmin=%.0f\n", avg_est,
+                 (1.0 - config.theta_max) * avg_est);
+  }
+  if (est_loads_out != nullptr) *est_loads_out = state.loads();
+  return state.to_assignment(snap.num_keys());
+}
+
+}  // namespace
+
+RebalancePlan CompactMixedPlanner::plan(const PartitionSnapshot& snap,
+                                        const PlannerConfig& config) {
+  // Build phase: performed by the reporting instances in the paper's
+  // deployment, so it is timed separately from plan generation.
+  WallTimer build_timer;
+  const CompactSpace space = CompactSpace::build(snap, r_degree_, greedy_);
+  last_build_micros_ = build_timer.elapsed_micros();
+  last_num_records_ = space.num_records();
+
+  std::size_t table_entries = 0;
+  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+    if (snap.current[k] != snap.hash_dest[k]) ++table_entries;
+  }
+
+  const std::size_t amax = config.max_table_entries;
+  std::size_t n = 0;
+  std::vector<InstanceId> assignment;
+  std::vector<Cost> est_loads;
+  WallTimer plan_timer;
+  Micros plan_micros = 0;
+  Micros expand_micros = 0;
+  RebalancePlan result;
+  while (true) {
+    plan_timer.reset();
+    assignment = compact_trial(space, snap, config, n, &est_loads);
+    plan_micros += plan_timer.elapsed_micros();
+    WallTimer expand_timer;
+    result = finalize_plan(snap, std::move(assignment), config);
+    expand_micros += expand_timer.elapsed_micros();
+    if (amax == 0 || result.table_size <= amax || n >= table_entries) break;
+    const std::size_t overshoot = result.table_size - amax;
+    n = std::min(n + std::max<std::size_t>(overshoot, 1), table_entries);
+  }
+  last_expand_micros_ = expand_micros;
+
+  // Diagnostics for the Fig. 11 load-estimation-error study.
+  const auto true_loads = snap.loads_under(result.assignment);
+  double total = 0.0;
+  for (const Cost l : true_loads) total += l;
+  const double avg = total / static_cast<double>(true_loads.size());
+  double err = 0.0;
+  if (avg > 0.0) {
+    for (std::size_t d = 0; d < true_loads.size(); ++d) {
+      err += std::abs(est_loads[d] - true_loads[d]) / avg;
+    }
+    err = err / static_cast<double>(true_loads.size()) * 100.0;
+  }
+  last_load_error_pct_ = err;
+
+  result.generation_micros = plan_micros;
+  return result;
+}
+
+}  // namespace skewless

@@ -1,0 +1,64 @@
+#include "core/controller.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace skewless {
+
+Controller::Controller(AssignmentFunction assignment, PlannerPtr planner,
+                       ControllerConfig config, std::size_t num_keys)
+    : assignment_(std::move(assignment)),
+      planner_(std::move(planner)),
+      config_(config),
+      stats_(num_keys, config.window) {
+  SKW_EXPECTS(planner_ != nullptr || !config_.enabled);
+}
+
+PartitionSnapshot Controller::build_snapshot() const {
+  PartitionSnapshot snap;
+  snap.num_instances = assignment_.num_instances();
+  snap.cost = stats_.last_cost();
+  snap.state = stats_.windowed_state();
+  snap.hash_dest = assignment_.materialize_hash(stats_.num_keys());
+  snap.current = assignment_.materialize(stats_.num_keys());
+  return snap;
+}
+
+std::optional<RebalancePlan> Controller::end_interval() {
+  stats_.roll();
+  last_snapshot_ = build_snapshot();
+  const auto loads = last_snapshot_.current_loads();
+  last_observed_theta_ = PartitionSnapshot::max_theta(loads);
+
+  if (!config_.enabled) return std::nullopt;
+  if (last_observed_theta_ <= config_.planner.theta_max) return std::nullopt;
+
+  RebalancePlan plan = planner_->plan(last_snapshot_, config_.planner);
+  if (plan.moves.empty()) return std::nullopt;
+
+  assignment_.install(plan.assignment);
+  ++rebalance_count_;
+  total_generation_micros_ += plan.generation_micros;
+  total_migrated_bytes_ += plan.migration_bytes;
+  SKW_LOG_INFO(
+      "rebalance #%zu: %zu moves, %.0f bytes, table=%zu, theta %.3f -> %.3f "
+      "(%.1f ms)",
+      rebalance_count_, plan.moves.size(), plan.migration_bytes,
+      plan.table_size, last_observed_theta_, plan.achieved_theta,
+      static_cast<double>(plan.generation_micros) / 1000.0);
+  return plan;
+}
+
+void Controller::add_instance() {
+  // Pin every key to its pre-scale-out destination, then grow the ring.
+  // Installing after the ring change computes entries against the new
+  // h(k), so keys whose ring owner changed get explicit pins and no state
+  // moves implicitly.
+  const auto frozen = assignment_.materialize(stats_.num_keys());
+  assignment_.add_instance();
+  assignment_.install(frozen);
+}
+
+}  // namespace skewless

@@ -1,0 +1,103 @@
+// The rebalance controller (Fig. 5 of the paper).
+//
+// At each interval boundary the engine hands the controller the interval's
+// statistics (already accumulated into the StatsWindow). The controller:
+//   1. evaluates workload imbalance under the assignment in force,
+//   2. if max θ(d) exceeds θmax, runs the configured planner to build F',
+//   3. returns the migration plan for the engine to execute
+//      (pause -> migrate -> resume), and installs F' into the live
+//      AssignmentFunction.
+//
+// Scale-out support: add_instance() grows the hash ring but pins every
+// key to its previous destination with explicit entries, so state never
+// moves implicitly; the next rebalance then shifts load onto the new
+// instance deliberately (the Fig. 15 experiment).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/assignment.h"
+#include "core/plan.h"
+#include "core/stats_window.h"
+
+namespace skewless {
+
+struct ControllerConfig {
+  PlannerConfig planner;
+  /// w — sliding window length in intervals.
+  int window = 1;
+  /// If false, the controller reports imbalance but never migrates
+  /// (the "Storm" baseline behaviour).
+  bool enabled = true;
+};
+
+class Controller {
+ public:
+  Controller(AssignmentFunction assignment, PlannerPtr planner,
+             ControllerConfig config, std::size_t num_keys);
+
+  /// Load reporting (step 1 of Fig. 5): the engine records each key's cost
+  /// and state growth as it processes tuples.
+  void record(KeyId key, Cost cost, Bytes state_bytes) {
+    stats_.record(key, cost, state_bytes);
+  }
+
+  [[nodiscard]] StatsWindow& stats() { return stats_; }
+
+  /// Interval boundary: closes the stats interval, checks the trigger and
+  /// plans + installs a new assignment if needed. Returns the plan when a
+  /// migration was decided, nullopt otherwise.
+  std::optional<RebalancePlan> end_interval();
+
+  /// Live assignment function evaluated by the upstream router.
+  [[nodiscard]] const AssignmentFunction& assignment() const {
+    return assignment_;
+  }
+
+  /// Adds one instance (scale-out), pinning current destinations.
+  void add_instance();
+
+  /// The snapshot used for the most recent planning decision.
+  [[nodiscard]] const PartitionSnapshot& last_snapshot() const {
+    return last_snapshot_;
+  }
+
+  /// Imbalance max θ(d) measured at the most recent interval boundary.
+  [[nodiscard]] double last_observed_theta() const {
+    return last_observed_theta_;
+  }
+
+  [[nodiscard]] InstanceId num_instances() const {
+    return assignment_.num_instances();
+  }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// Cumulative planning statistics.
+  [[nodiscard]] std::size_t rebalance_count() const {
+    return rebalance_count_;
+  }
+  [[nodiscard]] Micros total_generation_micros() const {
+    return total_generation_micros_;
+  }
+  [[nodiscard]] Bytes total_migrated_bytes() const {
+    return total_migrated_bytes_;
+  }
+
+ private:
+  [[nodiscard]] PartitionSnapshot build_snapshot() const;
+
+  AssignmentFunction assignment_;
+  PlannerPtr planner_;
+  ControllerConfig config_;
+  StatsWindow stats_;
+  PartitionSnapshot last_snapshot_;
+  double last_observed_theta_ = 0.0;
+  std::size_t rebalance_count_ = 0;
+  Micros total_generation_micros_ = 0;
+  Bytes total_migrated_bytes_ = 0.0;
+};
+
+}  // namespace skewless

@@ -1,0 +1,74 @@
+// Key-selection criteria (the paper's ψ and η).
+//
+//  * HighestCostFirst          — ψ of MinTable: prioritize large c(k).
+//  * LargestGammaFirst(β)      — ψ of MinMig/Mixed: prioritize the
+//                                migration priority index
+//                                γ_i(k, w) = c_i(k)^β / S_i(k, w).
+//  * SmallestMemoryFirst       — η of Mixed's cleaning phase: move back
+//                                the keys whose state is cheapest to
+//                                re-migrate later.
+//
+// A criterion maps a key to a score; selection always takes the highest
+// score first. Ties break on KeyId for determinism.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/types.h"
+#include "core/snapshot.h"
+
+namespace skewless {
+
+enum class CriterionKind {
+  kHighestCostFirst,
+  kLargestGammaFirst,
+  kSmallestMemoryFirst,
+};
+
+class Criterion {
+ public:
+  /// β is only meaningful for kLargestGammaFirst (default 1.5 per the
+  /// paper's parameter study, Figs. 20-21).
+  explicit Criterion(CriterionKind kind, double beta = 1.5)
+      : kind_(kind), beta_(beta) {}
+
+  [[nodiscard]] CriterionKind kind() const { return kind_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+  /// Selection score for key k; higher means "pick earlier".
+  [[nodiscard]] double score(const PartitionSnapshot& snap, KeyId key) const {
+    const auto k = static_cast<std::size_t>(key);
+    switch (kind_) {
+      case CriterionKind::kHighestCostFirst:
+        return snap.cost[k];
+      case CriterionKind::kLargestGammaFirst: {
+        // Guard S = 0 (stateless key): migration is free, so the priority
+        // is maximal among keys of equal cost; use S clamped to one byte.
+        const Bytes s = std::max(snap.state[k], 1.0);
+        return std::pow(snap.cost[k], beta_) / s;
+      }
+      case CriterionKind::kSmallestMemoryFirst:
+        return -snap.state[k];
+    }
+    return 0.0;
+  }
+
+  /// Sorts keys by descending score (stable ordering via KeyId tiebreak).
+  void sort_descending(const PartitionSnapshot& snap,
+                       std::vector<KeyId>& keys) const {
+    std::sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+      const double sa = score(snap, a);
+      const double sb = score(snap, b);
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+  }
+
+ private:
+  CriterionKind kind_;
+  double beta_;
+};
+
+}  // namespace skewless

@@ -1,0 +1,81 @@
+#include "core/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+HlheDiscretizer::HlheDiscretizer(int r_degree, double max_value)
+    : r_value_(std::pow(2.0, r_degree)),
+      last_value_(std::numeric_limits<double>::infinity()) {
+  SKW_EXPECTS(r_degree >= 0);
+  SKW_EXPECTS(max_value >= 0.0);
+  const double r_cap = r_value_;
+
+  // Linear part: s·R down to R.
+  const auto s = static_cast<std::int64_t>(std::floor(
+      std::max(max_value, 1.0) / r_cap));
+  for (std::int64_t i = s; i >= 1; --i) {
+    reps_.push_back(static_cast<double>(i) * r_cap);
+  }
+  // Exponential part: R/2, R/4, …, 2, 1 (r values).
+  for (double y = r_cap / 2.0; y >= 1.0; y /= 2.0) reps_.push_back(y);
+  if (reps_.empty() || reps_.back() > 1.0) reps_.push_back(1.0);
+
+  SKW_ENSURES(std::is_sorted(reps_.rbegin(), reps_.rend()));
+}
+
+void HlheDiscretizer::reset() {
+  deviation_ = 0.0;
+  last_value_ = std::numeric_limits<double>::infinity();
+}
+
+std::size_t HlheDiscretizer::floor_index(double x) const {
+  // reps_ is strictly decreasing; find first rep <= x.
+  const auto it =
+      std::lower_bound(reps_.begin(), reps_.end(), x,
+                       [](double rep, double value) { return rep > value; });
+  if (it == reps_.end()) return reps_.size() - 1;  // below smallest rep
+  return static_cast<std::size_t>(it - reps_.begin());
+}
+
+double HlheDiscretizer::discretize(double x) {
+  SKW_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 0.0;  // zero cost/state needs no representative
+  SKW_EXPECTS(x <= last_value_ + 1e-9);
+  last_value_ = x;
+
+  const double clamped = std::max(x, 1.0);
+  double chosen;
+  if (clamped >= reps_.front()) {
+    chosen = reps_.front();  // single candidate y_1
+  } else {
+    const std::size_t j = floor_index(clamped);
+    SKW_ASSERT(j > 0);
+    const double lo = reps_[j];      // y_j   <= x
+    const double hi = reps_[j - 1];  // y_{j-1} > x
+    // Pick the candidate that drives |δ + (x − y)| toward zero.
+    const double dev_lo = deviation_ + (x - lo);
+    const double dev_hi = deviation_ + (x - hi);
+    chosen = std::abs(dev_hi) < std::abs(dev_lo) ? hi : lo;
+  }
+  deviation_ += x - chosen;
+  return chosen;
+}
+
+double HlheDiscretizer::discretize_nearest(double x) const {
+  SKW_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  const double clamped = std::max(x, 1.0);
+  if (clamped >= reps_.front()) return reps_.front();
+  const std::size_t j = floor_index(clamped);
+  if (j == 0) return reps_.front();
+  const double lo = reps_[j];
+  const double hi = reps_[j - 1];
+  return (clamped - lo) <= (hi - clamped) ? lo : hi;
+}
+
+}  // namespace skewless

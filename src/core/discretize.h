@@ -1,0 +1,59 @@
+// Value discretization for the compact statistics representation
+// (Section IV-B).
+//
+// Step 1 (HLHE, "half-linear-half-exponential"): with degree R = 2^r and
+// maximum value X, generate m = r + floor(X/R) representatives
+//   linear:      s·R, (s−1)·R, …, R          (s = floor(X/R))
+//   exponential: R/2, R/4, …, 2, 1           (r values)
+//
+// Step 2 (greedy error cancellation): process values in non-increasing
+// order; each value x with candidates y_{j-1} > x ≥ y_j picks the
+// candidate that drives the accumulated deviation δ = Σ(x − φ(x)) toward
+// zero, so sums over arbitrary subsets stay nearly exact (Theorem 3).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+class HlheDiscretizer {
+ public:
+  /// `r_degree` = r (so R = 2^r), `max_value` = the largest value that
+  /// will be discretized. Values are assumed normalized so the smallest
+  /// positive value is ≥ 1; zeros pass through unchanged.
+  HlheDiscretizer(int r_degree, double max_value);
+
+  /// Discretizes one value. Values MUST be fed in non-increasing order
+  /// for the greedy deviation cancellation to work as designed (the
+  /// builder sorts; this is checked).
+  [[nodiscard]] double discretize(double x);
+
+  /// Ablation: nearest-representative rounding with no error
+  /// cancellation (the "simple piecewise constant function" of Fig. 6a).
+  [[nodiscard]] double discretize_nearest(double x) const;
+
+  /// Accumulated deviation δ so far (Theorem 3 says this stays ~0).
+  [[nodiscard]] double accumulated_deviation() const { return deviation_; }
+
+  [[nodiscard]] const std::vector<double>& representatives() const {
+    return reps_;  // strictly decreasing
+  }
+
+  [[nodiscard]] double degree() const { return r_value_; }
+
+  void reset();
+
+ private:
+  /// Index j of the largest representative ≤ x (reps_ is descending);
+  /// returns 0 when x ≥ reps_[0].
+  [[nodiscard]] std::size_t floor_index(double x) const;
+
+  std::vector<double> reps_;
+  double r_value_;     // R = 2^r
+  double deviation_ = 0.0;
+  double last_value_;  // monotonicity check
+};
+
+}  // namespace skewless

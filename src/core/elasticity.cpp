@@ -1,0 +1,76 @@
+#include "core/elasticity.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+ElasticityAdvisor::ElasticityAdvisor(Options options) : options_(options) {
+  SKW_EXPECTS(options_.high_watermark > options_.low_watermark);
+  SKW_EXPECTS(options_.low_watermark >= 0.0);
+  SKW_EXPECTS(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0);
+  SKW_EXPECTS(options_.sustain_intervals >= 1);
+  SKW_EXPECTS(options_.cooldown_intervals >= 0);
+  SKW_EXPECTS(options_.min_instances >= 1);
+}
+
+void ElasticityAdvisor::reset() {
+  ewma_ = 0.0;
+  ewma_initialized_ = false;
+  streak_ = 0;
+  cooldown_ = 0;
+}
+
+ScalingAdvice ElasticityAdvisor::observe(double mean_utilization,
+                                         InstanceId num_instances) {
+  SKW_EXPECTS(mean_utilization >= 0.0);
+  SKW_EXPECTS(num_instances >= 1);
+
+  if (!ewma_initialized_) {
+    ewma_ = mean_utilization;
+    ewma_initialized_ = true;
+  } else {
+    ewma_ += options_.ewma_alpha * (mean_utilization - ewma_);
+  }
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    streak_ = 0;
+    return ScalingAdvice::kHold;
+  }
+
+  if (ewma_ > options_.high_watermark) {
+    streak_ = streak_ >= 0 ? streak_ + 1 : 1;
+  } else if (ewma_ < options_.low_watermark) {
+    streak_ = streak_ <= 0 ? streak_ - 1 : -1;
+  } else {
+    streak_ = 0;  // healthy band: whatever happened was a fluctuation
+  }
+
+  if (streak_ >= options_.sustain_intervals) {
+    streak_ = 0;
+    cooldown_ = options_.cooldown_intervals;
+    return ScalingAdvice::kScaleOut;
+  }
+  if (-streak_ >= options_.sustain_intervals &&
+      num_instances > options_.min_instances) {
+    streak_ = 0;
+    cooldown_ = options_.cooldown_intervals;
+    return ScalingAdvice::kScaleIn;
+  }
+  return ScalingAdvice::kHold;
+}
+
+InstanceId suggest_instances(double total_work_per_interval,
+                             double capacity_per_instance,
+                             double target_utilization) {
+  SKW_EXPECTS(total_work_per_interval >= 0.0);
+  SKW_EXPECTS(capacity_per_instance > 0.0);
+  SKW_EXPECTS(target_utilization > 0.0 && target_utilization <= 1.0);
+  const double needed =
+      total_work_per_interval / (capacity_per_instance * target_utilization);
+  return std::max<InstanceId>(1, static_cast<InstanceId>(std::ceil(needed)));
+}
+
+}  // namespace skewless

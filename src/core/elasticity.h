@@ -1,0 +1,85 @@
+// Elasticity advisor — the paper's future-work direction made concrete:
+//
+//   "we will also try to design a new mechanism, to support smooth
+//    workload redistribution suitable to both long-term workload shifts
+//    and short-term workload fluctuations."  (Section VII)
+//
+// The paper's framework handles short-term fluctuation with intra-operator
+// key migration and explicitly defers long-term shifts to heavyweight
+// resource scheduling (e.g. DRS [10]). This component closes the loop: it
+// watches the same per-interval statistics the controller already
+// collects and distinguishes
+//   * short-term fluctuation  -> keep rebalancing (no recommendation),
+//   * sustained overload      -> recommend scale-out (+1 instance),
+//   * sustained underload     -> recommend scale-in (-1 instance),
+// using utilization EWMAs with hysteresis so that bursts do not flap the
+// cluster size. Scale-out integrates with Controller::add_instance(),
+// which pins placements so no state moves implicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace skewless {
+
+enum class ScalingAdvice {
+  kHold,      // balanced regime or transient fluctuation
+  kScaleOut,  // sustained overload: add an instance
+  kScaleIn,   // sustained underload: remove an instance
+};
+
+class ElasticityAdvisor {
+ public:
+  struct Options {
+    /// Utilization above which an interval counts toward scale-out.
+    double high_watermark = 0.85;
+    /// Utilization below which an interval counts toward scale-in.
+    double low_watermark = 0.40;
+    /// EWMA smoothing factor per interval (higher = more reactive).
+    double ewma_alpha = 0.25;
+    /// Consecutive breaching intervals required before advising — this is
+    /// what separates a long-term shift from a short-term fluctuation.
+    int sustain_intervals = 5;
+    /// Intervals to hold after any advice before advising again
+    /// (hysteresis; covers the migration the advice causes).
+    int cooldown_intervals = 10;
+    /// Never advise scaling below this many instances.
+    InstanceId min_instances = 1;
+  };
+
+  ElasticityAdvisor() : ElasticityAdvisor(Options{}) {}
+  explicit ElasticityAdvisor(Options options);
+
+  /// Feeds one interval's aggregate utilization (mean work / capacity
+  /// over all instances, i.e. ρ̄ ∈ [0, ∞)) and current instance count;
+  /// returns the advice for this interval.
+  ScalingAdvice observe(double mean_utilization, InstanceId num_instances);
+
+  /// Smoothed utilization estimate.
+  [[nodiscard]] double utilization_ewma() const { return ewma_; }
+
+  /// Consecutive intervals currently breaching a watermark (diagnostic).
+  [[nodiscard]] int breach_streak() const { return streak_; }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Forgets all history (e.g. after an externally triggered resize).
+  void reset();
+
+ private:
+  Options options_;
+  double ewma_ = 0.0;
+  bool ewma_initialized_ = false;
+  int streak_ = 0;        // +n above high watermark, -n below low
+  int cooldown_ = 0;
+};
+
+/// Suggested instance count for a target utilization: the smallest N such
+/// that total_work / N ≤ target · capacity. Used by operators planning a
+/// resize ahead of time.
+[[nodiscard]] InstanceId suggest_instances(double total_work_per_interval,
+                                           double capacity_per_instance,
+                                           double target_utilization);
+
+}  // namespace skewless

@@ -1,0 +1,237 @@
+#include "core/llfd.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace skewless {
+namespace {
+
+/// Max-heap ordering: larger cost first, then smaller KeyId (determinism).
+struct CostOrder {
+  const PartitionSnapshot* snap;
+  bool operator()(KeyId a, KeyId b) const {
+    const Cost ca = snap->cost[static_cast<std::size_t>(a)];
+    const Cost cb = snap->cost[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca < cb;  // priority_queue: "less" = lower priority
+    return a > b;
+  }
+};
+
+/// The paper's Adjust(k, d, C, θmax): returns true and performs the
+/// necessary evictions if key k can live on instance d, possibly after
+/// disassociating an exchangeable set E ⊆ keys(d) with
+///   (i)  every k' ∈ E currently assigned to d,
+///   (ii) c(k') < c(k) for all k' ∈ E,
+///   (iii) L̂(d) + c(k) − Σ_{k'∈E} c(k') ≤ Lmax.
+/// Evicted keys are appended to `evicted` for re-queueing.
+bool adjust(WorkingAssignment& wa, KeyId key, InstanceId d,
+            const Criterion& psi, Cost lmax, std::vector<KeyId>& evicted) {
+  const PartitionSnapshot& snap = wa.snapshot();
+  const Cost ck = snap.cost[static_cast<std::size_t>(key)];
+
+  if (wa.load(d) + ck <= lmax) return true;  // fits outright
+
+  // Build the eviction candidate list: keys on d with strictly smaller
+  // cost, ordered by ψ descending.
+  std::vector<KeyId> pool;
+  pool.reserve(wa.keys_of(d).size());
+  for (const KeyId k2 : wa.keys_of(d)) {
+    if (snap.cost[static_cast<std::size_t>(k2)] < ck) pool.push_back(k2);
+  }
+  if (pool.empty()) return false;
+  psi.sort_descending(snap, pool);
+
+  const Cost need = wa.load(d) + ck - lmax;  // mass that must leave d
+  Cost freed = 0.0;
+  std::size_t take = 0;
+  while (take < pool.size() && freed < need) {
+    freed += snap.cost[static_cast<std::size_t>(pool[take])];
+    ++take;
+  }
+  if (freed < need) return false;  // condition (iii) unsatisfiable
+
+  for (std::size_t i = 0; i < take; ++i) {
+    wa.disassociate(pool[i]);
+    evicted.push_back(pool[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<KeyId> prepare_candidates(WorkingAssignment& wa,
+                                      const Criterion& psi, double theta_max) {
+  const PartitionSnapshot& snap = wa.snapshot();
+  const Cost lmax = snap.overload_threshold(theta_max);
+
+  std::vector<KeyId> candidates;
+  for (InstanceId d = 0; d < wa.num_instances(); ++d) {
+    if (wa.load(d) <= lmax) continue;
+    // Select keys by ψ until d stops being overloaded. Sort a copy of the
+    // bucket once; disassociating from the back of the sorted order keeps
+    // this O(B log B) per overloaded instance.
+    std::vector<KeyId> bucket = wa.keys_of(d);
+    psi.sort_descending(snap, bucket);
+    for (const KeyId k : bucket) {
+      if (wa.load(d) <= lmax) break;
+      // Never strip an instance bare: keep at least one key so that
+      // pathological single-hot-key domains stay routable.
+      if (wa.keys_of(d).size() <= 1) break;
+      wa.disassociate(k);
+      candidates.push_back(k);
+    }
+  }
+  return candidates;
+}
+
+LlfdOutcome llfd_assign(WorkingAssignment& wa, std::vector<KeyId> candidates,
+                        const Criterion& psi, double theta_max,
+                        double op_budget_factor) {
+  const PartitionSnapshot& snap = wa.snapshot();
+  const Cost lmax = snap.overload_threshold(theta_max);
+
+  LlfdOutcome outcome;
+  std::priority_queue<KeyId, std::vector<KeyId>, CostOrder> heap(
+      CostOrder{&snap}, std::move(candidates));
+
+  // Termination is guaranteed by the strict-decrease of eviction costs
+  // (condition (ii)); the budget guards against float-equality pathologies.
+  const auto budget = static_cast<std::size_t>(
+      op_budget_factor * static_cast<double>(heap.size() + 16));
+  std::size_t ops = 0;
+
+  std::vector<KeyId> evicted;
+  while (!heap.empty()) {
+    const KeyId key = heap.top();
+    heap.pop();
+
+    if (++ops > budget) {
+      outcome.budget_exhausted = true;
+      // Best-effort: place everything remaining least-load, no evictions.
+      std::vector<KeyId> rest;
+      rest.push_back(key);
+      while (!heap.empty()) {
+        rest.push_back(heap.top());
+        heap.pop();
+      }
+      for (const KeyId k : rest) {
+        const auto order = wa.instances_by_load_ascending();
+        wa.assign(k, order.front());
+        ++outcome.placements;
+      }
+      outcome.fully_placed = false;
+      return outcome;
+    }
+
+    const auto order = wa.instances_by_load_ascending();
+    bool placed = false;
+    for (const InstanceId d : order) {
+      evicted.clear();
+      if (adjust(wa, key, d, psi, lmax, evicted)) {
+        wa.assign(key, d);
+        ++outcome.placements;
+        outcome.evictions += evicted.size();
+        for (const KeyId e : evicted) heap.push(e);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // No instance accepts the key within Lmax even with exchanges
+      // (e.g. a single key heavier than Lmax). Fall back to least-load.
+      wa.assign(key, order.front());
+      ++outcome.placements;
+      outcome.fully_placed = false;
+    }
+  }
+  return outcome;
+}
+
+LlfdOutcome rebalance_two_sided(WorkingAssignment& wa, const Criterion& psi,
+                                double theta_max, double op_budget_factor,
+                                int max_refinement_rounds) {
+  const PartitionSnapshot& snap = wa.snapshot();
+  auto candidates = prepare_candidates(wa, psi, theta_max);
+  LlfdOutcome outcome =
+      llfd_assign(wa, std::move(candidates), psi, theta_max,
+                  op_budget_factor);
+
+  const Cost avg = snap.average_load();
+  const Cost lmin = (1.0 - theta_max) * avg;
+  for (int round = 0; round < max_refinement_rounds; ++round) {
+    Cost min_load = wa.load(0);
+    Cost deficit = 0.0;
+    for (InstanceId d = 0; d < wa.num_instances(); ++d) {
+      min_load = std::min(min_load, wa.load(d));
+      // Only instances violating the lower bound count, but size the fill
+      // toward the average — stopping at exactly (1−θ)L̄ strands unit-cost
+      // keys that cannot subdivide the last fraction of the gap.
+      if (wa.load(d) < lmin) deficit += avg - wa.load(d);
+    }
+    if (min_load >= lmin - 1e-9 || deficit <= 0.0) break;
+
+    // Free keys from above-average instances, ψ descending, skipping keys
+    // coarser than the remaining need (they would overshoot and bounce).
+    std::vector<InstanceId> donors;
+    for (InstanceId d = 0; d < wa.num_instances(); ++d) {
+      if (wa.load(d) > avg) donors.push_back(d);
+    }
+    std::sort(donors.begin(), donors.end(), [&](InstanceId a, InstanceId b) {
+      return wa.load(a) > wa.load(b);
+    });
+
+    std::vector<KeyId> extra;
+    Cost freed = 0.0;
+    for (const InstanceId d : donors) {
+      if (freed >= deficit) break;
+      std::vector<KeyId> bucket = wa.keys_of(d);
+      psi.sort_descending(snap, bucket);
+      Cost spare = wa.load(d) - avg;
+      for (const KeyId k : bucket) {
+        if (freed >= deficit || spare <= 0.0) break;
+        const Cost c = snap.cost[static_cast<std::size_t>(k)];
+        if (c <= 0.0 || c > std::min(deficit - freed, spare)) continue;
+        wa.disassociate(k);
+        extra.push_back(k);
+        freed += c;
+        spare -= c;
+      }
+    }
+    if (extra.empty()) break;  // granularity-limited; give up gracefully
+
+    const LlfdOutcome extra_outcome =
+        llfd_assign(wa, std::move(extra), psi, theta_max, op_budget_factor);
+    outcome.placements += extra_outcome.placements;
+    outcome.evictions += extra_outcome.evictions;
+    outcome.fully_placed = outcome.fully_placed && extra_outcome.fully_placed;
+  }
+  return outcome;
+}
+
+std::vector<InstanceId> simple_assign(const PartitionSnapshot& snap) {
+  // Algorithm 5: all keys into C, sort by descending cost, least-load fit.
+  std::vector<KeyId> keys(snap.num_keys());
+  for (std::size_t k = 0; k < keys.size(); ++k) keys[k] = static_cast<KeyId>(k);
+  std::sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+    const Cost ca = snap.cost[static_cast<std::size_t>(a)];
+    const Cost cb = snap.cost[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+
+  std::vector<InstanceId> assignment(snap.num_keys(), kNilInstance);
+  std::vector<Cost> loads(static_cast<std::size_t>(snap.num_instances), 0.0);
+  for (const KeyId k : keys) {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < loads.size(); ++d) {
+      if (loads[d] < loads[best]) best = d;
+    }
+    assignment[static_cast<std::size_t>(k)] = static_cast<InstanceId>(best);
+    loads[best] += snap.cost[static_cast<std::size_t>(k)];
+  }
+  return assignment;
+}
+
+}  // namespace skewless

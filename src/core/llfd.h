@@ -1,0 +1,61 @@
+// Least-Load Fit Decreasing (Algorithm 1) and the shared phase helpers of
+// the paper's three-phase rebalance workflow, plus the appendix's Simple
+// algorithm (Algorithm 5) used for the theoretical baseline.
+#pragma once
+
+#include <vector>
+
+#include "core/criteria.h"
+#include "core/plan.h"
+#include "core/snapshot.h"
+#include "core/working_assignment.h"
+
+namespace skewless {
+
+struct LlfdOutcome {
+  /// False when some key could not be placed within Lmax even with
+  /// exchanges, and had to fall back to the least-loaded instance.
+  bool fully_placed = true;
+  /// Keys placed (including re-placements of evicted keys).
+  std::size_t placements = 0;
+  /// Keys evicted by Adjust's exchangeable sets.
+  std::size_t evictions = 0;
+  /// True if the operation budget was exhausted (see PlannerConfig).
+  bool budget_exhausted = false;
+};
+
+/// Phase II (Preparing): for every overloaded instance (L̂(d) > Lmax with
+/// Lmax = (1 + θmax)·L̄), disassociates keys chosen by ψ until the
+/// instance is no longer overloaded. Returns the candidate set C.
+[[nodiscard]] std::vector<KeyId> prepare_candidates(WorkingAssignment& wa,
+                                                    const Criterion& psi,
+                                                    double theta_max);
+
+/// Phase III (Assigning): the LLFD subroutine. Pops candidates in
+/// descending c(k) order, assigns each to the least-loaded instance that
+/// Adjust accepts, evicting exchangeable sets when needed. Candidates
+/// evicted by Adjust re-enter the queue. `avg_load` is L̄ of the snapshot
+/// (constant — total cost never changes during planning).
+LlfdOutcome llfd_assign(WorkingAssignment& wa, std::vector<KeyId> candidates,
+                        const Criterion& psi, double theta_max,
+                        double op_budget_factor = 64.0);
+
+/// Phase II + III + underload repair: the paper's balance constraint is
+/// two-sided (θ(d) = |L(d) − L̄| / L̄ ≤ θmax), but trimming only the
+/// instances above Lmax can leave an instance below (1 − θmax)·L̄ when
+/// the freed mass is insufficient or lands elsewhere. After the initial
+/// LLFD pass this helper runs a few bounded rounds that free additional
+/// keys (by ψ, only keys fine-grained enough for the remaining deficit)
+/// from above-average instances and re-place them least-load-first.
+LlfdOutcome rebalance_two_sided(WorkingAssignment& wa, const Criterion& psi,
+                                double theta_max,
+                                double op_budget_factor = 64.0,
+                                int max_refinement_rounds = 4);
+
+/// Algorithm 5 (appendix): disassociate *all* keys, then first-fit
+/// decreasing onto the least-loaded instance, no exchanges. Used by the
+/// Theorem 1/4 analysis and as a test oracle.
+[[nodiscard]] std::vector<InstanceId> simple_assign(
+    const PartitionSnapshot& snap);
+
+}  // namespace skewless

@@ -1,0 +1,35 @@
+#include "core/plan.h"
+
+#include "common/assert.h"
+
+namespace skewless {
+
+RebalancePlan finalize_plan(const PartitionSnapshot& snap,
+                            std::vector<InstanceId> assignment,
+                            const PlannerConfig& config) {
+  SKW_EXPECTS(assignment.size() == snap.num_keys());
+  RebalancePlan plan;
+  plan.assignment = std::move(assignment);
+
+  for (std::size_t k = 0; k < plan.assignment.size(); ++k) {
+    const InstanceId before = snap.current[k];
+    const InstanceId after = plan.assignment[k];
+    SKW_EXPECTS(after >= 0 && after < snap.num_instances);
+    if (before != after) {
+      plan.moves.push_back(
+          KeyMove{static_cast<KeyId>(k), before, after, snap.state[k]});
+      plan.migration_bytes += snap.state[k];
+    }
+  }
+
+  plan.table_size = implied_table_size(plan.assignment, snap.hash_dest);
+  const auto loads = snap.loads_under(plan.assignment);
+  plan.achieved_theta = PartitionSnapshot::max_theta(loads);
+  // A small epsilon absorbs float accumulation when θmax is met exactly.
+  plan.balanced = plan.achieved_theta <= config.theta_max + 1e-9;
+  plan.table_fits = config.max_table_entries == 0 ||
+                    plan.table_size <= config.max_table_entries;
+  return plan;
+}
+
+}  // namespace skewless

@@ -1,0 +1,81 @@
+// Rebalance plan types and the Planner interface shared by all
+// algorithms (MinTable, MinMig, Mixed, MixedBF, compact-Mixed, Readj).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/snapshot.h"
+
+namespace skewless {
+
+/// One key migration: the state bound to `key` moves `from` -> `to`.
+struct KeyMove {
+  KeyId key;
+  InstanceId from;
+  InstanceId to;
+  Bytes state_bytes;
+};
+
+/// The outcome of one rebalance decision at an interval boundary.
+struct RebalancePlan {
+  /// F' materialized over the dense key domain.
+  std::vector<InstanceId> assignment;
+  /// ∆(F, F') with per-key state sizes (the migration plan of Fig. 5).
+  std::vector<KeyMove> moves;
+  /// N_A' — number of explicit entries implied by `assignment`.
+  std::size_t table_size = 0;
+  /// M_i(w, F, F') — total bytes of state to migrate.
+  Bytes migration_bytes = 0.0;
+  /// max_d θ(d, F') as estimated from the snapshot statistics.
+  double achieved_theta = 0.0;
+  /// Whether the balance constraint was met.
+  bool balanced = false;
+  /// Whether N_A' ≤ Amax (always true when Amax is unbounded).
+  bool table_fits = true;
+  /// Wall-clock time the planner spent (the paper's "generation time").
+  Micros generation_micros = 0;
+
+  [[nodiscard]] std::size_t num_moves() const { return moves.size(); }
+};
+
+/// Planner tuning knobs (Table II parameters).
+struct PlannerConfig {
+  /// θmax — tolerance on load imbalance.
+  double theta_max = 0.08;
+  /// Amax — routing table bound; 0 = unbounded.
+  std::size_t max_table_entries = 3000;
+  /// β — migration selection factor in γ = c^β / S.
+  double beta = 1.5;
+  /// Safety cap on LLFD evict-and-retry operations, as a multiple of the
+  /// candidate count (the theory guarantees termination; the cap guards
+  /// against pathological float behaviour in production).
+  double llfd_op_budget_factor = 64.0;
+};
+
+/// Completes a plan given the snapshot and the produced dense assignment:
+/// computes ∆(F, F'), migration bytes, table size and balance indicators.
+[[nodiscard]] RebalancePlan finalize_plan(const PartitionSnapshot& snap,
+                                          std::vector<InstanceId> assignment,
+                                          const PlannerConfig& config);
+
+/// Interface implemented by every rebalance algorithm.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Computes F' from the statistics snapshot. Does not mutate any live
+  /// routing state; the controller installs the plan afterwards.
+  [[nodiscard]] virtual RebalancePlan plan(const PartitionSnapshot& snap,
+                                           const PlannerConfig& config) = 0;
+
+  /// Human-readable algorithm name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PlannerPtr = std::unique_ptr<Planner>;
+
+}  // namespace skewless

@@ -1,0 +1,155 @@
+#include "core/planners.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/clock.h"
+
+namespace skewless {
+namespace {
+
+/// Keys with an explicit routing entry (F(k) != h(k)) sorted by the
+/// cleaning criterion η = smallest memory consumption S first.
+std::vector<KeyId> table_keys_by_smallest_state(const PartitionSnapshot& snap) {
+  std::vector<KeyId> keys;
+  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+    if (snap.current[k] != snap.hash_dest[k]) keys.push_back(static_cast<KeyId>(k));
+  }
+  std::sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
+    const Bytes sa = snap.state[static_cast<std::size_t>(a)];
+    const Bytes sb = snap.state[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  return keys;
+}
+
+}  // namespace
+
+RebalancePlan run_gamma_phases(WorkingAssignment& wa,
+                               const PartitionSnapshot& snap,
+                               const PlannerConfig& config) {
+  const Criterion psi(CriterionKind::kLargestGammaFirst, config.beta);
+  rebalance_two_sided(wa, psi, config.theta_max,
+                      config.llfd_op_budget_factor);
+  return finalize_plan(snap, wa.to_assignment(), config);
+}
+
+RebalancePlan MinTablePlanner::plan(const PartitionSnapshot& snap,
+                                    const PlannerConfig& config) {
+  WallTimer timer;
+  WorkingAssignment wa(snap);
+  // Phase I: move back all keys in A.
+  for (const KeyId k : table_keys_by_smallest_state(snap)) wa.move_back(k);
+  // Phases II + III with ψ = highest computation cost first.
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  rebalance_two_sided(wa, psi, config.theta_max,
+                      config.llfd_op_budget_factor);
+  auto result = finalize_plan(snap, wa.to_assignment(), config);
+  result.generation_micros = timer.elapsed_micros();
+  return result;
+}
+
+RebalancePlan MinMigPlanner::plan(const PartitionSnapshot& snap,
+                                  const PlannerConfig& config) {
+  WallTimer timer;
+  WorkingAssignment wa(snap);  // Phase I: do nothing.
+  auto result = run_gamma_phases(wa, snap, config);
+  result.generation_micros = timer.elapsed_micros();
+  return result;
+}
+
+RebalancePlan MixedPlanner::plan(const PartitionSnapshot& snap,
+                                 const PlannerConfig& config) {
+  WallTimer timer;
+  const auto table_keys = table_keys_by_smallest_state(snap);
+  const std::size_t amax = config.max_table_entries;
+
+  std::size_t n = 0;
+  RebalancePlan result;
+  while (true) {
+    WorkingAssignment wa(snap);
+    // Phase I: move back the n smallest-state table entries.
+    for (std::size_t i = 0; i < n && i < table_keys.size(); ++i) {
+      wa.move_back(table_keys[i]);
+    }
+    result = run_gamma_phases(wa, snap, config);
+
+    if (amax == 0 || result.table_size <= amax || n >= table_keys.size()) {
+      break;  // feasible, unbounded, or degenerated to full cleaning
+    }
+    // Line 10 of Algorithm 4: retry with the table overshoot folded into
+    // the cleaning count. Strictly increasing n guarantees termination.
+    const std::size_t overshoot = result.table_size - amax;
+    n = std::min(n + std::max<std::size_t>(overshoot, 1), table_keys.size());
+  }
+  result.generation_micros = timer.elapsed_micros();
+  return result;
+}
+
+RebalancePlan MixedBfPlanner::plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) {
+  WallTimer timer;
+  const auto table_keys = table_keys_by_smallest_state(snap);
+  const std::size_t amax = config.max_table_entries;
+
+  // Evaluate every cleaning count n in [0, N_A] (optionally strided so the
+  // trial count stays below max_trials_).
+  std::size_t stride = 1;
+  if (max_trials_ > 0 && table_keys.size() + 1 > max_trials_) {
+    stride = (table_keys.size() + max_trials_) / max_trials_;
+  }
+
+  bool have_best = false;
+  RebalancePlan best;
+  for (std::size_t n = 0; n <= table_keys.size(); n += stride) {
+    WorkingAssignment wa(snap);
+    for (std::size_t i = 0; i < n; ++i) wa.move_back(table_keys[i]);
+    RebalancePlan trial = run_gamma_phases(wa, snap, config);
+
+    const bool trial_fits = amax == 0 || trial.table_size <= amax;
+    const bool best_fits = have_best && (amax == 0 || best.table_size <= amax);
+    bool better = false;
+    if (!have_best) {
+      better = true;
+    } else if (trial_fits != best_fits) {
+      better = trial_fits;  // feasibility dominates
+    } else if (trial_fits) {
+      better = trial.migration_bytes < best.migration_bytes;
+    } else {
+      better = trial.table_size < best.table_size;
+    }
+    if (better) {
+      best = std::move(trial);
+      have_best = true;
+    }
+  }
+  SKW_ENSURES(have_best);
+  best.generation_micros = timer.elapsed_micros();
+  return best;
+}
+
+RebalancePlan LlfdNoAdjustPlanner::plan(const PartitionSnapshot& snap,
+                                        const PlannerConfig& config) {
+  WallTimer timer;
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  auto candidates = prepare_candidates(wa, psi, config.theta_max);
+
+  // First-fit decreasing without exchanges: the ablation of Adjust.
+  std::sort(candidates.begin(), candidates.end(), [&](KeyId a, KeyId b) {
+    const Cost ca = snap.cost[static_cast<std::size_t>(a)];
+    const Cost cb = snap.cost[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  for (const KeyId k : candidates) {
+    const auto order = wa.instances_by_load_ascending();
+    wa.assign(k, order.front());
+  }
+  auto result = finalize_plan(snap, wa.to_assignment(), config);
+  result.generation_micros = timer.elapsed_micros();
+  return result;
+}
+
+}  // namespace skewless

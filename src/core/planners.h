@@ -1,0 +1,75 @@
+// The paper's rebalance algorithms (Section III):
+//
+//  * MinTablePlanner — Algorithm 2: clean the whole routing table, then
+//    rebalance with highest-cost-first LLFD. Minimizes N_A', pays with
+//    migrations.
+//  * MinMigPlanner — Algorithm 3: clean nothing, select by the migration
+//    priority index γ = c^β / S. Minimizes migration bytes, cannot bound
+//    the table.
+//  * MixedPlanner — Algorithm 4: move back n smallest-state table entries,
+//    then run the MinMig phases; iterate n upward until N_A' ≤ Amax.
+//  * MixedBfPlanner — brute-force over every cleaning count n; picks the
+//    feasible plan with minimal migration cost (the paper's MixedBF
+//    baseline, deliberately expensive).
+#pragma once
+
+#include <cstddef>
+
+#include "core/llfd.h"
+#include "core/plan.h"
+
+namespace skewless {
+
+class MinTablePlanner final : public Planner {
+ public:
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "MinTable"; }
+};
+
+class MinMigPlanner final : public Planner {
+ public:
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "MinMig"; }
+};
+
+class MixedPlanner final : public Planner {
+ public:
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "Mixed"; }
+};
+
+class MixedBfPlanner final : public Planner {
+ public:
+  /// `max_trials` caps the number of n values evaluated (0 = every
+  /// n ∈ [0, N_A], the paper's definition).
+  explicit MixedBfPlanner(std::size_t max_trials = 0)
+      : max_trials_(max_trials) {}
+
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "MixedBF"; }
+
+ private:
+  std::size_t max_trials_;
+};
+
+/// Ablation planner: LLFD without the Adjust exchangeable-set repair —
+/// demonstrates the "re-overloading" problem the paper motivates Adjust
+/// with. Clean-everything + highest-cost-first, placements never evict.
+class LlfdNoAdjustPlanner final : public Planner {
+ public:
+  [[nodiscard]] RebalancePlan plan(const PartitionSnapshot& snap,
+                                   const PlannerConfig& config) override;
+  [[nodiscard]] std::string name() const override { return "LLFD-NoAdjust"; }
+};
+
+/// Runs one (Phase I already applied) MinMig-style pass: Phase II with γ,
+/// Phase III LLFD with γ. Shared by Mixed and MixedBF trials.
+RebalancePlan run_gamma_phases(WorkingAssignment& wa,
+                               const PartitionSnapshot& snap,
+                               const PlannerConfig& config);
+
+}  // namespace skewless

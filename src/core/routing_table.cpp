@@ -1,0 +1,37 @@
+#include "core/routing_table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+bool RoutingTable::set(KeyId key, InstanceId dest) {
+  SKW_EXPECTS(dest >= 0);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = dest;
+    return true;
+  }
+  if (bounded() && entries_.size() >= max_entries_) return false;
+  entries_.emplace(key, dest);
+  return true;
+}
+
+std::vector<std::pair<KeyId, InstanceId>> RoutingTable::entries() const {
+  std::vector<std::pair<KeyId, InstanceId>> out(entries_.begin(),
+                                                entries_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RoutingTable::assign(
+    std::vector<std::pair<KeyId, InstanceId>> new_entries) {
+  entries_.clear();
+  for (auto& [k, d] : new_entries) {
+    SKW_EXPECTS(d >= 0);
+    entries_[k] = d;
+  }
+}
+
+}  // namespace skewless

@@ -1,0 +1,79 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+std::vector<Cost> PartitionSnapshot::loads_under(
+    const std::vector<InstanceId>& assignment) const {
+  SKW_EXPECTS(assignment.size() == cost.size());
+  std::vector<Cost> loads(static_cast<std::size_t>(num_instances), 0.0);
+  for (std::size_t k = 0; k < assignment.size(); ++k) {
+    const InstanceId d = assignment[k];
+    SKW_EXPECTS(d >= 0 && d < num_instances);
+    loads[static_cast<std::size_t>(d)] += cost[k];
+  }
+  return loads;
+}
+
+std::vector<Cost> PartitionSnapshot::current_loads() const {
+  return loads_under(current);
+}
+
+Cost PartitionSnapshot::average_load() const {
+  SKW_EXPECTS(num_instances > 0);
+  Cost total = 0.0;
+  for (Cost c : cost) total += c;
+  return total / static_cast<Cost>(num_instances);
+}
+
+double PartitionSnapshot::theta(const std::vector<Cost>& loads, InstanceId d) {
+  SKW_EXPECTS(d >= 0 && static_cast<std::size_t>(d) < loads.size());
+  Cost total = 0.0;
+  for (Cost l : loads) total += l;
+  if (total <= 0.0) return 0.0;
+  const Cost avg = total / static_cast<Cost>(loads.size());
+  return std::abs(loads[static_cast<std::size_t>(d)] - avg) / avg;
+}
+
+double PartitionSnapshot::max_theta(const std::vector<Cost>& loads) {
+  Cost total = 0.0;
+  for (Cost l : loads) total += l;
+  if (total <= 0.0) return 0.0;
+  const Cost avg = total / static_cast<Cost>(loads.size());
+  double worst = 0.0;
+  for (Cost l : loads) worst = std::max(worst, std::abs(l - avg) / avg);
+  return worst;
+}
+
+Cost PartitionSnapshot::overload_threshold(double theta_max) const {
+  return (1.0 + theta_max) * average_load();
+}
+
+void PartitionSnapshot::validate() const {
+  SKW_EXPECTS(num_instances > 0);
+  SKW_EXPECTS(state.size() == cost.size());
+  SKW_EXPECTS(hash_dest.size() == cost.size());
+  SKW_EXPECTS(current.size() == cost.size());
+  for (std::size_t k = 0; k < cost.size(); ++k) {
+    SKW_EXPECTS(cost[k] >= 0.0);
+    SKW_EXPECTS(state[k] >= 0.0);
+    SKW_EXPECTS(hash_dest[k] >= 0 && hash_dest[k] < num_instances);
+    SKW_EXPECTS(current[k] >= 0 && current[k] < num_instances);
+  }
+}
+
+std::size_t implied_table_size(const std::vector<InstanceId>& assignment,
+                               const std::vector<InstanceId>& hash_dest) {
+  SKW_EXPECTS(assignment.size() == hash_dest.size());
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < assignment.size(); ++k) {
+    if (assignment[k] != hash_dest[k]) ++n;
+  }
+  return n;
+}
+
+}  // namespace skewless

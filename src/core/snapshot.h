@@ -1,0 +1,60 @@
+// PartitionSnapshot — the frozen per-interval view of one operator that
+// every rebalance algorithm consumes (Section II-A of the paper).
+//
+// For each key k in the dense domain [0, K):
+//   cost[k]       = c_{i-1}(k)   CPU cost of k's tuples last interval
+//   state[k]      = S_{i-1}(k,w) bytes of windowed state bound to k
+//   hash_dest[k]  = h(k)         the consistent-hash default destination
+//   current[k]    = F(k)         destination under the assignment in force
+//
+// Loads, the average load L̄ and the balance indicator θ(d) are derived.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+struct PartitionSnapshot {
+  InstanceId num_instances = 0;
+  std::vector<Cost> cost;
+  std::vector<Bytes> state;
+  std::vector<InstanceId> hash_dest;
+  std::vector<InstanceId> current;
+
+  [[nodiscard]] std::size_t num_keys() const { return cost.size(); }
+
+  /// Per-instance load L(d) = Σ_{F(k)=d} c(k) under `assignment`.
+  [[nodiscard]] std::vector<Cost> loads_under(
+      const std::vector<InstanceId>& assignment) const;
+
+  /// Loads under the snapshot's own `current` assignment.
+  [[nodiscard]] std::vector<Cost> current_loads() const;
+
+  /// Average load L̄ = Σ c(k) / N_D.
+  [[nodiscard]] Cost average_load() const;
+
+  /// Balance indicator θ(d) = |L(d) − L̄| / L̄ for one instance.
+  [[nodiscard]] static double theta(const std::vector<Cost>& loads,
+                                    InstanceId d);
+
+  /// max_d θ(d) over all instances (0 when total load is 0).
+  [[nodiscard]] static double max_theta(const std::vector<Cost>& loads);
+
+  /// The paper's overload threshold Lmax = (1 + θmax) · L̄.
+  [[nodiscard]] Cost overload_threshold(double theta_max) const;
+
+  /// Internal consistency check (sizes match, destinations in range).
+  void validate() const;
+};
+
+/// Builds the vector of routing-table entries implied by an assignment:
+/// every key whose destination differs from its hash destination needs an
+/// explicit entry. Returns the entry count N_A.
+[[nodiscard]] std::size_t implied_table_size(
+    const std::vector<InstanceId>& assignment,
+    const std::vector<InstanceId>& hash_dest);
+
+}  // namespace skewless

@@ -1,0 +1,69 @@
+// Per-key statistics collection over the sliding window of the last w
+// intervals (Section II-A): frequency g_i(k), computation cost c_i(k),
+// per-interval state growth s_i(k) and the windowed total S_i(k, w).
+//
+// The engine's load-reporting module feeds record(); the controller calls
+// roll() at each interval boundary and reads the closed interval's values.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+class StatsWindow {
+ public:
+  /// `num_keys` = |K| (dense domain), `window` = w ≥ 1.
+  StatsWindow(std::size_t num_keys, int window);
+
+  /// Accumulates one observation for the *current* (open) interval.
+  void record(KeyId key, Cost cost, Bytes state_bytes,
+              std::uint64_t frequency = 1);
+
+  /// Closes the current interval: its values become "last interval"
+  /// (c_{i-1}, g_{i-1}), enter the window sum, and the oldest interval
+  /// falls out once more than w intervals are retained.
+  void roll();
+
+  /// c_{i-1}(k) — cost during the most recently closed interval.
+  [[nodiscard]] const std::vector<Cost>& last_cost() const {
+    return last_cost_;
+  }
+
+  /// g_{i-1}(k).
+  [[nodiscard]] const std::vector<std::uint64_t>& last_frequency() const {
+    return last_freq_;
+  }
+
+  /// S_{i-1}(k, w) — state bytes summed over the last w closed intervals.
+  [[nodiscard]] const std::vector<Bytes>& windowed_state() const {
+    return window_sum_;
+  }
+
+  /// Total windowed state over all keys (denominator of the paper's
+  /// "migration cost %" metric).
+  [[nodiscard]] Bytes total_windowed_state() const;
+
+  [[nodiscard]] std::size_t num_keys() const { return cur_cost_.size(); }
+  [[nodiscard]] int window() const { return window_; }
+  [[nodiscard]] IntervalId closed_intervals() const { return closed_; }
+
+  /// Grows the key domain (new keys appear with zero history).
+  void resize_keys(std::size_t num_keys);
+
+ private:
+  int window_;
+  IntervalId closed_ = 0;
+  std::vector<Cost> cur_cost_;
+  std::vector<Bytes> cur_state_;
+  std::vector<std::uint64_t> cur_freq_;
+  std::vector<Cost> last_cost_;
+  std::vector<std::uint64_t> last_freq_;
+  std::vector<Bytes> window_sum_;
+  std::deque<std::vector<Bytes>> ring_;  // closed per-interval state bytes
+};
+
+}  // namespace skewless

@@ -1,0 +1,86 @@
+#include "core/working_assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+WorkingAssignment::WorkingAssignment(const PartitionSnapshot& snap)
+    : snap_(&snap),
+      dest_(snap.current),
+      loads_(static_cast<std::size_t>(snap.num_instances), 0.0),
+      buckets_(static_cast<std::size_t>(snap.num_instances)),
+      pos_in_bucket_(snap.num_keys(), -1) {
+  for (std::size_t k = 0; k < dest_.size(); ++k) {
+    loads_[static_cast<std::size_t>(dest_[k])] += snap.cost[k];
+    bucket_insert(static_cast<KeyId>(k), dest_[k]);
+  }
+}
+
+void WorkingAssignment::bucket_insert(KeyId key, InstanceId d) {
+  auto& bucket = buckets_[static_cast<std::size_t>(d)];
+  pos_in_bucket_[static_cast<std::size_t>(key)] =
+      static_cast<std::int64_t>(bucket.size());
+  bucket.push_back(key);
+}
+
+void WorkingAssignment::bucket_remove(KeyId key, InstanceId d) {
+  auto& bucket = buckets_[static_cast<std::size_t>(d)];
+  const auto pos =
+      static_cast<std::size_t>(pos_in_bucket_[static_cast<std::size_t>(key)]);
+  SKW_ASSERT(pos < bucket.size() && bucket[pos] == key);
+  const KeyId last = bucket.back();
+  bucket[pos] = last;
+  pos_in_bucket_[static_cast<std::size_t>(last)] =
+      static_cast<std::int64_t>(pos);
+  bucket.pop_back();
+  pos_in_bucket_[static_cast<std::size_t>(key)] = -1;
+}
+
+void WorkingAssignment::disassociate(KeyId key) {
+  const auto k = static_cast<std::size_t>(key);
+  const InstanceId d = dest_[k];
+  if (d == kNilInstance) return;
+  loads_[static_cast<std::size_t>(d)] -= snap_->cost[k];
+  bucket_remove(key, d);
+  dest_[k] = kNilInstance;
+}
+
+void WorkingAssignment::assign(KeyId key, InstanceId d) {
+  const auto k = static_cast<std::size_t>(key);
+  SKW_EXPECTS(dest_[k] == kNilInstance);
+  SKW_EXPECTS(d >= 0 && d < num_instances());
+  dest_[k] = d;
+  loads_[static_cast<std::size_t>(d)] += snap_->cost[k];
+  bucket_insert(key, d);
+}
+
+void WorkingAssignment::move_back(KeyId key) {
+  const auto k = static_cast<std::size_t>(key);
+  const InstanceId home = snap_->hash_dest[k];
+  if (dest_[k] == home) return;
+  disassociate(key);
+  assign(key, home);
+}
+
+std::vector<InstanceId> WorkingAssignment::instances_by_load_ascending()
+    const {
+  std::vector<InstanceId> order(loads_.size());
+  std::iota(order.begin(), order.end(), InstanceId{0});
+  std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    const Cost la = loads_[static_cast<std::size_t>(a)];
+    const Cost lb = loads_[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<InstanceId> WorkingAssignment::to_assignment() const {
+  for (const InstanceId d : dest_) SKW_ENSURES(d != kNilInstance);
+  return dest_;
+}
+
+}  // namespace skewless

@@ -1,0 +1,71 @@
+// Mutable scratch assignment used by the planning algorithms.
+//
+// Tracks, per key, its (possibly nil) destination and, per instance, its
+// estimated load L̂(d) and the set of keys currently associated with it —
+// the structure LLFD's Adjust needs to search for exchangeable sets.
+// All mutations are O(1) (swap-remove bucket membership).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/snapshot.h"
+
+namespace skewless {
+
+class WorkingAssignment {
+ public:
+  /// Starts from the snapshot's current assignment F.
+  explicit WorkingAssignment(const PartitionSnapshot& snap);
+
+  /// Destination of a key; kNilInstance while disassociated.
+  [[nodiscard]] InstanceId dest(KeyId key) const {
+    return dest_[static_cast<std::size_t>(key)];
+  }
+
+  /// Estimated load L̂(d).
+  [[nodiscard]] Cost load(InstanceId d) const {
+    return loads_[static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] const std::vector<Cost>& loads() const { return loads_; }
+  [[nodiscard]] InstanceId num_instances() const {
+    return static_cast<InstanceId>(loads_.size());
+  }
+
+  /// Keys currently associated with instance d (unspecified order).
+  [[nodiscard]] const std::vector<KeyId>& keys_of(InstanceId d) const {
+    return buckets_[static_cast<std::size_t>(d)];
+  }
+
+  /// Removes a key from its instance (Phase II "disassociate"); the key
+  /// becomes nil-assigned. No-op if already nil.
+  void disassociate(KeyId key);
+
+  /// Assigns a nil key to an instance.
+  void assign(KeyId key, InstanceId d);
+
+  /// Moves a key back to its hash destination (Phase I "cleaning");
+  /// works whether the key is currently assigned or nil.
+  void move_back(KeyId key);
+
+  /// Instances sorted by ascending estimated load (ties by id).
+  [[nodiscard]] std::vector<InstanceId> instances_by_load_ascending() const;
+
+  /// Extracts the dense assignment; every key must be assigned.
+  [[nodiscard]] std::vector<InstanceId> to_assignment() const;
+
+  [[nodiscard]] const PartitionSnapshot& snapshot() const { return *snap_; }
+
+ private:
+  void bucket_insert(KeyId key, InstanceId d);
+  void bucket_remove(KeyId key, InstanceId d);
+
+  const PartitionSnapshot* snap_;
+  std::vector<InstanceId> dest_;
+  std::vector<Cost> loads_;
+  std::vector<std::vector<KeyId>> buckets_;
+  std::vector<std::int64_t> pos_in_bucket_;  // index of key in its bucket
+};
+
+}  // namespace skewless

@@ -1,0 +1,42 @@
+// Operator logic interface for the threaded engine.
+//
+// Logic objects are shared across worker threads and must be stateless —
+// all mutable data lives in the per-key KeyState the worker passes in.
+#pragma once
+
+#include <memory>
+
+#include "common/types.h"
+#include "engine/state.h"
+#include "engine/tuple.h"
+
+namespace skewless {
+
+/// Sink for tuples an operator emits downstream. The default engine
+/// collector counts emissions; tests install recording collectors.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void emit(const Tuple& tuple) = 0;
+};
+
+class OperatorLogic {
+ public:
+  virtual ~OperatorLogic() = default;
+
+  /// Creates the initial state for a newly seen key.
+  [[nodiscard]] virtual std::unique_ptr<KeyState> make_state() const = 0;
+
+  /// Reconstructs a migrated state from KeyState::serialize() output.
+  [[nodiscard]] virtual std::unique_ptr<KeyState> deserialize_state(
+      ByteReader& in) const = 0;
+
+  /// Processes one tuple against its key's state, optionally emitting
+  /// downstream tuples. Returns the tuple's computation-cost estimate in
+  /// micros (the c_i(k) contribution reported to the controller).
+  /// Must be const / thread-safe: one logic instance serves all workers.
+  virtual Cost process(const Tuple& tuple, KeyState& state,
+                       Collector& out) const = 0;
+};
+
+}  // namespace skewless

@@ -1,0 +1,94 @@
+// Byte-level serialization for migrating key state between task
+// instances. The in-process engine could move KeyState pointers directly,
+// but a distributed deployment ships bytes; round-tripping through this
+// codec keeps the migration path honest (costs real bytes, loses nothing)
+// and is what the migration-fidelity tests exercise.
+//
+// Format: little-endian, length-prefixed primitives. No versioning —
+// state never outlives a run (the window bounds its lifetime).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u32(std::uint32_t v) { append_raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { append_raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { append_raw(&v, sizeof(v)); }
+  void f64(double v) { append_raw(&v, sizeof(v)); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append_raw(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void append_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential byte source; aborts on overrun (corrupt migration payloads
+/// must never be silently accepted).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    SKW_EXPECTS(pos_ + 1 <= size_);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() { return read_raw<std::uint32_t>(); }
+  std::uint64_t u64() { return read_raw<std::uint64_t>(); }
+  std::int64_t i64() { return read_raw<std::int64_t>(); }
+  double f64() { return read_raw<double>(); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    SKW_EXPECTS(pos_ + n <= size_);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T read_raw() {
+    SKW_EXPECTS(pos_ + sizeof(T) <= size_);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace skewless

@@ -1,0 +1,298 @@
+#include "engine/sim_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+SimEngine::SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
+                     std::unique_ptr<WorkloadSource> source,
+                     std::unique_ptr<Controller> controller)
+    : config_(config),
+      op_(std::move(op)),
+      source_(std::move(source)),
+      controller_(std::move(controller)),
+      mode_(RoutingMode::kController),
+      num_instances_(controller_->num_instances()),
+      state_(source_->num_keys(), controller_->config().window),
+      pause_debt_(static_cast<std::size_t>(num_instances_), 0),
+      key_paused_(source_->num_keys(), false) {
+  SKW_EXPECTS(op_ && source_ && controller_);
+}
+
+SimEngine::SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
+                     std::unique_ptr<WorkloadSource> source, RoutingMode mode)
+    : config_(config),
+      op_(std::move(op)),
+      source_(std::move(source)),
+      mode_(mode),
+      num_instances_(config.num_instances),
+      state_(source_->num_keys(), config.state_window),
+      pause_debt_(static_cast<std::size_t>(num_instances_), 0),
+      key_paused_(source_->num_keys(), false) {
+  SKW_EXPECTS(mode != RoutingMode::kController);
+  switch (mode) {
+    case RoutingMode::kHashOnly:
+      hash_router_.emplace(ConsistentHashRing(num_instances_));
+      break;
+    case RoutingMode::kShuffle:
+      shuffle_router_.emplace(num_instances_);
+      break;
+    case RoutingMode::kPkg:
+      pkg_router_.emplace(num_instances_);
+      break;
+    case RoutingMode::kController:
+      break;
+  }
+}
+
+void SimEngine::add_instance() {
+  ++num_instances_;
+  pause_debt_.push_back(0);
+  switch (mode_) {
+    case RoutingMode::kController:
+      controller_->add_instance();
+      break;
+    case RoutingMode::kHashOnly:
+      hash_router_->add_instance();
+      break;
+    case RoutingMode::kShuffle:
+      shuffle_router_->add_instance();
+      break;
+    case RoutingMode::kPkg:
+      pkg_router_->add_instance();
+      break;
+  }
+}
+
+IntervalMetrics SimEngine::step() {
+  const IntervalWorkload load = source_->next_interval();
+  SKW_EXPECTS(load.counts.size() == state_.num_keys());
+  const std::size_t num_keys = load.counts.size();
+  const auto nd = static_cast<std::size_t>(num_instances_);
+
+  IntervalMetrics m;
+  m.interval = interval_;
+  m.instance_work.assign(nd, 0.0);
+  std::vector<double> tuples(nd, 0.0);
+  std::vector<double> paused_tuples_on(nd, 0.0);
+
+  const auto& windowed = state_.windowed_state();
+  double total_tuples = 0.0;
+
+  if (mode_ == RoutingMode::kShuffle) {
+    // Key-oblivious spreading: work divides perfectly across instances.
+    double total_work = 0.0;
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      const auto n = load.counts[k];
+      if (n == 0) continue;
+      total_tuples += static_cast<double>(n);
+      total_work += op_->batch_cost(static_cast<KeyId>(k), n, windowed[k]);
+      state_.record(static_cast<KeyId>(k), 0.0, op_->state_delta(
+          static_cast<KeyId>(k), n));
+    }
+    for (std::size_t d = 0; d < nd; ++d) {
+      m.instance_work[d] = total_work / static_cast<double>(nd);
+      tuples[d] = total_tuples / static_cast<double>(nd);
+    }
+  } else if (mode_ == RoutingMode::kPkg) {
+    // Two-choice split per key, in chunks, against the router's running
+    // load estimates; merge stage adds CPU overhead.
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      const auto n = load.counts[k];
+      if (n == 0) continue;
+      total_tuples += static_cast<double>(n);
+      const Cost batch = op_->batch_cost(static_cast<KeyId>(k), n, windowed[k]);
+      const Cost per_tuple = batch / static_cast<double>(n);
+      std::uint64_t remaining = n;
+      const std::uint64_t chunk = std::max<std::uint64_t>(1, n / 8);
+      while (remaining > 0) {
+        const std::uint64_t take = std::min(chunk, remaining);
+        const InstanceId d = pkg_router_->route(
+            static_cast<KeyId>(k), per_tuple * static_cast<double>(take));
+        m.instance_work[static_cast<std::size_t>(d)] +=
+            per_tuple * static_cast<double>(take) *
+            (1.0 + config_.pkg_merge_overhead);
+        tuples[static_cast<std::size_t>(d)] += static_cast<double>(take);
+        remaining -= take;
+      }
+      state_.record(static_cast<KeyId>(k), batch,
+                    op_->state_delta(static_cast<KeyId>(k), n));
+    }
+    pkg_router_->on_interval();
+  } else {
+    // Keyed routing: controller's F or plain hashing.
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      const auto n = load.counts[k];
+      if (n == 0) continue;
+      total_tuples += static_cast<double>(n);
+      const auto key = static_cast<KeyId>(k);
+      InstanceId d;
+      if (mode_ == RoutingMode::kController) {
+        // While a plan is "being generated", tuples still route under the
+        // frozen pre-plan assignment.
+        d = override_remaining_ > 0 ? route_override_[k]
+                                    : controller_->assignment()(key);
+      } else {
+        d = hash_router_->route(key);
+      }
+      const auto di = static_cast<std::size_t>(d);
+      const Cost batch = op_->batch_cost(key, n, windowed[k]);
+      const Bytes delta = op_->state_delta(key, n);
+      m.instance_work[di] += batch;
+      tuples[di] += static_cast<double>(n);
+      if (key_paused_[k]) paused_tuples_on[di] += static_cast<double>(n);
+      state_.record(key, batch, delta);
+      if (mode_ == RoutingMode::kController) {
+        controller_->record(key, batch, delta);
+      }
+    }
+  }
+
+  // ---- Capacity after migration-pause debt.
+  const auto interval_us = static_cast<double>(config_.interval_micros);
+  std::vector<double> capacity(nd, interval_us);
+  double max_consumed = 0.0;
+  for (std::size_t d = 0; d < nd; ++d) {
+    const auto consume =
+        std::min<Micros>(pause_debt_[d], config_.interval_micros);
+    pause_debt_[d] -= consume;
+    capacity[d] -= static_cast<double>(consume);
+    // Never let capacity hit zero — the instance still drains its queue
+    // between protocol steps.
+    capacity[d] = std::max(capacity[d], 0.02 * interval_us);
+    max_consumed = std::max(max_consumed, static_cast<double>(consume));
+  }
+
+  // ---- Fluid queueing model.
+  double rho_max = 0.0;
+  double total_work = 0.0;
+  for (std::size_t d = 0; d < nd; ++d) {
+    rho_max = std::max(rho_max, m.instance_work[d] / capacity[d]);
+    total_work += m.instance_work[d];
+  }
+  const double alpha = rho_max > 1.0 ? 1.0 / rho_max : 1.0;
+  const double interval_sec = interval_us / 1e6;
+  m.offered_tps = total_tuples / interval_sec;
+  m.throughput_tps = alpha * total_tuples / interval_sec;
+
+  double weighted_latency_us = 0.0;
+  double latency_weight = 0.0;
+  for (std::size_t d = 0; d < nd; ++d) {
+    if (tuples[d] <= 0.0) continue;
+    const double service = m.instance_work[d] / tuples[d];
+    const double rho =
+        std::min(alpha * m.instance_work[d] / capacity[d], config_.rho_cap);
+    const double lat = service * (1.0 + rho / (2.0 * (1.0 - rho)));
+    weighted_latency_us += tuples[d] * lat;
+    latency_weight += tuples[d];
+    // Tuples of keys under migration wait out (on average half) the pause.
+    if (paused_tuples_on[d] > 0.0) {
+      weighted_latency_us += paused_tuples_on[d] * 0.5 * max_consumed;
+    }
+  }
+  double avg_latency_us =
+      latency_weight > 0.0 ? weighted_latency_us / latency_weight : 0.0;
+  if (rho_max > 1.0) {
+    // Saturated: the backlog grows through the interval; average extra
+    // wait is half of the unprocessed work time.
+    avg_latency_us += 0.5 * (rho_max - 1.0) * interval_us;
+  }
+  if (mode_ == RoutingMode::kPkg) {
+    avg_latency_us += static_cast<double>(config_.pkg_merge_latency_us);
+  }
+  m.avg_latency_ms = avg_latency_us / 1000.0;
+
+  // ---- Balance indicators from the realized work distribution.
+  const double avg_work = total_work / static_cast<double>(nd);
+  if (avg_work > 0.0) {
+    double max_work = 0.0;
+    double max_dev = 0.0;
+    for (const double w : m.instance_work) {
+      max_work = std::max(max_work, w);
+      max_dev = std::max(max_dev, std::abs(w - avg_work));
+    }
+    m.load_skewness = max_work / avg_work;
+    m.max_theta = max_dev / avg_work;
+  }
+
+  // Pause latency is charged exactly once per migration.
+  std::fill(key_paused_.begin(), key_paused_.end(), false);
+
+  state_.roll();
+
+  // ---- Rebalance machinery at the interval boundary (controller mode).
+  if (mode_ == RoutingMode::kController) {
+    if (override_remaining_ > 0) {
+      // Plan still "being generated": keep the stats cadence, no re-plan.
+      controller_->stats().roll();
+      if (--override_remaining_ == 0) {
+        // The plan lands now: execute the pause/migrate/resume protocol.
+        std::vector<bool> involved(nd, false);
+        for (const KeyMove& mv : pending_moves_) {
+          involved[static_cast<std::size_t>(mv.from)] = true;
+          involved[static_cast<std::size_t>(mv.to)] = true;
+          key_paused_[static_cast<std::size_t>(mv.key)] = true;
+        }
+        for (std::size_t d = 0; d < nd; ++d) {
+          if (involved[d]) pause_debt_[d] += pending_pause_;
+        }
+        pending_moves_.clear();
+        pending_pause_ = 0;
+        route_override_.clear();
+      }
+    } else if (auto plan = controller_->end_interval()) {
+      m.migrated = true;
+      m.migration_bytes = plan->migration_bytes;
+      m.generation_micros = plan->generation_micros;
+      m.table_size = plan->table_size;
+      m.moves = plan->moves.size();
+      const Bytes total_state = state_.total_windowed_state();
+      m.migration_pct = total_state > 0.0
+                            ? plan->migration_bytes / total_state * 100.0
+                            : 0.0;
+
+      const Micros pause =
+          config_.migration_rtt_us +
+          static_cast<Micros>(plan->migration_bytes /
+                              config_.migration_bytes_per_sec * 1e6);
+      const int delay_intervals =
+          config_.charge_generation_time
+              ? static_cast<int>(plan->generation_micros /
+                                 config_.interval_micros)
+              : 0;
+      if (delay_intervals > 0) {
+        // Routing stays on the pre-plan assignment until generation
+        // "completes"; the migration pause is charged at landing time.
+        route_override_ = controller_->last_snapshot().current;
+        override_remaining_ = delay_intervals;
+        pending_pause_ = pause;
+        pending_moves_ = plan->moves;
+      } else {
+        std::vector<bool> involved(nd, false);
+        for (const KeyMove& mv : plan->moves) {
+          involved[static_cast<std::size_t>(mv.from)] = true;
+          involved[static_cast<std::size_t>(mv.to)] = true;
+          key_paused_[static_cast<std::size_t>(mv.key)] = true;
+        }
+        for (std::size_t d = 0; d < nd; ++d) {
+          if (involved[d]) pause_debt_[d] += pause;
+        }
+      }
+    }
+  }
+
+  ++interval_;
+  return m;
+}
+
+std::vector<IntervalMetrics> SimEngine::run(int intervals) {
+  std::vector<IntervalMetrics> out;
+  out.reserve(static_cast<std::size_t>(intervals));
+  for (int i = 0; i < intervals; ++i) out.push_back(step());
+  return out;
+}
+
+}  // namespace skewless

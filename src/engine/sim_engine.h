@@ -1,0 +1,151 @@
+// Virtual-time simulation driver for one keyed operator (upstream router
+// -> N_D downstream task instances).
+//
+// Why a simulator: the paper's evaluation ran on a 21-node Storm cluster;
+// we reproduce the *shape* of its end-to-end results on one machine. The
+// rebalance algorithms only interact with the engine through per-interval
+// statistics and the routing function, so a deterministic fluid queueing
+// model of the data plane preserves everything that matters:
+//
+//  * per-instance work  W(d) = Σ_{F(k)=d} batch_cost(k) per interval,
+//  * backpressure: the spout is throttled by the most loaded instance
+//    (admitted fraction α = min(1, capacity/W_max)) — the Fig. 1 effect,
+//  * M/D/1-style queueing latency per instance, weighted by tuple counts,
+//  * the pause/migrate/resume protocol of Fig. 5: migrating keys reduces
+//    the capacity of participating instances by the pause time
+//    (signalling RTT + state bytes / bandwidth + plan generation time),
+//    and delays tuples of the affected keys,
+//  * PKG's split-key routing with its downstream merge stage overheads.
+//
+// Determinism: all inputs are interval count vectors and the model is
+// closed-form per interval, so runs are bit-for-bit reproducible.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/router.h"
+#include "common/types.h"
+#include "core/controller.h"
+#include "core/stats_window.h"
+#include "engine/sim_operator.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+
+enum class RoutingMode {
+  kController,  // AssignmentFunction managed by a rebalance Controller
+  kHashOnly,    // plain consistent hashing ("Storm" baseline)
+  kShuffle,     // key-oblivious round robin ("Ideal" bound)
+  kPkg,         // Partial Key Grouping with merge stage
+};
+
+struct SimConfig {
+  Micros interval_micros = 1'000'000;  // T_i length (1 virtual second)
+  InstanceId num_instances = 10;
+  /// Extra CPU fraction PKG pays downstream for partial-result merging.
+  double pkg_merge_overhead = 0.10;
+  /// Latency added by PKG's merge period p (the paper used p = 10 ms).
+  Micros pkg_merge_latency_us = 10'000;
+  /// State migration bandwidth between instances.
+  double migration_bytes_per_sec = 200.0 * 1024 * 1024;
+  /// Pause/resume signalling cost per migration (steps 3-7 of Fig. 5).
+  Micros migration_rtt_us = 2'000;
+  /// Whether plan-generation time delays plan installation: while the
+  /// controller computes (Fig. 5 step 2), tuples keep flowing under the
+  /// old assignment, so a slow planner (Readj's multi-second searches)
+  /// leaves the system imbalanced for ⌈generation/interval⌉ intervals.
+  bool charge_generation_time = true;
+  /// Utilization cap in the latency formula (avoids the 1/(1−ρ) pole).
+  double rho_cap = 0.98;
+  /// w — sliding-window length (intervals) for the engine's own state
+  /// tracker in router modes; controller mode inherits the controller's.
+  int state_window = 1;
+};
+
+struct IntervalMetrics {
+  IntervalId interval = 0;
+  double offered_tps = 0.0;
+  double throughput_tps = 0.0;
+  double avg_latency_ms = 0.0;
+  /// max_d L(d) / L̄ — the paper's "workload skewness".
+  double load_skewness = 1.0;
+  /// max_d θ(d) (imbalance indicator).
+  double max_theta = 0.0;
+  std::vector<double> instance_work;  // micros of work per instance
+  bool migrated = false;
+  Bytes migration_bytes = 0.0;
+  double migration_pct = 0.0;  // bytes / total windowed state
+  Micros generation_micros = 0;
+  std::size_t table_size = 0;
+  std::size_t moves = 0;
+};
+
+class SimEngine {
+ public:
+  /// Controller mode: `controller` drives routing and rebalancing.
+  SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
+            std::unique_ptr<WorkloadSource> source,
+            std::unique_ptr<Controller> controller);
+
+  /// Router modes (hash / shuffle / pkg): no controller involved.
+  SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
+            std::unique_ptr<WorkloadSource> source, RoutingMode mode);
+
+  /// Advances one interval and returns its metrics.
+  IntervalMetrics step();
+
+  /// Runs `intervals` steps, returning all metrics.
+  std::vector<IntervalMetrics> run(int intervals);
+
+  /// Scale-out: adds one downstream instance (takes effect next interval).
+  void add_instance();
+
+  [[nodiscard]] Controller* controller() { return controller_.get(); }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] InstanceId num_instances() const { return num_instances_; }
+  [[nodiscard]] const StatsWindow& state_tracker() const { return state_; }
+
+ private:
+  void route_interval(const IntervalWorkload& load,
+                      std::vector<InstanceId>& dest,
+                      std::vector<double>& split_fraction);
+  [[nodiscard]] RoutingMode mode() const { return mode_; }
+
+  SimConfig config_;
+  std::unique_ptr<SimOperator> op_;
+  std::unique_ptr<WorkloadSource> source_;
+  std::unique_ptr<Controller> controller_;
+  RoutingMode mode_;
+  InstanceId num_instances_;
+
+  // Non-controller routers.
+  std::optional<HashRouter> hash_router_;
+  std::optional<ShuffleRouter> shuffle_router_;
+  std::optional<PkgRouter> pkg_router_;
+
+  // Windowed per-key state tracking for batch_cost and migration sizes
+  // (the controller keeps its own copy for planning; this one feeds the
+  // cost model in every mode).
+  StatsWindow state_;
+
+  // Pause bookkeeping: capacity debt (micros) per instance from the most
+  // recent migration, consumed over subsequent intervals.
+  std::vector<Micros> pause_debt_;
+  // Keys currently affected by an in-flight migration (their tuples see
+  // added latency while the pause drains).
+  std::vector<bool> key_paused_;
+
+  // Generation-delay bookkeeping: while a plan is being "computed", the
+  // engine routes with the frozen pre-plan assignment and the controller
+  // does not re-plan.
+  std::vector<InstanceId> route_override_;
+  int override_remaining_ = 0;
+  Micros pending_pause_ = 0;
+  std::vector<KeyMove> pending_moves_;
+
+  IntervalId interval_ = 0;
+};
+
+}  // namespace skewless

@@ -1,0 +1,85 @@
+// Cost/state models of stateful operators for the simulation engine.
+//
+// The simulator charges virtual CPU time per tuple and tracks per-key
+// state growth; both depend on the operator semantics. Concrete models
+// (word count, windowed self-join, partial aggregation) live in
+// src/workload; this header defines the interface.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace skewless {
+
+class SimOperator {
+ public:
+  virtual ~SimOperator() = default;
+
+  /// Virtual CPU micros consumed by processing `count` tuples of key k
+  /// during one interval, given the key's current windowed state size.
+  [[nodiscard]] virtual Cost batch_cost(KeyId key, std::uint64_t count,
+                                        Bytes current_state) const = 0;
+
+  /// Bytes of state appended for key k by `count` tuples in one interval
+  /// (the s_i(k) statistic; the window S_i(k, w) is maintained outside).
+  [[nodiscard]] virtual Bytes state_delta(KeyId key,
+                                          std::uint64_t count) const = 0;
+
+  /// Mean per-tuple service time (micros) at zero state, used for the
+  /// latency baseline.
+  [[nodiscard]] virtual Cost base_tuple_cost() const = 0;
+};
+
+/// Constant-cost stateful operator: every tuple costs `cost_us` and
+/// appends `bytes_per_tuple` of state (word count keeping current tuples
+/// in memory behaves like this).
+class UniformCostOperator final : public SimOperator {
+ public:
+  UniformCostOperator(Cost cost_us, Bytes bytes_per_tuple)
+      : cost_us_(cost_us), bytes_per_tuple_(bytes_per_tuple) {}
+
+  [[nodiscard]] Cost batch_cost(KeyId /*key*/, std::uint64_t count,
+                                Bytes /*state*/) const override {
+    return cost_us_ * static_cast<Cost>(count);
+  }
+  [[nodiscard]] Bytes state_delta(KeyId /*key*/,
+                                  std::uint64_t count) const override {
+    return bytes_per_tuple_ * static_cast<Bytes>(count);
+  }
+  [[nodiscard]] Cost base_tuple_cost() const override { return cost_us_; }
+
+ private:
+  Cost cost_us_;
+  Bytes bytes_per_tuple_;
+};
+
+/// Windowed self-join cost model: each incoming tuple probes the key's
+/// in-window state, so per-tuple cost grows with state size (the Stock
+/// self-join workload). cost = base + probe_factor · (state / tuple_bytes).
+class SelfJoinCostOperator final : public SimOperator {
+ public:
+  SelfJoinCostOperator(Cost base_us, Bytes bytes_per_tuple,
+                       double probe_us_per_stored_tuple)
+      : base_us_(base_us),
+        bytes_per_tuple_(bytes_per_tuple),
+        probe_us_(probe_us_per_stored_tuple) {}
+
+  [[nodiscard]] Cost batch_cost(KeyId /*key*/, std::uint64_t count,
+                                Bytes state) const override {
+    const double stored = state / bytes_per_tuple_;
+    return static_cast<Cost>(count) * (base_us_ + probe_us_ * stored);
+  }
+  [[nodiscard]] Bytes state_delta(KeyId /*key*/,
+                                  std::uint64_t count) const override {
+    return bytes_per_tuple_ * static_cast<Bytes>(count);
+  }
+  [[nodiscard]] Cost base_tuple_cost() const override { return base_us_; }
+
+ private:
+  Cost base_us_;
+  Bytes bytes_per_tuple_;
+  double probe_us_;
+};
+
+}  // namespace skewless

@@ -1,0 +1,17 @@
+#include "engine/state.h"
+
+#include "common/hash.h"
+
+namespace skewless {
+
+std::uint64_t StateStore::checksum() const {
+  std::uint64_t acc = 0;
+  for (const auto& [key, state] : states_) {
+    // Commutative mix so iteration order (and therefore key placement
+    // across workers) does not matter.
+    acc += mix64(key ^ state->checksum());
+  }
+  return acc;
+}
+
+}  // namespace skewless

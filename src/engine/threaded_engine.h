@@ -1,0 +1,189 @@
+// Real multi-threaded single-operator engine: a driver (spout + router +
+// controller host) feeding N worker threads over bounded queues.
+//
+// This driver exists to prove the protocol end to end with real threads,
+// real queues and real state objects — the examples and integration tests
+// run on it. The figure benches use the deterministic SimEngine instead.
+//
+// Migration protocol (Fig. 5), mapped onto queue FIFO ordering:
+//   1. the controller decides a plan at an interval boundary;
+//   2. the driver routes no tuples while it pushes one Extract control
+//      message per source worker — every tuple sent earlier is ahead of
+//      the Extract in that worker's FIFO queue, so extraction sees the
+//      fully up-to-date state;
+//   3. workers reply with the extracted KeyState objects through the
+//      migration mailbox;
+//   4. the driver pushes Install messages to the destination workers and
+//      only then resumes routing with the new assignment — any tuple
+//      routed afterwards sits behind the Install in the destination's
+//      FIFO queue, so it can never observe a missing state.
+// Keys not involved in ∆(F, F') keep flowing the whole time.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/queue.h"
+#include "common/types.h"
+#include "core/controller.h"
+#include "engine/operator.h"
+#include "engine/state.h"
+#include "engine/tuple.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+
+struct ThreadedConfig {
+  InstanceId num_workers = 4;
+  /// Tuples per Batch message (amortizes queue locking).
+  std::size_t batch_size = 256;
+  /// Batches a worker queue holds before the driver blocks (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Window expiry watermark lag, in intervals (0 = no expiry messages).
+  int expire_lag_intervals = 0;
+  /// If true, migrated states round-trip through the byte codec
+  /// (KeyState::serialize -> OperatorLogic::deserialize_state), as a
+  /// distributed deployment would ship them. Costs CPU, proves fidelity,
+  /// and fills ThreadedIntervalReport::migration_wire_bytes.
+  bool serialize_migration = false;
+};
+
+struct ThreadedIntervalReport {
+  IntervalId interval = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t processed = 0;
+  double wall_ms = 0.0;
+  double throughput_tps = 0.0;
+  double avg_latency_ms = 0.0;
+  double max_theta = 0.0;
+  bool migrated = false;
+  std::size_t moves = 0;
+  Bytes migration_bytes = 0.0;
+  /// Actual serialized payload shipped during migration (only when
+  /// ThreadedConfig::serialize_migration is set).
+  Bytes migration_wire_bytes = 0.0;
+  Micros generation_micros = 0;
+};
+
+class ThreadedEngine {
+ public:
+  /// Controller mode: the controller's AssignmentFunction routes tuples
+  /// and its planner rebalances at interval boundaries.
+  ThreadedEngine(ThreadedConfig config, std::shared_ptr<OperatorLogic> logic,
+                 std::unique_ptr<Controller> controller);
+
+  /// Hash-only mode (the "Storm" baseline): consistent hashing, no
+  /// controller, no migration.
+  ThreadedEngine(ThreadedConfig config, std::shared_ptr<OperatorLogic> logic,
+                 InstanceId num_workers_for_ring, std::uint64_t ring_seed);
+
+  ~ThreadedEngine();
+
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  /// Processes `intervals` intervals from `source` (counts are expanded
+  /// into a deterministic shuffled tuple sequence with `seed`).
+  std::vector<ThreadedIntervalReport> run(WorkloadSource& source,
+                                          int intervals,
+                                          std::uint64_t seed = 1);
+
+  /// Processes an explicit tuple sequence as one interval.
+  ThreadedIntervalReport run_interval(const std::vector<Tuple>& tuples);
+
+  /// Stops and joins the workers; further run() calls are invalid.
+  /// Called automatically by the destructor.
+  void shutdown();
+
+  /// Valid after shutdown(): combined order-insensitive checksum over all
+  /// workers' states — equal across runs regardless of key placement.
+  [[nodiscard]] std::uint64_t state_checksum() const;
+
+  /// Valid after shutdown(): number of distinct keys with live state.
+  [[nodiscard]] std::size_t total_state_entries() const;
+
+  [[nodiscard]] Controller* controller() { return controller_.get(); }
+  [[nodiscard]] std::uint64_t total_emitted() const {
+    return total_emitted_;
+  }
+  [[nodiscard]] std::uint64_t total_processed() const {
+    return total_processed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_output_tuples() const {
+    return total_outputs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct BatchMsg {
+    std::vector<Tuple> tuples;
+  };
+  struct ExtractMsg {
+    std::vector<KeyId> keys;
+  };
+  struct InstallMsg {
+    std::vector<std::pair<KeyId, std::unique_ptr<KeyState>>> states;
+  };
+  struct ExpireMsg {
+    Micros watermark;
+  };
+  struct StopMsg {};
+  using WorkerMsg =
+      std::variant<BatchMsg, ExtractMsg, InstallMsg, ExpireMsg, StopMsg>;
+
+  struct ExtractedState {
+    KeyId key = 0;
+    InstanceId from = 0;
+    std::unique_ptr<KeyState> state;  // nullptr if the key had no state yet
+  };
+
+  /// Per-worker statistics shared with the driver (mutex-guarded; the
+  /// driver drains them at interval boundaries).
+  struct WorkerStats {
+    std::mutex mu;
+    std::unordered_map<KeyId, std::pair<double, double>> per_key;  // cost, bytes
+    std::uint64_t processed = 0;
+    double latency_sum_us = 0.0;
+    std::uint64_t latency_samples = 0;
+    /// True while the worker is processing a popped message — lets the
+    /// driver wait for true quiescence, not just empty queues.
+    std::atomic<bool> busy{false};
+  };
+
+  void start_workers();
+  void worker_loop(InstanceId id);
+  void route_tuple(Tuple tuple);
+  void flush_batches();
+  void flush_batch(InstanceId d);
+  /// Returns the serialized payload size (0 when serialization is off).
+  Bytes execute_migration(const RebalancePlan& plan);
+  void drain_worker_stats(ThreadedIntervalReport& report);
+  [[nodiscard]] InstanceId route_of(KeyId key) const;
+
+  ThreadedConfig config_;
+  std::shared_ptr<OperatorLogic> logic_;
+  std::unique_ptr<Controller> controller_;
+  std::optional<ConsistentHashRing> hash_ring_;  // hash-only mode
+  InstanceId num_workers_;
+
+  std::vector<std::unique_ptr<BoundedMpmcQueue<WorkerMsg>>> queues_;
+  std::vector<std::unique_ptr<StateStore>> stores_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
+  BoundedMpmcQueue<ExtractedState> migration_mailbox_;
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<Tuple>> pending_batches_;
+
+  std::atomic<std::uint64_t> total_processed_{0};
+  std::atomic<std::uint64_t> total_outputs_{0};
+  std::uint64_t total_emitted_ = 0;
+  IntervalId interval_ = 0;
+  Micros engine_epoch_us_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace skewless

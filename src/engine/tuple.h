@@ -1,0 +1,21 @@
+// The unit of data flowing between operators: a key-value pair stamped
+// with its emission time (for latency accounting) and a stream tag (to
+// distinguish the two sides of a binary join).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace skewless {
+
+struct Tuple {
+  KeyId key = 0;
+  std::int64_t value = 0;
+  /// Micros since engine start at the moment the spout emitted the tuple.
+  Micros emit_micros = 0;
+  /// Stream tag: 0 for single-stream operators; 0/1 for join sides.
+  std::uint32_t stream = 0;
+};
+
+}  // namespace skewless

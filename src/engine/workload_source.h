@@ -1,0 +1,36 @@
+// Interval-granular workload abstraction consumed by the simulation
+// engine: a source produces, for each interval T_i, the number of tuples
+// per key. Generators in src/workload implement this for synthetic Zipf,
+// Social, Stock and TPC-H streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+struct IntervalWorkload {
+  /// counts[k] = g_i(k): tuples carrying key k during this interval.
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto c : counts) t += c;
+    return t;
+  }
+};
+
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Size of the dense key domain |K|.
+  [[nodiscard]] virtual std::size_t num_keys() const = 0;
+
+  /// Produces the next interval's per-key tuple counts.
+  [[nodiscard]] virtual IntervalWorkload next_interval() = 0;
+};
+
+}  // namespace skewless

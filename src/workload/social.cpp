@@ -1,0 +1,49 @@
+#include "workload/social.h"
+
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+SocialSource::SocialSource(Options options)
+    : options_(options), rng_(options.seed) {
+  SKW_EXPECTS(options.num_words > 0);
+  SKW_EXPECTS(options.drift_fraction >= 0.0 &&
+              options.drift_fraction <= 1.0);
+  const ZipfDistribution zipf(options.num_words, options.skew,
+                              /*permute_ranks=*/false);
+  const auto by_key = zipf.expected_counts(options.tuples_per_interval);
+  // With permute_ranks=false, key k holds rank k, so by_key is already the
+  // per-rank count vector.
+  rank_counts_ = by_key;
+  rank_to_key_.resize(static_cast<std::size_t>(options.num_words));
+  std::iota(rank_to_key_.begin(), rank_to_key_.end(), KeyId{0});
+  // Start from a random topic ordering.
+  for (std::size_t i = rank_to_key_.size() - 1; i > 0; --i) {
+    std::swap(rank_to_key_[i],
+              rank_to_key_[static_cast<std::size_t>(rng_.next_below(i + 1))]);
+  }
+}
+
+IntervalWorkload SocialSource::next_interval() {
+  IntervalWorkload load;
+  load.counts.assign(rank_to_key_.size(), 0);
+  for (std::size_t rank = 0; rank < rank_to_key_.size(); ++rank) {
+    load.counts[static_cast<std::size_t>(rank_to_key_[rank])] =
+        rank_counts_[rank];
+  }
+
+  // Slow drift: a few adjacent-rank swaps move topics gradually up/down
+  // the popularity ladder.
+  const auto swaps = static_cast<std::uint64_t>(
+      options_.drift_fraction * static_cast<double>(rank_to_key_.size()));
+  for (std::uint64_t s = 0; s < swaps; ++s) {
+    const auto rank = static_cast<std::size_t>(
+        rng_.next_below(rank_to_key_.size() - 1));
+    std::swap(rank_to_key_[rank], rank_to_key_[rank + 1]);
+  }
+  return load;
+}
+
+}  // namespace skewless

@@ -1,0 +1,47 @@
+// Social workload substitute (see DESIGN.md):
+//
+// The paper's Social dataset is 5 days of microblog feeds — 5M+ tuples
+// over 180K topic-word keys — whose defining property is that "the word
+// frequency usually changes slowly". We model it as a Zipf word
+// distribution whose rank->word mapping drifts gradually: each interval a
+// small fraction of adjacent ranks swap, so hot topics rise and fall over
+// many intervals rather than jumping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+
+class SocialSource final : public WorkloadSource {
+ public:
+  struct Options {
+    std::uint64_t num_words = 180'000;
+    double skew = 0.9;
+    std::uint64_t tuples_per_interval = 1'000'000;
+    /// Fraction of ranks that drift (swap with a neighbour) per interval.
+    double drift_fraction = 0.01;
+    std::uint64_t seed = 11;
+  };
+
+  explicit SocialSource(Options options);
+
+  [[nodiscard]] std::size_t num_keys() const override {
+    return static_cast<std::size_t>(options_.num_words);
+  }
+
+  [[nodiscard]] IntervalWorkload next_interval() override;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> rank_counts_;  // count at each rank (fixed)
+  std::vector<KeyId> rank_to_key_;          // drifting permutation
+};
+
+}  // namespace skewless

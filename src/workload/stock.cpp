@@ -1,0 +1,52 @@
+#include "workload/stock.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+StockSource::StockSource(Options options)
+    : options_(options), rng_(options.seed) {
+  SKW_EXPECTS(options.num_symbols > 0);
+  SKW_EXPECTS(options.burst_min_factor >= 1.0);
+  SKW_EXPECTS(options.burst_max_factor >= options.burst_min_factor);
+  SKW_EXPECTS(options.burst_min_intervals >= 1);
+  SKW_EXPECTS(options.burst_max_intervals >= options.burst_min_intervals);
+  const ZipfDistribution zipf(options.num_symbols, options.base_skew,
+                              /*permute_ranks=*/true, options.seed);
+  base_counts_ = zipf.expected_counts(options.tuples_per_interval);
+}
+
+IntervalWorkload StockSource::next_interval() {
+  // Age out finished bursts.
+  bursts_.erase(std::remove_if(bursts_.begin(), bursts_.end(),
+                               [](const Burst& b) { return b.remaining <= 0; }),
+                bursts_.end());
+
+  // Possibly start a new burst on a random symbol.
+  if (rng_.next_double() < options_.burst_probability) {
+    Burst burst;
+    burst.symbol = static_cast<KeyId>(rng_.next_below(options_.num_symbols));
+    burst.factor =
+        options_.burst_min_factor +
+        rng_.next_double() *
+            (options_.burst_max_factor - options_.burst_min_factor);
+    burst.remaining = static_cast<int>(rng_.next_between(
+        options_.burst_min_intervals, options_.burst_max_intervals));
+    bursts_.push_back(burst);
+  }
+
+  IntervalWorkload load;
+  load.counts = base_counts_;
+  for (auto& burst : bursts_) {
+    auto& count = load.counts[static_cast<std::size_t>(burst.symbol)];
+    count = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(count) * burst.factor));
+    --burst.remaining;
+  }
+  return load;
+}
+
+}  // namespace skewless

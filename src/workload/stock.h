@@ -1,0 +1,60 @@
+// Stock workload substitute (see DESIGN.md):
+//
+// The paper's Stock dataset is 3 days of exchange records — 6M+ tuples
+// over 1,036 stock IDs — characterized by "more abrupt and unexpected
+// bursts on certain keys". We model a small key domain with a Zipf base
+// distribution plus regime-switching bursts: occasionally a random set of
+// symbols multiplies its volume for a few intervals, then reverts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+
+class StockSource final : public WorkloadSource {
+ public:
+  struct Options {
+    std::uint64_t num_symbols = 1'036;
+    double base_skew = 0.8;
+    std::uint64_t tuples_per_interval = 2'000'000;
+    /// Probability a new burst starts at a given interval.
+    double burst_probability = 0.35;
+    /// Burst volume multiplier range.
+    double burst_min_factor = 8.0;
+    double burst_max_factor = 40.0;
+    /// Burst duration range (intervals).
+    int burst_min_intervals = 2;
+    int burst_max_intervals = 6;
+    std::uint64_t seed = 13;
+  };
+
+  explicit StockSource(Options options);
+
+  [[nodiscard]] std::size_t num_keys() const override {
+    return static_cast<std::size_t>(options_.num_symbols);
+  }
+
+  [[nodiscard]] IntervalWorkload next_interval() override;
+
+  /// Currently bursting symbols (for tests / inspection).
+  [[nodiscard]] std::size_t active_bursts() const { return bursts_.size(); }
+
+ private:
+  struct Burst {
+    KeyId symbol;
+    double factor;
+    int remaining;
+  };
+
+  Options options_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> base_counts_;
+  std::vector<Burst> bursts_;
+};
+
+}  // namespace skewless

@@ -1,0 +1,112 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+std::uint64_t poisson_sample(Xoshiro256& rng, double mean) {
+  SKW_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    double product = rng.next_double();
+    std::uint64_t n = 0;
+    while (product > limit) {
+      product *= rng.next_double();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction.
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  const double gauss =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double value = mean + std::sqrt(mean) * gauss + 0.5;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+ZipfFluctuatingSource::ZipfFluctuatingSource(Options options)
+    : options_(options),
+      zipf_(options.num_keys, options.skew, /*permute_ranks=*/true,
+            options.seed),
+      reference_ring_(options.reference_instances, 128, options.seed ^ 0xabc),
+      rng_(options.seed * 0x9e3779b97f4a7c15ULL + 1),
+      counts_(zipf_.expected_counts(options.tuples_per_interval)) {
+  SKW_EXPECTS(options.num_keys > 0);
+  SKW_EXPECTS(options.fluctuation >= 0.0);
+  reference_dest_.resize(static_cast<std::size_t>(options.num_keys));
+  for (std::size_t k = 0; k < reference_dest_.size(); ++k) {
+    reference_dest_[k] = reference_ring_.owner(static_cast<KeyId>(k));
+  }
+}
+
+std::vector<double> ZipfFluctuatingSource::instance_loads() const {
+  std::vector<double> loads(
+      static_cast<std::size_t>(options_.reference_instances), 0.0);
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    loads[static_cast<std::size_t>(reference_dest_[k])] +=
+        static_cast<double>(counts_[k]);
+  }
+  return loads;
+}
+
+void ZipfFluctuatingSource::apply_fluctuation() {
+  if (options_.fluctuation <= 0.0) return;
+  const auto before = instance_loads();
+  double avg = 0.0;
+  for (const double l : before) avg += l;
+  avg /= static_cast<double>(before.size());
+  if (avg <= 0.0) return;
+
+  auto after = before;
+  const std::uint64_t k_domain = options_.num_keys;
+  // Swap frequencies between keys on different reference instances until
+  // some instance's load changed by at least f · L̄. Cap the number of
+  // attempts so tiny domains terminate.
+  const std::uint64_t max_swaps = 64 * k_domain + 1024;
+  for (std::uint64_t attempt = 0; attempt < max_swaps; ++attempt) {
+    double worst = 0.0;
+    for (std::size_t d = 0; d < after.size(); ++d) {
+      worst = std::max(worst, std::abs(after[d] - before[d]) / avg);
+    }
+    if (worst >= options_.fluctuation) return;
+
+    const auto a = static_cast<std::size_t>(rng_.next_below(k_domain));
+    const auto b = static_cast<std::size_t>(rng_.next_below(k_domain));
+    const InstanceId da = reference_dest_[a];
+    const InstanceId db = reference_dest_[b];
+    if (da == db || counts_[a] == counts_[b]) continue;
+    const auto delta =
+        static_cast<double>(counts_[a]) - static_cast<double>(counts_[b]);
+    std::swap(counts_[a], counts_[b]);
+    after[static_cast<std::size_t>(da)] -= delta;
+    after[static_cast<std::size_t>(db)] += delta;
+  }
+}
+
+IntervalWorkload ZipfFluctuatingSource::next_interval() {
+  SKW_EXPECTS(options_.fluctuate_every >= 1);
+  if (intervals_emitted_ > 0 &&
+      intervals_emitted_ % options_.fluctuate_every == 0) {
+    apply_fluctuation();
+  }
+  ++intervals_emitted_;
+
+  IntervalWorkload load;
+  if (options_.sample_noise) {
+    load.counts.resize(counts_.size());
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+      load.counts[k] = poisson_sample(rng_, static_cast<double>(counts_[k]));
+    }
+  } else {
+    load.counts = counts_;
+  }
+  return load;
+}
+
+}  // namespace skewless

@@ -1,0 +1,68 @@
+// Synthetic workload generator (Section V, "Synthetic Data"): per-interval
+// snapshots of tuple counts over an integer key domain, Zipf-distributed
+// with skew z, with controlled distribution fluctuation across intervals.
+//
+// Fluctuation follows the paper's protocol: "at the beginning of a new
+// interval, our generator keeps swapping frequencies between keys from
+// different task instances until the change on workload is significant
+// enough, i.e. |L_i(d) − L_{i−1}(d)| / L̄ ≥ f".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+
+class ZipfFluctuatingSource final : public WorkloadSource {
+ public:
+  struct Options {
+    std::uint64_t num_keys = 100'000;       // K
+    double skew = 0.85;                     // z
+    std::uint64_t tuples_per_interval = 100'000;
+    double fluctuation = 1.0;               // f
+    /// Apply the fluctuation only every this many intervals (the paper's
+    /// testbed rebalances within ~1/10 of an interval, so its effective
+    /// change cadence is several intervals; 1 = change every interval).
+    int fluctuate_every = 1;
+    /// Reference partitioning used to define "keys from different task
+    /// instances" for frequency swaps.
+    InstanceId reference_instances = 10;
+    std::uint64_t seed = 7;
+    /// If true, per-interval counts are Poisson-perturbed around the Zipf
+    /// expectation (natural sampling noise); if false, exact expectations.
+    bool sample_noise = false;
+  };
+
+  explicit ZipfFluctuatingSource(Options options);
+
+  [[nodiscard]] std::size_t num_keys() const override {
+    return static_cast<std::size_t>(options_.num_keys);
+  }
+
+  [[nodiscard]] IntervalWorkload next_interval() override;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void apply_fluctuation();
+  [[nodiscard]] std::vector<double> instance_loads() const;
+
+  Options options_;
+  ZipfDistribution zipf_;
+  ConsistentHashRing reference_ring_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> counts_;        // current snapshot
+  std::vector<InstanceId> reference_dest_;   // key -> reference instance
+  std::int64_t intervals_emitted_ = 0;
+};
+
+/// Draws a Poisson(mean) sample (Knuth for small means, normal
+/// approximation above 64). Exposed for tests.
+[[nodiscard]] std::uint64_t poisson_sample(Xoshiro256& rng, double mean);
+
+}  // namespace skewless

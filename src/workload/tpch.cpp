@@ -1,0 +1,220 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "common/zipf.h"
+
+namespace skewless {
+namespace tpch {
+namespace {
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+
+/// Replay source: hands out precomputed per-interval count vectors,
+/// repeating the last interval if stepped past the end.
+class ReplaySource final : public WorkloadSource {
+ public:
+  ReplaySource(const std::vector<std::vector<std::uint64_t>>* data,
+               std::size_t num_keys)
+      : data_(data), num_keys_(num_keys) {}
+
+  [[nodiscard]] std::size_t num_keys() const override { return num_keys_; }
+
+  [[nodiscard]] IntervalWorkload next_interval() override {
+    IntervalWorkload load;
+    const std::size_t i = std::min(cursor_, data_->size() - 1);
+    load.counts = (*data_)[i];
+    ++cursor_;
+    return load;
+  }
+
+ private:
+  const std::vector<std::vector<std::uint64_t>>* data_;
+  std::size_t num_keys_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Tables Tables::generate(const Scale& scale) {
+  SKW_EXPECTS(scale.regions > 0 && scale.nations >= scale.regions);
+  SKW_EXPECTS(scale.customers > 0 && scale.suppliers > 0);
+  SKW_EXPECTS(scale.orders > 0 && scale.lineitems_per_order >= 1);
+  SKW_EXPECTS(scale.run_seconds > 0 && scale.epoch_seconds > 0);
+
+  Tables t;
+  t.scale = scale;
+  Xoshiro256 rng(scale.seed);
+
+  for (std::int32_t r = 0; r < scale.regions; ++r) {
+    t.regions.push_back(Region{r, kRegionNames[r % 5]});
+  }
+  for (std::int32_t n = 0; n < scale.nations; ++n) {
+    t.nations.push_back(
+        Nation{n, static_cast<std::int32_t>(n % scale.regions),
+               "NATION_" + std::to_string(n)});
+  }
+  for (std::int32_t s = 0; s < scale.suppliers; ++s) {
+    t.suppliers.push_back(Supplier{
+        s, static_cast<std::int32_t>(rng.next_below(
+               static_cast<std::uint64_t>(scale.nations)))});
+  }
+  for (std::int32_t c = 0; c < scale.customers; ++c) {
+    t.customers.push_back(Customer{
+        c, static_cast<std::int32_t>(rng.next_below(
+               static_cast<std::uint64_t>(scale.nations)))});
+  }
+
+  // Orders: custkey drawn Zipf(fk_skew); the rank permutation is re-drawn
+  // per epoch, which shifts which customers are hot every 15 minutes.
+  const auto num_epochs = static_cast<std::uint64_t>(
+      (scale.run_seconds + scale.epoch_seconds - 1) / scale.epoch_seconds);
+  std::vector<ZipfDistribution> cust_zipf;
+  std::vector<ZipfDistribution> supp_zipf;
+  cust_zipf.reserve(num_epochs);
+  supp_zipf.reserve(num_epochs);
+  for (std::uint64_t e = 0; e < num_epochs; ++e) {
+    cust_zipf.emplace_back(static_cast<std::uint64_t>(scale.customers),
+                           scale.fk_skew, true, scale.seed + 100 + e);
+    supp_zipf.emplace_back(static_cast<std::uint64_t>(scale.suppliers),
+                           scale.fk_skew, true, scale.seed + 500 + e);
+  }
+
+  t.orders.reserve(static_cast<std::size_t>(scale.orders));
+  t.lineitems.reserve(static_cast<std::size_t>(scale.orders) *
+                      static_cast<std::size_t>(scale.lineitems_per_order));
+  for (std::int64_t o = 0; o < scale.orders; ++o) {
+    const auto ts = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(scale.run_seconds)));
+    const auto epoch = static_cast<std::size_t>(ts / scale.epoch_seconds);
+    Order order;
+    order.key = o;
+    order.cust_key =
+        static_cast<std::int32_t>(cust_zipf[epoch].sample(rng));
+    order.timestamp_sec = ts;
+    t.orders.push_back(order);
+
+    const int items = static_cast<int>(rng.next_between(
+        1, 2 * scale.lineitems_per_order - 1));
+    for (int li = 0; li < items; ++li) {
+      LineItem item;
+      item.order_key = o;
+      item.supp_key =
+          static_cast<std::int32_t>(supp_zipf[epoch].sample(rng));
+      item.extended_price = 100.0 + rng.next_double() * 99'900.0;
+      item.discount = rng.next_double() * 0.10;
+      item.timestamp_sec = ts;
+      t.lineitems.push_back(item);
+    }
+  }
+  return t;
+}
+
+void Tables::validate() const {
+  for (const Nation& n : nations) {
+    SKW_ENSURES(n.region_key >= 0 && n.region_key < scale.regions);
+  }
+  for (const Supplier& s : suppliers) {
+    SKW_ENSURES(s.nation_key >= 0 && s.nation_key < scale.nations);
+  }
+  for (const Customer& c : customers) {
+    SKW_ENSURES(c.nation_key >= 0 && c.nation_key < scale.nations);
+  }
+  for (const Order& o : orders) {
+    SKW_ENSURES(o.cust_key >= 0 && o.cust_key < scale.customers);
+    SKW_ENSURES(o.timestamp_sec >= 0 && o.timestamp_sec < scale.run_seconds);
+  }
+  for (const LineItem& li : lineitems) {
+    SKW_ENSURES(li.order_key >= 0 &&
+                li.order_key < static_cast<std::int64_t>(orders.size()));
+    SKW_ENSURES(li.supp_key >= 0 && li.supp_key < scale.suppliers);
+    SKW_ENSURES(li.discount >= 0.0 && li.discount <= 0.10);
+  }
+}
+
+std::vector<double> Tables::q5_revenue_by_nation() const {
+  std::vector<double> revenue(static_cast<std::size_t>(scale.nations), 0.0);
+  for (const LineItem& li : lineitems) {
+    const Order& order = orders[static_cast<std::size_t>(li.order_key)];
+    const Customer& cust =
+        customers[static_cast<std::size_t>(order.cust_key)];
+    const Supplier& supp = suppliers[static_cast<std::size_t>(li.supp_key)];
+    const Nation& cust_nation =
+        nations[static_cast<std::size_t>(cust.nation_key)];
+    const Nation& supp_nation =
+        nations[static_cast<std::size_t>(supp.nation_key)];
+    // Q5 predicate: customer and supplier from the same region; revenue is
+    // attributed to the supplier nation.
+    if (cust_nation.region_key != supp_nation.region_key) continue;
+    revenue[static_cast<std::size_t>(supp.nation_key)] +=
+        li.extended_price * (1.0 - li.discount);
+  }
+  return revenue;
+}
+
+Q5Workload::Q5Workload(const Tables& tables, std::int64_t interval_seconds,
+                       std::size_t order_buckets) {
+  SKW_EXPECTS(interval_seconds > 0);
+  SKW_EXPECTS(order_buckets > 0);
+  const auto intervals = static_cast<std::size_t>(
+      (tables.scale.run_seconds + interval_seconds - 1) / interval_seconds);
+
+  stage0_.assign(intervals, std::vector<std::uint64_t>(
+                                static_cast<std::size_t>(
+                                    tables.scale.customers),
+                                0));
+  stage1_.assign(intervals, std::vector<std::uint64_t>(order_buckets, 0));
+  stage2_.assign(intervals, std::vector<std::uint64_t>(
+                                static_cast<std::size_t>(
+                                    tables.scale.suppliers),
+                                0));
+
+  for (const Order& o : tables.orders) {
+    const auto i = static_cast<std::size_t>(o.timestamp_sec / interval_seconds);
+    ++stage0_[i][static_cast<std::size_t>(o.cust_key)];
+  }
+  for (const LineItem& li : tables.lineitems) {
+    const auto i =
+        static_cast<std::size_t>(li.timestamp_sec / interval_seconds);
+    const auto bucket = static_cast<std::size_t>(
+        hash64(static_cast<std::uint64_t>(li.order_key), 0x9b) %
+        order_buckets);
+    ++stage1_[i][bucket];
+    ++stage2_[i][static_cast<std::size_t>(li.supp_key)];
+  }
+}
+
+std::size_t Q5Workload::stage_num_keys(int stage) const {
+  switch (stage) {
+    case 0:
+      return stage0_.front().size();
+    case 1:
+      return stage1_.front().size();
+    case 2:
+      return stage2_.front().size();
+    default:
+      SKW_EXPECTS(false);
+      return 0;
+  }
+}
+
+std::unique_ptr<WorkloadSource> Q5Workload::stage_source(int stage) const {
+  switch (stage) {
+    case 0:
+      return std::make_unique<ReplaySource>(&stage0_, stage0_.front().size());
+    case 1:
+      return std::make_unique<ReplaySource>(&stage1_, stage1_.front().size());
+    case 2:
+      return std::make_unique<ReplaySource>(&stage2_, stage2_.front().size());
+    default:
+      SKW_EXPECTS(false);
+      return nullptr;
+  }
+}
+
+}  // namespace tpch
+}  // namespace skewless

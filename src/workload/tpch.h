@@ -1,0 +1,132 @@
+// Mini-DBGen: a scaled-down TPC-H data generator with Zipf-skewed foreign
+// keys (the paper generates 1 GB with DBGen and "produc[es] zipf skewness
+// on foreign keys with z = 0.8"), plus the streaming Q5 workload used by
+// the Fig. 16 experiment.
+//
+// Q5 ("local supplier volume") joins
+//   region ⋈ nation ⋈ customer ⋈ orders ⋈ lineitem ⋈ supplier
+// and aggregates revenue per nation. The paper revises it into a
+// continuous query over a sliding window whose join operators run as
+// separate keyed stages; the imbalance of an upstream join stalls the
+// downstream ones. We materialize the same structure as a three-stage
+// keyed pipeline:
+//   stage 0: orders ⋈ customer,   keyed by custkey,
+//   stage 1: lineitem ⋈ orders,   keyed by order bucket,
+//   stage 2: ⋈ supplier/nation + per-nation aggregation, keyed by suppkey.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "engine/workload_source.h"
+
+namespace skewless {
+namespace tpch {
+
+struct Region {
+  std::int32_t key;
+  std::string name;
+};
+
+struct Nation {
+  std::int32_t key;
+  std::int32_t region_key;
+  std::string name;
+};
+
+struct Supplier {
+  std::int32_t key;
+  std::int32_t nation_key;
+};
+
+struct Customer {
+  std::int32_t key;
+  std::int32_t nation_key;
+};
+
+struct Order {
+  std::int64_t key;
+  std::int32_t cust_key;
+  /// Seconds offset of the order within the simulated run.
+  std::int64_t timestamp_sec;
+};
+
+struct LineItem {
+  std::int64_t order_key;
+  std::int32_t supp_key;
+  double extended_price;
+  double discount;
+  std::int64_t timestamp_sec;
+};
+
+struct Scale {
+  std::int32_t regions = 5;
+  std::int32_t nations = 25;
+  std::int32_t suppliers = 1'000;
+  std::int32_t customers = 15'000;
+  std::int64_t orders = 150'000;
+  /// Mean lineitems per order (actual count is 1..2·mean−1 uniform).
+  int lineitems_per_order = 4;
+  /// Zipf skew applied to the custkey and suppkey foreign keys.
+  double fk_skew = 0.8;
+  /// Length of the simulated run the orders spread over.
+  std::int64_t run_seconds = 3'600;
+  /// A fresh foreign-key hotness permutation every epoch — the paper
+  /// "trigger[s] the distribution change in every 15 minutes".
+  std::int64_t epoch_seconds = 900;
+  std::uint64_t seed = 42;
+};
+
+struct Tables {
+  Scale scale;
+  std::vector<Region> regions;
+  std::vector<Nation> nations;
+  std::vector<Supplier> suppliers;
+  std::vector<Customer> customers;
+  std::vector<Order> orders;
+  std::vector<LineItem> lineitems;
+
+  /// Generates all tables. Orders arrive uniformly over run_seconds; the
+  /// custkey / suppkey Zipf rank permutations are re-drawn every epoch.
+  static Tables generate(const Scale& scale);
+
+  /// Referential-integrity check (every FK resolves); aborts on violation.
+  void validate() const;
+
+  /// Reference answer: Q5 revenue per nation over the whole dataset
+  /// (customer and supplier in the same nation's region), computed by a
+  /// naive in-memory join. Used to cross-check the streaming pipeline.
+  [[nodiscard]] std::vector<double> q5_revenue_by_nation() const;
+};
+
+/// Per-interval tuple counts for the three Q5 pipeline stages, derived
+/// from the generated tables.
+class Q5Workload {
+ public:
+  /// `interval_seconds` discretizes the run into intervals; `order_buckets`
+  /// is the key-domain size of the orderkey join stage (orderkeys are
+  /// hash-bucketed, as a hash-partitioned join would).
+  Q5Workload(const Tables& tables, std::int64_t interval_seconds,
+             std::size_t order_buckets = 20'000);
+
+  [[nodiscard]] int num_intervals() const {
+    return static_cast<int>(stage0_.size());
+  }
+
+  /// Replayable source for stage 0 / 1 / 2.
+  [[nodiscard]] std::unique_ptr<WorkloadSource> stage_source(int stage) const;
+
+  [[nodiscard]] std::size_t stage_num_keys(int stage) const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> stage0_;  // custkey counts
+  std::vector<std::vector<std::uint64_t>> stage1_;  // order-bucket counts
+  std::vector<std::vector<std::uint64_t>> stage2_;  // suppkey counts
+};
+
+}  // namespace tpch
+}  // namespace skewless

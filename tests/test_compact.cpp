@@ -1,0 +1,133 @@
+#include "core/compact.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+using testutil::random_zipf_snapshot;
+
+TEST(CompactSpace, GroupsIdenticalKeysIntoOneRecord) {
+  // Four keys, all cost 4 / state 4, same current and hash destination:
+  // a single record with # = 4.
+  const auto snap = make_snapshot(2, {4.0, 4.0, 4.0, 4.0}, {0, 0, 0, 0},
+                                  {4.0, 4.0, 4.0, 4.0});
+  const auto space = CompactSpace::build(snap, 2);
+  ASSERT_EQ(space.num_records(), 1u);
+  EXPECT_EQ(space.records().front().count(), 4u);
+  EXPECT_EQ(space.records().front().curr, 0);
+  EXPECT_EQ(space.records().front().next, 0);
+}
+
+TEST(CompactSpace, SeparatesByDestinationPair) {
+  // Same values but different hash destinations -> separate records.
+  const auto snap = make_snapshot(2, {4.0, 4.0}, {0, 0}, {4.0, 4.0},
+                                  /*hash=*/{0, 1});
+  const auto space = CompactSpace::build(snap, 2);
+  EXPECT_EQ(space.num_records(), 2u);
+}
+
+TEST(CompactSpace, RecordCountFarBelowKeyCount) {
+  const auto snap = random_zipf_snapshot(5, 20'000, 0.85, 3);
+  const auto space = CompactSpace::build(snap, 3);
+  // The compaction is the whole point: thousands of cold keys share the
+  // few small representative values.
+  EXPECT_LT(space.num_records(), snap.num_keys() / 10);
+}
+
+TEST(CompactSpace, CoarserDegreeFewerRecords) {
+  const auto snap = random_zipf_snapshot(5, 10'000, 0.85, 4);
+  const auto fine = CompactSpace::build(snap, 0);
+  const auto coarse = CompactSpace::build(snap, 5);
+  EXPECT_LE(coarse.num_records(), fine.num_records());
+}
+
+TEST(CompactSpace, EveryKeyInExactlyOneRecord) {
+  const auto snap = random_zipf_snapshot(4, 5000, 0.9, 5);
+  const auto space = CompactSpace::build(snap, 2);
+  std::vector<int> seen(snap.num_keys(), 0);
+  for (const auto& rec : space.records()) {
+    for (const KeyId k : rec.keys) ++seen[static_cast<std::size_t>(k)];
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(CompactSpace, EstimatedLoadsCloseToTrueLoads) {
+  const auto snap = random_zipf_snapshot(6, 10'000, 0.85, 6);
+  const auto space = CompactSpace::build(snap, 2);
+  const auto est = space.estimated_loads(snap.num_instances);
+  const auto real = snap.current_loads();
+  double total = 0.0;
+  for (const Cost l : real) total += l;
+  for (std::size_t d = 0; d < est.size(); ++d) {
+    EXPECT_NEAR(est[d], real[d], 0.02 * total) << "instance " << d;
+  }
+}
+
+TEST(CompactMixedPlanner, ProducesBalancedValidPlan) {
+  const auto snap = random_zipf_snapshot(8, 10'000, 0.85, 7);
+  CompactMixedPlanner planner(/*r_degree=*/3);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.08;
+  cfg.max_table_entries = 0;
+  const auto plan = planner.plan(snap, cfg);
+  ASSERT_EQ(plan.assignment.size(), snap.num_keys());
+  // The compact planner balances the *estimated* loads; the true balance
+  // can overshoot θmax by the discretization's load-estimation error
+  // (Fig. 11b reports <1% — allow 2 points of slack).
+  EXPECT_LE(plan.achieved_theta, cfg.theta_max + 0.02)
+      << "theta " << plan.achieved_theta;
+  EXPECT_GT(planner.last_num_records(), 0u);
+  EXPECT_LT(planner.last_load_estimation_error_pct(), 2.0);
+}
+
+TEST(CompactMixedPlanner, RespectsTableBound) {
+  auto snap = random_zipf_snapshot(6, 4000, 0.9, 8);
+  for (std::size_t k = 0; k < snap.num_keys(); k += 3) {
+    snap.current[k] = static_cast<InstanceId>((snap.hash_dest[k] + 1) % 6);
+  }
+  CompactMixedPlanner planner(3);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.1;
+  cfg.max_table_entries = 300;
+  const auto plan = planner.plan(snap, cfg);
+  EXPECT_LE(plan.table_size, 300u);
+}
+
+TEST(CompactMixedPlanner, NearestVariantStillValid) {
+  const auto snap = random_zipf_snapshot(5, 5000, 0.85, 9);
+  CompactMixedPlanner planner(3, /*greedy=*/false);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.1;
+  const auto plan = planner.plan(snap, cfg);
+  ASSERT_EQ(plan.assignment.size(), snap.num_keys());
+  for (const InstanceId d : plan.assignment) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 5);
+  }
+}
+
+class CompactDegreeParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactDegreeParam, LoadErrorBoundedAcrossDegrees) {
+  const int r = GetParam();
+  const auto snap = random_zipf_snapshot(8, 20'000, 0.85, 10);
+  CompactMixedPlanner planner(r);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.08;
+  const auto plan = planner.plan(snap, cfg);
+  ASSERT_EQ(plan.assignment.size(), snap.num_keys());
+  // Fig. 11(b): estimation error stays below ~1% for all tested degrees.
+  EXPECT_LT(planner.last_load_estimation_error_pct(), 3.0) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreeSweep, CompactDegreeParam,
+                         ::testing::Values(0, 1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,90 @@
+// Randomized conformance tests for the compact-representation planner:
+// on arbitrary snapshots it must produce exactly-valid plans (every key
+// placed once, moves == delta, conservation) and stay within a bounded
+// distance of the exact planner's balance quality.
+#include <gtest/gtest.h>
+
+#include "core/compact.h"
+#include "core/planners.h"
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+class CompactFuzzParam
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(CompactFuzzParam, PlansAreExactlyValid) {
+  const auto [seed, r] = GetParam();
+  Xoshiro256 rng(seed);
+  const auto nd = static_cast<InstanceId>(rng.next_between(2, 12));
+  const auto num_keys = static_cast<std::size_t>(rng.next_between(50, 4000));
+  const double skew = 0.3 + rng.next_double() * 0.9;
+  auto snap = testutil::random_zipf_snapshot(nd, num_keys, skew, seed);
+  // Randomly pre-route some keys (existing table entries).
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    if (rng.next_double() < 0.15) {
+      snap.current[k] = static_cast<InstanceId>(rng.next_below(
+          static_cast<std::uint64_t>(nd)));
+    }
+  }
+  snap.validate();
+
+  PlannerConfig cfg;
+  cfg.theta_max = 0.1;
+  cfg.max_table_entries = rng.next_double() < 0.5
+                              ? 0
+                              : static_cast<std::size_t>(num_keys / 4);
+  CompactMixedPlanner planner(r);
+  const auto plan = planner.plan(snap, cfg);
+
+  // Validity: every key assigned in range; moves match the delta.
+  ASSERT_EQ(plan.assignment.size(), num_keys);
+  std::size_t delta = 0;
+  Bytes bytes = 0.0;
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    ASSERT_GE(plan.assignment[k], 0);
+    ASSERT_LT(plan.assignment[k], nd);
+    if (plan.assignment[k] != snap.current[k]) {
+      ++delta;
+      bytes += snap.state[k];
+    }
+  }
+  EXPECT_EQ(plan.moves.size(), delta);
+  EXPECT_NEAR(plan.migration_bytes, bytes, 1e-6);
+
+  // Conservation: total load under the plan equals the snapshot total.
+  const auto loads = snap.loads_under(plan.assignment);
+  Cost total = 0.0;
+  for (const Cost l : loads) total += l;
+  Cost expected = 0.0;
+  for (const Cost c : snap.cost) expected += c;
+  EXPECT_NEAR(total, expected, 1e-6);
+}
+
+TEST_P(CompactFuzzParam, BalanceTracksExactPlannerWithinSlack) {
+  const auto [seed, r] = GetParam();
+  const auto snap =
+      testutil::random_zipf_snapshot(8, 3000, 0.9, seed ^ 0xf00d);
+  PlannerConfig cfg;
+  cfg.theta_max = 0.08;
+  cfg.max_table_entries = 0;
+  CompactMixedPlanner compact(r);
+  MixedPlanner exact;
+  const auto plan_compact = compact.plan(snap, cfg);
+  const auto plan_exact = exact.plan(snap, cfg);
+  // Compact may trail the exact planner by discretization error, bounded
+  // well below the initial imbalance it is correcting.
+  EXPECT_LE(plan_compact.achieved_theta,
+            std::max(plan_exact.achieved_theta + 0.06, 0.13))
+      << "seed=" << seed << " r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, CompactFuzzParam,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8),
+                       ::testing::Values(0, 2, 4, 6)));
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,70 @@
+#include "core/criteria.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+
+TEST(Criteria, HighestCostFirstOrdersByCost) {
+  const auto snap =
+      make_snapshot(1, {2.0, 9.0, 5.0}, {0, 0, 0}, {1.0, 1.0, 1.0});
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  std::vector<KeyId> keys = {0, 1, 2};
+  psi.sort_descending(snap, keys);
+  EXPECT_EQ(keys, (std::vector<KeyId>{1, 2, 0}));
+}
+
+TEST(Criteria, GammaPrefersHighCostPerByte) {
+  // k0: c=8, S=8 -> gamma(beta=1) = 1. k1: c=8, S=2 -> gamma = 4.
+  const auto snap = make_snapshot(1, {8.0, 8.0}, {0, 0}, {8.0, 2.0});
+  const Criterion psi(CriterionKind::kLargestGammaFirst, 1.0);
+  std::vector<KeyId> keys = {0, 1};
+  psi.sort_descending(snap, keys);
+  EXPECT_EQ(keys.front(), 1u);
+}
+
+TEST(Criteria, BetaShiftsPriorityTowardCost) {
+  // Paper's example: c(k1)=S(k1)=7, c(k2)=S(k2)=4.
+  // beta=1: gamma equal. beta=0.5: k2 gains higher priority.
+  const auto snap = make_snapshot(1, {7.0, 4.0}, {0, 0}, {7.0, 4.0});
+  const Criterion beta1(CriterionKind::kLargestGammaFirst, 1.0);
+  EXPECT_NEAR(beta1.score(snap, 0), beta1.score(snap, 1), 1e-12);
+
+  const Criterion beta_half(CriterionKind::kLargestGammaFirst, 0.5);
+  EXPECT_GT(beta_half.score(snap, 1), beta_half.score(snap, 0));
+
+  // Larger beta favours the big-load key instead.
+  const Criterion beta2(CriterionKind::kLargestGammaFirst, 2.0);
+  EXPECT_GT(beta2.score(snap, 0), beta2.score(snap, 1));
+}
+
+TEST(Criteria, GammaGuardsZeroState) {
+  const auto snap = make_snapshot(1, {5.0, 5.0}, {0, 0}, {0.0, 100.0});
+  const Criterion psi(CriterionKind::kLargestGammaFirst, 1.5);
+  // Stateless key migrates first (free migration).
+  EXPECT_GT(psi.score(snap, 0), psi.score(snap, 1));
+}
+
+TEST(Criteria, SmallestMemoryFirst) {
+  const auto snap =
+      make_snapshot(1, {1.0, 1.0, 1.0}, {0, 0, 0}, {30.0, 10.0, 20.0});
+  const Criterion eta(CriterionKind::kSmallestMemoryFirst);
+  std::vector<KeyId> keys = {0, 1, 2};
+  eta.sort_descending(snap, keys);
+  EXPECT_EQ(keys, (std::vector<KeyId>{1, 2, 0}));
+}
+
+TEST(Criteria, TiesBreakByKeyId) {
+  const auto snap = make_snapshot(1, {3.0, 3.0, 3.0}, {0, 0, 0});
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  std::vector<KeyId> keys = {2, 0, 1};
+  psi.sort_descending(snap, keys);
+  EXPECT_EQ(keys, (std::vector<KeyId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,137 @@
+#include "core/discretize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace skewless {
+namespace {
+
+TEST(Hlhe, RepresentativeStructureForPaperExample) {
+  // Fig. 6(b): r = 2 (R = 4), max = 8 -> representatives {8, 4, 2, 1}.
+  const HlheDiscretizer disc(2, 8.0);
+  const auto& reps = disc.representatives();
+  EXPECT_EQ(reps, (std::vector<double>{8.0, 4.0, 2.0, 1.0}));
+}
+
+TEST(Hlhe, LinearPlusExponentialParts) {
+  // r = 3 (R = 8), max = 32: linear 32, 24, 16, 8; exponential 4, 2, 1.
+  const HlheDiscretizer disc(3, 32.0);
+  const auto& reps = disc.representatives();
+  EXPECT_EQ(reps, (std::vector<double>{32.0, 24.0, 16.0, 8.0, 4.0, 2.0, 1.0}));
+}
+
+TEST(Hlhe, DegreeZeroCoversEveryInteger) {
+  // R = 1: representatives are every integer down to 1.
+  const HlheDiscretizer disc(0, 5.0);
+  EXPECT_EQ(disc.representatives(),
+            (std::vector<double>{5.0, 4.0, 3.0, 2.0, 1.0}));
+}
+
+TEST(Hlhe, PaperExampleCancelsDeviation) {
+  // Fig. 6(b): costs 8, 6, 3, 2, 2, 1, 1, 1, 1, 1 with R = 4 end with
+  // total deviation zero.
+  HlheDiscretizer disc(2, 8.0);
+  const std::vector<double> costs = {8, 6, 3, 2, 2, 1, 1, 1, 1, 1};
+  for (const double c : costs) (void)disc.discretize(c);
+  EXPECT_NEAR(disc.accumulated_deviation(), 0.0, 1.0);
+}
+
+TEST(Hlhe, ValuesMapToBracketingRepresentatives) {
+  HlheDiscretizer disc(2, 16.0);
+  // 5.0 lies between representatives 8 and 4.
+  const double y = disc.discretize(5.0);
+  EXPECT_TRUE(y == 4.0 || y == 8.0);
+}
+
+TEST(Hlhe, ExactRepresentativeMapsToItself) {
+  HlheDiscretizer disc(2, 16.0);
+  EXPECT_EQ(disc.discretize(16.0), 16.0);
+  EXPECT_EQ(disc.discretize(4.0), 4.0);
+  EXPECT_EQ(disc.discretize(1.0), 1.0);
+}
+
+TEST(Hlhe, ZeroPassesThrough) {
+  HlheDiscretizer disc(2, 16.0);
+  EXPECT_EQ(disc.discretize(16.0), 16.0);
+  EXPECT_EQ(disc.discretize(0.0), 0.0);
+}
+
+TEST(Hlhe, AboveMaxClampsToLargestRepresentative) {
+  HlheDiscretizer disc(1, 10.0);
+  const double top = disc.representatives().front();
+  EXPECT_EQ(disc.discretize(top + 0.5), top);
+}
+
+TEST(Hlhe, ResetClearsDeviation) {
+  HlheDiscretizer disc(2, 8.0);
+  (void)disc.discretize(6.0);
+  EXPECT_NE(disc.accumulated_deviation(), 0.0);
+  disc.reset();
+  EXPECT_EQ(disc.accumulated_deviation(), 0.0);
+  (void)disc.discretize(8.0);  // monotonicity check restarts after reset
+}
+
+TEST(HlheDeath, RejectsIncreasingSequence) {
+  HlheDiscretizer disc(2, 8.0);
+  (void)disc.discretize(3.0);
+  EXPECT_DEATH((void)disc.discretize(5.0), "precondition");
+}
+
+TEST(Hlhe, NearestRoundingHasLargerDeviationOnSkewedData) {
+  // Theorem 3's point: greedy cancellation keeps |delta| ~ 0 while plain
+  // nearest-rounding accumulates error on Zipf-like value sets.
+  const ZipfDistribution zipf(2000, 0.9, false, 4);
+  auto counts = zipf.expected_counts(100'000);
+  std::vector<double> values;
+  for (const auto c : counts) {
+    if (c > 0) values.push_back(static_cast<double>(c));
+  }
+  std::sort(values.rbegin(), values.rend());
+
+  HlheDiscretizer greedy(3, values.front());
+  const HlheDiscretizer nearest(3, values.front());
+  double nearest_dev = 0.0;
+  for (const double v : values) {
+    (void)greedy.discretize(v);
+    nearest_dev += v - nearest.discretize_nearest(v);
+  }
+  EXPECT_LE(std::abs(greedy.accumulated_deviation()),
+            std::abs(nearest_dev) + 1.0);
+  // Greedy deviation is bounded by the largest representative gap.
+  EXPECT_LE(std::abs(greedy.accumulated_deviation()), 8.0);
+}
+
+class HlheTheorem3Param
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HlheTheorem3Param, AccumulatedDeviationStaysNearZero) {
+  const auto [r, skew] = GetParam();
+  const ZipfDistribution zipf(5000, skew, false, 7);
+  auto counts = zipf.expected_counts(200'000);
+  std::vector<double> values;
+  for (const auto c : counts) {
+    if (c > 0) values.push_back(static_cast<double>(c));
+  }
+  std::sort(values.rbegin(), values.rend());
+  HlheDiscretizer disc(r, values.front());
+  for (const double v : values) (void)disc.discretize(v);
+  // |delta| never exceeds half the largest representative spacing once the
+  // greedy step can alternate, i.e. it is O(R), not O(sum of values).
+  const double r_value = std::pow(2.0, r);
+  EXPECT_LE(std::abs(disc.accumulated_deviation()), r_value + 1.0)
+      << "r=" << r << " skew=" << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HlheTheorem3Param,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5, 8),
+                       ::testing::Values(0.5, 0.85, 1.1)));
+
+}  // namespace
+}  // namespace skewless

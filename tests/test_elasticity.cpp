@@ -1,0 +1,128 @@
+#include "core/elasticity.h"
+
+#include <gtest/gtest.h>
+
+namespace skewless {
+namespace {
+
+ElasticityAdvisor::Options fast_options() {
+  ElasticityAdvisor::Options opts;
+  opts.ewma_alpha = 1.0;  // no smoothing: tests control the signal exactly
+  opts.sustain_intervals = 3;
+  opts.cooldown_intervals = 2;
+  return opts;
+}
+
+TEST(Elasticity, HoldsInHealthyBand) {
+  ElasticityAdvisor advisor(fast_options());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(advisor.observe(0.6, 4), ScalingAdvice::kHold);
+  }
+}
+
+TEST(Elasticity, SustainedOverloadTriggersScaleOut) {
+  ElasticityAdvisor advisor(fast_options());
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kHold);
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kHold);
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kScaleOut);
+}
+
+TEST(Elasticity, TransientSpikeDoesNotTrigger) {
+  ElasticityAdvisor advisor(fast_options());
+  advisor.observe(0.95, 4);
+  advisor.observe(0.95, 4);
+  advisor.observe(0.6, 4);  // back in band: streak resets
+  EXPECT_EQ(advisor.breach_streak(), 0);
+  advisor.observe(0.95, 4);
+  advisor.observe(0.95, 4);
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kScaleOut);
+}
+
+TEST(Elasticity, SustainedUnderloadTriggersScaleIn) {
+  ElasticityAdvisor advisor(fast_options());
+  advisor.observe(0.1, 4);
+  advisor.observe(0.1, 4);
+  EXPECT_EQ(advisor.observe(0.1, 4), ScalingAdvice::kScaleIn);
+}
+
+TEST(Elasticity, NeverScalesBelowMinimum) {
+  auto opts = fast_options();
+  opts.min_instances = 2;
+  ElasticityAdvisor advisor(opts);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(advisor.observe(0.05, 2), ScalingAdvice::kHold);
+  }
+}
+
+TEST(Elasticity, CooldownSuppressesAdvice) {
+  ElasticityAdvisor advisor(fast_options());
+  advisor.observe(0.95, 4);
+  advisor.observe(0.95, 4);
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kScaleOut);
+  // cooldown = 2 intervals: no advice even though still overloaded.
+  EXPECT_EQ(advisor.observe(0.95, 5), ScalingAdvice::kHold);
+  EXPECT_EQ(advisor.observe(0.95, 5), ScalingAdvice::kHold);
+  // Then the streak must rebuild.
+  advisor.observe(0.95, 5);
+  advisor.observe(0.95, 5);
+  EXPECT_EQ(advisor.observe(0.95, 5), ScalingAdvice::kScaleOut);
+}
+
+TEST(Elasticity, EwmaSmoothsNoisyInput) {
+  ElasticityAdvisor::Options opts;
+  opts.ewma_alpha = 0.2;
+  opts.sustain_intervals = 3;
+  ElasticityAdvisor advisor(opts);
+  // Alternating 0.4 / 1.1 averages 0.75 < high watermark 0.85: the EWMA
+  // stays in the healthy band even though half the raw samples breach.
+  // (Start low: the EWMA initializes from the first observation.)
+  for (int i = 0; i < 30; ++i) {
+    const double u = (i % 2 == 0) ? 0.4 : 1.1;
+    EXPECT_EQ(advisor.observe(u, 4), ScalingAdvice::kHold) << "i=" << i;
+  }
+}
+
+TEST(Elasticity, ResetForgetsHistory) {
+  ElasticityAdvisor advisor(fast_options());
+  advisor.observe(0.95, 4);
+  advisor.observe(0.95, 4);
+  advisor.reset();
+  EXPECT_EQ(advisor.observe(0.95, 4), ScalingAdvice::kHold);
+  EXPECT_EQ(advisor.breach_streak(), 1);
+}
+
+TEST(SuggestInstances, CeilsToTargetUtilization) {
+  // 10 units of work, capacity 1, target 0.8 -> 12.5 -> 13 instances.
+  EXPECT_EQ(suggest_instances(10.0, 1.0, 0.8), 13);
+  EXPECT_EQ(suggest_instances(0.0, 1.0, 0.8), 1);
+  EXPECT_EQ(suggest_instances(1.0, 1.0, 1.0), 1);
+  EXPECT_EQ(suggest_instances(1.01, 1.0, 1.0), 2);
+}
+
+TEST(ElasticityDeath, RejectsInvertedWatermarks) {
+  ElasticityAdvisor::Options opts;
+  opts.high_watermark = 0.3;
+  opts.low_watermark = 0.5;
+  EXPECT_DEATH(ElasticityAdvisor{opts}, "precondition");
+}
+
+TEST(Elasticity, EndToEndScaleOutScenario) {
+  // A workload that doubles: advisor reacts once, suggest_instances tells
+  // how far to scale.
+  ElasticityAdvisor advisor(fast_options());
+  InstanceId nd = 4;
+  double work = 3.6;  // utilization 0.9 at nd = 4
+  int scale_outs = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto advice = advisor.observe(work / nd, nd);
+    if (advice == ScalingAdvice::kScaleOut) {
+      ++nd;
+      ++scale_outs;
+    }
+  }
+  EXPECT_GE(scale_outs, 1);
+  EXPECT_LE(work / nd, 0.85);
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,97 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace skewless {
+namespace {
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+  // The value lands in bin [3, 4).
+  EXPECT_GE(h.quantile(0.5), 3.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, WeightsCount) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.0, 7);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(Histogram, QuantilesOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100'000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+  EXPECT_NEAR(h.mean(), 0.5, 0.01);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h(0.0, 100.0, 50);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10'000; ++i) h.add(rng.next_double() * 100.0);
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedInsertion) {
+  Histogram a(0.0, 10.0, 20);
+  Histogram b(0.0, 10.0, 20);
+  Histogram combined(0.0, 10.0, 20);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 10.0;
+    (i % 2 == 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (std::size_t bin = 0; bin < a.num_bins(); ++bin) {
+    EXPECT_EQ(a.bin_count(bin), combined.bin_count(bin));
+  }
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramDeath, MergeRequiresIdenticalBinning) {
+  Histogram a(0.0, 10.0, 10);
+  const Histogram b(0.0, 10.0, 20);
+  EXPECT_DEATH(a.merge(b), "precondition");
+}
+
+}  // namespace
+}  // namespace skewless

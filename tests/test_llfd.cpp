@@ -1,0 +1,158 @@
+#include "core/llfd.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+
+// The running example of Fig. 4 / Section III-A: two instances,
+// d1 = {k1:7, k2:4, k5:5} (load 16), d2 = {k3:2, k4:1, k6:1} (load 4),
+// θmax = 0 (absolute balance, L̄ = 10).
+PartitionSnapshot fig4_snapshot() {
+  // KeyIds: k1=0, k2=1, k3=2, k4=3, k5=4, k6=5.
+  return make_snapshot(2, {7.0, 4.0, 2.0, 1.0, 5.0, 1.0},
+                       {0, 0, 1, 1, 0, 1});
+}
+
+TEST(Llfd, Fig4ReachesPerfectBalance) {
+  const auto snap = fig4_snapshot();
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  auto candidates = prepare_candidates(wa, psi, /*theta_max=*/0.0);
+  // Only d1 is overloaded; removing k1 (highest cost) brings it to 9 <= 10.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), 0u);  // k1
+
+  const auto outcome = llfd_assign(wa, std::move(candidates), psi, 0.0);
+  EXPECT_TRUE(outcome.fully_placed);
+  EXPECT_FALSE(outcome.budget_exhausted);
+  EXPECT_EQ(wa.load(0), 10.0);
+  EXPECT_EQ(wa.load(1), 10.0);
+  // The Adjust chain of the paper: k1 evicts k3 from d2; k3 cannot fit on
+  // d1 (no smaller-cost keys), re-enters d2 evicting k4; k4 lands on d1.
+  EXPECT_GE(outcome.evictions, 2u);
+  const auto result = wa.to_assignment();
+  EXPECT_EQ(result[0], 1);  // k1 moved to d2
+  EXPECT_EQ(result[3], 0);  // k4 moved to d1
+  EXPECT_EQ(result[2], 1);  // k3 stays on d2 after the exchange dance
+}
+
+TEST(Llfd, AdjustPreventsReOverloading) {
+  // Without Adjust, moving the heavy key to the least-loaded instance
+  // would overload it (the "re-overloading" problem).
+  const auto snap = fig4_snapshot();
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  auto candidates = prepare_candidates(wa, psi, 0.0);
+  llfd_assign(wa, std::move(candidates), psi, 0.0);
+  const Cost lmax = snap.overload_threshold(0.0);
+  EXPECT_LE(wa.load(0), lmax + 1e-9);
+  EXPECT_LE(wa.load(1), lmax + 1e-9);
+}
+
+TEST(Llfd, NoCandidatesWhenAlreadyBalanced) {
+  const auto snap = make_snapshot(2, {5.0, 5.0}, {0, 1});
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  const auto candidates = prepare_candidates(wa, psi, 0.1);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(Llfd, SingleGiantKeyFallsBackToLeastLoaded) {
+  // One key heavier than Lmax can never fit; LLFD places it least-loaded
+  // and reports fully_placed = false.
+  const auto snap = make_snapshot(2, {100.0, 1.0, 1.0}, {0, 0, 1});
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  auto candidates = prepare_candidates(wa, psi, 0.0);
+  const auto outcome = llfd_assign(wa, std::move(candidates), psi, 0.0);
+  EXPECT_FALSE(outcome.fully_placed);
+  const auto result = wa.to_assignment();
+  for (const InstanceId d : result) EXPECT_NE(d, kNilInstance);
+}
+
+TEST(Llfd, PrepareNeverStripsInstanceBare) {
+  const auto snap = make_snapshot(2, {100.0, 1.0}, {0, 1});
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  (void)prepare_candidates(wa, psi, 0.0);
+  EXPECT_GE(wa.keys_of(0).size(), 1u);
+}
+
+TEST(Llfd, EmptyCandidateSetIsNoop) {
+  const auto snap = fig4_snapshot();
+  WorkingAssignment wa(snap);
+  const Criterion psi(CriterionKind::kHighestCostFirst);
+  const auto outcome = llfd_assign(wa, {}, psi, 0.0);
+  EXPECT_TRUE(outcome.fully_placed);
+  EXPECT_EQ(outcome.placements, 0u);
+  EXPECT_EQ(wa.to_assignment(), snap.current);
+}
+
+TEST(SimpleAssign, PerfectlySplittableInstance) {
+  const auto snap = make_snapshot(2, {4.0, 3.0, 2.0, 1.0}, {0, 0, 0, 0});
+  const auto assignment = simple_assign(snap);
+  const auto loads = snap.loads_under(assignment);
+  EXPECT_EQ(loads[0], 5.0);
+  EXPECT_EQ(loads[1], 5.0);
+}
+
+TEST(SimpleAssign, DecreasingOrderPlacement) {
+  // FFD behaviour: 6 goes first, then 5 on the other instance, then 4
+  // joins 5? No: least-loaded is the 5-instance? 5<6 so 4 joins 5 -> 9.
+  const auto snap = make_snapshot(2, {6.0, 5.0, 4.0}, {0, 0, 0});
+  const auto assignment = simple_assign(snap);
+  const auto loads = snap.loads_under(assignment);
+  const double max_load = std::max(loads[0], loads[1]);
+  EXPECT_EQ(max_load, 9.0);
+}
+
+TEST(SimpleAssign, AllKeysAssigned) {
+  const auto snap = testutil::random_zipf_snapshot(5, 1000, 0.85, 3);
+  const auto assignment = simple_assign(snap);
+  ASSERT_EQ(assignment.size(), 1000u);
+  for (const InstanceId d : assignment) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 5);
+  }
+}
+
+class LlfdRandomParam
+    : public ::testing::TestWithParam<std::tuple<InstanceId, double>> {};
+
+TEST_P(LlfdRandomParam, MeetsThetaOnRandomZipfWorkloads) {
+  const auto [nd, theta_max] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto snap = testutil::random_zipf_snapshot(nd, 2000, 0.85, seed);
+    WorkingAssignment wa(snap);
+    const Criterion psi(CriterionKind::kHighestCostFirst);
+    auto candidates = prepare_candidates(wa, psi, theta_max);
+    const auto outcome = llfd_assign(wa, std::move(candidates), psi,
+                                     theta_max);
+    const Cost lmax = snap.overload_threshold(theta_max);
+    if (outcome.fully_placed) {
+      for (InstanceId d = 0; d < nd; ++d) {
+        EXPECT_LE(wa.load(d), lmax + 1e-6)
+            << "instance " << d << " overloaded, seed " << seed;
+      }
+    }
+    // Conservation: total load unchanged.
+    Cost total = 0.0;
+    for (InstanceId d = 0; d < nd; ++d) total += wa.load(d);
+    Cost expected = 0.0;
+    for (const Cost c : snap.cost) expected += c;
+    EXPECT_NEAR(total, expected, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LlfdRandomParam,
+    ::testing::Combine(::testing::Values<InstanceId>(2, 5, 10, 20),
+                       ::testing::Values(0.0, 0.08, 0.3)));
+
+}  // namespace
+}  // namespace skewless

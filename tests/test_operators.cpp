@@ -1,0 +1,116 @@
+#include "workload/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace skewless {
+namespace {
+
+class RecordingCollector final : public Collector {
+ public:
+  void emit(const Tuple& tuple) override { emitted.push_back(tuple); }
+  std::vector<Tuple> emitted;
+};
+
+TEST(WordCountState, CountsAndBytesGrow) {
+  WordCountState state;
+  EXPECT_EQ(state.count(), 0u);
+  const Bytes empty = state.bytes();
+  state.add(10, 1);
+  state.add(20, 2);
+  EXPECT_EQ(state.count(), 2u);
+  EXPECT_GT(state.bytes(), empty);
+}
+
+TEST(WordCountState, ExpireDropsOldTuplesButKeepsCount) {
+  WordCountState state;
+  state.add(10, 1);
+  state.add(20, 2);
+  state.add(30, 3);
+  state.expire_before(25);
+  EXPECT_EQ(state.buffered(), 1u);
+  EXPECT_EQ(state.count(), 3u);  // the aggregate survives expiry
+}
+
+TEST(WordCountState, ChecksumDependsOnContent) {
+  WordCountState a;
+  WordCountState b;
+  a.add(1, 5);
+  b.add(1, 6);
+  EXPECT_NE(a.checksum(), b.checksum());
+  WordCountState c;
+  c.add(99, 5);  // same value, different time: same aggregate
+  EXPECT_EQ(a.checksum(), c.checksum());
+}
+
+TEST(WordCountLogic, EmitsRunningCount) {
+  const WordCountLogic logic(2.0);
+  auto state = logic.make_state();
+  RecordingCollector out;
+  const Cost cost = logic.process(Tuple{3, 42, 100, 0}, *state, out);
+  EXPECT_EQ(cost, 2.0);
+  ASSERT_EQ(out.emitted.size(), 1u);
+  EXPECT_EQ(out.emitted[0].key, 3u);
+  EXPECT_EQ(out.emitted[0].value, 1);
+  logic.process(Tuple{3, 43, 200, 0}, *state, out);
+  EXPECT_EQ(out.emitted[1].value, 2);
+}
+
+TEST(SelfJoinState, WindowAndExpiry) {
+  SelfJoinState state;
+  state.append(10, 1);
+  state.append(20, 2);
+  state.append(30, 3);
+  EXPECT_EQ(state.window_size(), 3u);
+  EXPECT_EQ(state.bytes(), 48.0);
+  state.expire_before(21);
+  EXPECT_EQ(state.window_size(), 1u);
+}
+
+TEST(SelfJoinState, ChecksumOrderInsensitiveContent) {
+  SelfJoinState a;
+  a.append(1, 10);
+  a.append(2, 20);
+  SelfJoinState b;
+  b.append(5, 20);
+  b.append(9, 10);
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(SelfJoinLogic, CostGrowsWithWindow) {
+  const SelfJoinLogic logic(1.0, 0.1, 1024);
+  auto state = logic.make_state();
+  RecordingCollector out;
+  const Cost first = logic.process(Tuple{1, 0, 0, 0}, *state, out);
+  for (int i = 0; i < 50; ++i) {
+    logic.process(Tuple{1, i, 0, 0}, *state, out);
+  }
+  const Cost later = logic.process(Tuple{1, 0, 0, 0}, *state, out);
+  EXPECT_GT(later, first);
+}
+
+TEST(SelfJoinLogic, MatchesEmitParityJoins) {
+  const SelfJoinLogic logic;
+  auto state = logic.make_state();
+  RecordingCollector out;
+  logic.process(Tuple{1, 2, 0, 0}, *state, out);  // even, window empty
+  EXPECT_TRUE(out.emitted.empty());
+  logic.process(Tuple{1, 4, 1, 0}, *state, out);  // even matches even
+  ASSERT_EQ(out.emitted.size(), 1u);
+  EXPECT_EQ(out.emitted[0].value, 1);
+  logic.process(Tuple{1, 3, 2, 0}, *state, out);  // odd matches nothing
+  EXPECT_EQ(out.emitted.size(), 1u);
+}
+
+TEST(SelfJoinLogic, WindowBoundEnforced) {
+  const SelfJoinLogic logic(1.0, 0.01, 16);
+  auto state = logic.make_state();
+  RecordingCollector out;
+  for (int i = 0; i < 100; ++i) {
+    logic.process(Tuple{1, i, static_cast<Micros>(i), 0}, *state, out);
+  }
+  const auto& sj = static_cast<SelfJoinState&>(*state);
+  EXPECT_LE(sj.window_size(), 16u);
+}
+
+}  // namespace
+}  // namespace skewless

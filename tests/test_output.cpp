@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace skewless {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(0.0, 3), "0.000");
+}
+
+TEST(ResultTable, CsvRoundTrip) {
+  ResultTable table("t", {"a", "b"});
+  table.add_row({"1", "x"});
+  table.add_row({"2", "y"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,x\n2,y\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(ResultTable, NumericRowFormatting) {
+  ResultTable table("t", {"a", "b"});
+  table.add_row_numeric({1.234, 5.678}, 1);
+  EXPECT_EQ(table.to_csv(), "a,b\n1.2,5.7\n");
+}
+
+TEST(ResultTable, EmptyTableCsvIsHeaderOnly) {
+  const ResultTable table("t", {"x"});
+  EXPECT_EQ(table.to_csv(), "x\n");
+}
+
+TEST(ResultTableDeath, RowWidthMismatch) {
+  ResultTable table("t", {"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "precondition");
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash; output routing is to stderr.
+  SKW_LOG_DEBUG("suppressed %d", 1);
+  SKW_LOG_INFO("suppressed %s", "too");
+  SKW_LOG_ERROR("emitted %d", 2);
+  set_log_level(before);
+}
+
+TEST(Log, AllLevelsEmitWhenDebug) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  SKW_LOG_DEBUG("d");
+  SKW_LOG_INFO("i");
+  SKW_LOG_WARN("w");
+  SKW_LOG_ERROR("e");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace skewless

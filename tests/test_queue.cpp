@@ -1,0 +1,147 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace skewless {
+namespace {
+
+TEST(BoundedMpmcQueue, PushPopSingleThread) {
+  BoundedMpmcQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedMpmcQueue, TryPushFailsWhenFull) {
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedMpmcQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedMpmcQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedMpmcQueue, CloseWakesBlockedConsumer) {
+  BoundedMpmcQueue<int> q(2);
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedMpmcQueue, MultiProducerMultiConsumerConservation) {
+  BoundedMpmcQueue<int> q(64);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BoundedMpmcQueue, MoveOnlyPayload) {
+  BoundedMpmcQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(42)));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(SpscRing, CapacityRoundsUp) {
+  const SpscRing<int> ring(10);
+  EXPECT_GE(ring.capacity(), 10u);
+}
+
+TEST(SpscRing, PushPopOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ring.try_pop().value(), i);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> ring(2);
+  std::size_t pushed = 0;
+  while (ring.try_push(1)) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_EQ(ring.try_pop().value(), round);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRing<int> ring(128);
+  constexpr int kCount = 200'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  while (received < kCount) {
+    if (auto v = ring.try_pop()) {
+      EXPECT_EQ(*v, received);  // FIFO order preserved
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,124 @@
+#include "baselines/readj.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planners.h"
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+using testutil::random_zipf_snapshot;
+
+PlannerConfig cfg_theta(double theta_max) {
+  PlannerConfig cfg;
+  cfg.theta_max = theta_max;
+  cfg.max_table_entries = 0;
+  return cfg;
+}
+
+TEST(Readj, BalancesSimpleHotInstance) {
+  // d0 holds two heavy keys; moving one over balances perfectly.
+  const auto snap = make_snapshot(2, {10.0, 10.0}, {0, 0});
+  ReadjPlanner planner;
+  const auto plan = planner.plan(snap, cfg_theta(0.0));
+  EXPECT_TRUE(plan.balanced);
+  EXPECT_EQ(plan.moves.size(), 1u);
+}
+
+TEST(Readj, UsesSwapsWhenPlainMovesInsufficient) {
+  // d0 = {8, 6}, d1 = {5, 1}: moving 6 over gives {8} vs {12} (worse max
+  // 12); swapping 6 <-> 1 gives {8,1}=9 vs {5,6}=11; swapping 6 <-> 5
+  // gives {8,5}=13... The best single action is a swap; Readj must find
+  // an improving sequence ending within theta for a feasible target.
+  const auto snap = make_snapshot(2, {8.0, 6.0, 5.0, 1.0}, {0, 0, 1, 1});
+  ReadjPlanner planner;
+  const auto plan = planner.plan(snap, cfg_theta(0.1));
+  // Perfect split exists: {8,2?} no — total 20, target 10: {8,1} vs {6,5}
+  // = 9 vs 11 is best integral... check it improved over the initial 14/6.
+  EXPECT_LT(plan.achieved_theta,
+            PartitionSnapshot::max_theta(snap.current_loads()));
+}
+
+TEST(Readj, MovesBackNonHeavyRoutedKeys) {
+  // A light key routed away from its hash home gets restored (Readj's
+  // bias toward the hash function's placement).
+  const auto snap = make_snapshot(2, {0.1, 10.0, 10.0}, {0, 0, 1},
+                                  {1.0, 1.0, 1.0},
+                                  /*hash=*/{1, 0, 1});
+  ReadjPlanner::Options opts;
+  opts.sigma_grid = {0.01};  // heavy threshold 0.201 > c(k0) = 0.1
+  ReadjPlanner planner(opts);
+  const auto plan = planner.plan(snap, cfg_theta(0.3));
+  EXPECT_EQ(plan.assignment[0], 1);  // moved back to hash home
+}
+
+TEST(Readj, GivesUpWhenOnlyLightKeysRemain)
+{
+  // The hot instance's keys are all below every sigma threshold times the
+  // average load; Readj cannot fix the imbalance caused by many light
+  // keys (the paper's critique: it only considers hot keys).
+  const std::size_t n = 1000;
+  std::vector<Cost> cost(n, 1.0);
+  std::vector<InstanceId> current(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    current[k] = k < 800 ? 0 : 1;  // 800 vs 200 light keys
+  }
+  const auto snap = make_snapshot(2, cost, current);
+  ReadjPlanner::Options opts;
+  opts.sigma_grid = {0.5, 0.2};  // sigma * L_bar = 250, 100 >> 1
+  ReadjPlanner planner(opts);
+  const auto plan = planner.plan(snap, cfg_theta(0.05));
+  EXPECT_FALSE(plan.balanced);
+  // Mixed, by contrast, handles it (it considers all candidate keys).
+  MixedPlanner mixed;
+  EXPECT_TRUE(mixed.plan(snap, cfg_theta(0.05)).balanced);
+}
+
+TEST(Readj, SmallerSigmaFindsBetterPlans) {
+  const auto snap = random_zipf_snapshot(6, 2000, 1.0, 17);
+  ReadjPlanner::Options coarse;
+  coarse.sigma_grid = {0.5};
+  ReadjPlanner::Options fine;
+  fine.sigma_grid = {0.01};
+  ReadjPlanner coarse_planner(coarse);
+  ReadjPlanner fine_planner(fine);
+  const auto plan_coarse = coarse_planner.plan(snap, cfg_theta(0.08));
+  const auto plan_fine = fine_planner.plan(snap, cfg_theta(0.08));
+  EXPECT_LE(plan_fine.achieved_theta, plan_coarse.achieved_theta + 1e-9);
+}
+
+TEST(Readj, PlanIsInternallyConsistent) {
+  const auto snap = random_zipf_snapshot(8, 3000, 0.9, 23);
+  ReadjPlanner planner;
+  const auto plan = planner.plan(snap, cfg_theta(0.08));
+  ASSERT_EQ(plan.assignment.size(), snap.num_keys());
+  Bytes bytes = 0.0;
+  std::size_t moves = 0;
+  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+    if (plan.assignment[k] != snap.current[k]) {
+      ++moves;
+      bytes += snap.state[k];
+    }
+  }
+  EXPECT_EQ(plan.moves.size(), moves);
+  EXPECT_NEAR(plan.migration_bytes, bytes, 1e-6);
+}
+
+TEST(Readj, SlowerThanMixedOnLargeFluctuatingInput) {
+  // The complexity claim behind Fig. 12(a): Readj's exhaustive pairing is
+  // slower than Mixed's single-shot heuristic. Compare planning times on
+  // a large skewed snapshot (generous factor to avoid flakiness).
+  const auto snap = random_zipf_snapshot(10, 50'000, 1.0, 29);
+  ReadjPlanner readj;
+  MixedPlanner mixed;
+  const auto cfg = cfg_theta(0.02);
+  const auto plan_readj = readj.plan(snap, cfg);
+  const auto plan_mixed = mixed.plan(snap, cfg);
+  EXPECT_GT(plan_readj.generation_micros, plan_mixed.generation_micros / 4)
+      << "Readj unexpectedly fast; its search may have degenerated";
+}
+
+}  // namespace
+}  // namespace skewless

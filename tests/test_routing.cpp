@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/assignment.h"
+#include "core/routing_table.h"
+
+namespace skewless {
+namespace {
+
+TEST(RoutingTable, LookupMissReturnsNullopt) {
+  const RoutingTable table;
+  EXPECT_FALSE(table.lookup(42).has_value());
+}
+
+TEST(RoutingTable, SetAndLookup) {
+  RoutingTable table;
+  EXPECT_TRUE(table.set(1, 3));
+  EXPECT_EQ(table.lookup(1).value(), 3);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, UpdateExistingEntryDoesNotGrow) {
+  RoutingTable table(1);
+  EXPECT_TRUE(table.set(1, 0));
+  EXPECT_TRUE(table.set(1, 2));  // update always allowed
+  EXPECT_EQ(table.lookup(1).value(), 2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, BoundRejectsNewEntriesWhenFull) {
+  RoutingTable table(2);
+  EXPECT_TRUE(table.set(1, 0));
+  EXPECT_TRUE(table.set(2, 0));
+  EXPECT_FALSE(table.set(3, 0));
+  EXPECT_EQ(table.size(), 2u);
+  table.erase(1);
+  EXPECT_TRUE(table.set(3, 0));
+}
+
+TEST(RoutingTable, UnboundedWhenMaxZero) {
+  RoutingTable table(0);
+  EXPECT_FALSE(table.bounded());
+  for (KeyId k = 0; k < 10'000; ++k) EXPECT_TRUE(table.set(k, 0));
+  EXPECT_EQ(table.size(), 10'000u);
+}
+
+TEST(RoutingTable, EraseMissingReturnsFalse) {
+  RoutingTable table;
+  EXPECT_FALSE(table.erase(9));
+}
+
+TEST(RoutingTable, EntriesSortedByKey) {
+  RoutingTable table;
+  table.set(5, 1);
+  table.set(1, 2);
+  table.set(3, 0);
+  const auto entries = table.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 1u);
+  EXPECT_EQ(entries[1].first, 3u);
+  EXPECT_EQ(entries[2].first, 5u);
+}
+
+TEST(RoutingTable, AssignReplacesContents) {
+  RoutingTable table;
+  table.set(1, 1);
+  table.assign({{7, 0}, {8, 1}});
+  EXPECT_FALSE(table.lookup(1).has_value());
+  EXPECT_EQ(table.lookup(7).value(), 0);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AssignmentFunction, TableOverridesHash) {
+  AssignmentFunction f(ConsistentHashRing(4, 128, 1), 100);
+  const KeyId key = 12345;
+  const InstanceId hash_dest = f.hash_dest(key);
+  EXPECT_EQ(f(key), hash_dest);
+  const InstanceId other = (hash_dest + 1) % 4;
+  f.table().set(key, other);
+  EXPECT_EQ(f(key), other);
+  EXPECT_EQ(f.hash_dest(key), hash_dest);  // hash unchanged
+}
+
+TEST(AssignmentFunction, MaterializeMatchesPointEvaluation) {
+  AssignmentFunction f(ConsistentHashRing(5, 128, 2), 0);
+  f.table().set(3, 4);
+  f.table().set(17, 0);
+  const auto dense = f.materialize(100);
+  for (KeyId k = 0; k < 100; ++k) {
+    EXPECT_EQ(dense[static_cast<std::size_t>(k)], f(k));
+  }
+}
+
+TEST(AssignmentFunction, InstallCreatesMinimalTable) {
+  AssignmentFunction f(ConsistentHashRing(3, 128, 3), 0);
+  auto assignment = f.materialize_hash(50);
+  // Redirect two keys away from their hash destination.
+  assignment[10] = (assignment[10] + 1) % 3;
+  assignment[20] = (assignment[20] + 2) % 3;
+  f.install(assignment);
+  EXPECT_EQ(f.table().size(), 2u);
+  const auto dense = f.materialize(50);
+  EXPECT_EQ(dense, assignment);
+}
+
+TEST(AssignmentFunction, InstallIdentityYieldsEmptyTable) {
+  AssignmentFunction f(ConsistentHashRing(3, 128, 4), 0);
+  f.table().set(1, 0);
+  f.install(f.materialize_hash(30));
+  EXPECT_EQ(f.table().size(), 0u);
+}
+
+TEST(AssignmentDelta, FindsChangedKeys) {
+  const std::vector<InstanceId> before = {0, 1, 2, 0};
+  const std::vector<InstanceId> after = {0, 2, 2, 1};
+  const auto delta = assignment_delta(before, after);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0], 1u);
+  EXPECT_EQ(delta[1], 3u);
+}
+
+TEST(AssignmentDelta, EmptyWhenIdentical) {
+  const std::vector<InstanceId> a = {0, 1};
+  EXPECT_TRUE(assignment_delta(a, a).empty());
+}
+
+}  // namespace
+}  // namespace skewless

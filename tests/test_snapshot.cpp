@@ -1,0 +1,90 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+
+TEST(Snapshot, LoadsUnderAssignment) {
+  const auto snap = make_snapshot(2, {1.0, 2.0, 3.0}, {0, 0, 1});
+  const auto loads = snap.current_loads();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0], 3.0);
+  EXPECT_EQ(loads[1], 3.0);
+}
+
+TEST(Snapshot, AverageLoad) {
+  const auto snap = make_snapshot(3, {3.0, 3.0, 3.0}, {0, 1, 2});
+  EXPECT_NEAR(snap.average_load(), 3.0, 1e-12);
+}
+
+TEST(Snapshot, ThetaZeroWhenBalanced) {
+  const auto snap = make_snapshot(2, {5.0, 5.0}, {0, 1});
+  const auto loads = snap.current_loads();
+  EXPECT_EQ(PartitionSnapshot::theta(loads, 0), 0.0);
+  EXPECT_EQ(PartitionSnapshot::theta(loads, 1), 0.0);
+  EXPECT_EQ(PartitionSnapshot::max_theta(loads), 0.0);
+}
+
+TEST(Snapshot, ThetaMeasuresRelativeDeviation) {
+  // Loads 16 and 4, average 10 -> theta = 0.6 for both.
+  const auto snap = make_snapshot(2, {16.0, 4.0}, {0, 1});
+  const auto loads = snap.current_loads();
+  EXPECT_NEAR(PartitionSnapshot::theta(loads, 0), 0.6, 1e-12);
+  EXPECT_NEAR(PartitionSnapshot::theta(loads, 1), 0.6, 1e-12);
+  EXPECT_NEAR(PartitionSnapshot::max_theta(loads), 0.6, 1e-12);
+}
+
+TEST(Snapshot, MaxThetaZeroOnZeroLoad) {
+  const auto snap = make_snapshot(2, {0.0, 0.0}, {0, 1});
+  EXPECT_EQ(PartitionSnapshot::max_theta(snap.current_loads()), 0.0);
+}
+
+TEST(Snapshot, OverloadThreshold) {
+  const auto snap = make_snapshot(2, {10.0, 10.0}, {0, 1});
+  EXPECT_NEAR(snap.overload_threshold(0.0), 10.0, 1e-12);
+  EXPECT_NEAR(snap.overload_threshold(0.5), 15.0, 1e-12);
+}
+
+TEST(Snapshot, ImpliedTableSizeCountsDeviationsFromHash) {
+  std::vector<InstanceId> assignment = {0, 1, 2, 0};
+  std::vector<InstanceId> hash = {0, 0, 2, 1};
+  EXPECT_EQ(implied_table_size(assignment, hash), 2u);
+  EXPECT_EQ(implied_table_size(hash, hash), 0u);
+}
+
+TEST(Snapshot, EmptyKeyDomain) {
+  PartitionSnapshot snap;
+  snap.num_instances = 3;
+  snap.validate();
+  const auto loads = snap.current_loads();
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0], 0.0);
+}
+
+TEST(SnapshotDeath, ValidateRejectsOutOfRangeDestination) {
+  PartitionSnapshot snap;
+  snap.num_instances = 2;
+  snap.cost = {1.0};
+  snap.state = {1.0};
+  snap.hash_dest = {5};  // out of range
+  snap.current = {0};
+  EXPECT_DEATH(snap.validate(), "precondition");
+}
+
+TEST(SnapshotDeath, ValidateRejectsNegativeCost) {
+  PartitionSnapshot snap;
+  snap.num_instances = 1;
+  snap.cost = {-1.0};
+  snap.state = {1.0};
+  snap.hash_dest = {0};
+  snap.current = {0};
+  EXPECT_DEATH(snap.validate(), "precondition");
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace skewless {
+namespace {
+
+TEST(Welford, EmptyAccumulator) {
+  const Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.sum(), 0.0);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(5.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.min(), 5.0);
+  EXPECT_EQ(w.max(), 5.0);
+}
+
+TEST(Welford, MatchesNaiveComputation) {
+  Xoshiro256 rng(1);
+  std::vector<double> values;
+  Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100.0 - 50.0;
+    values.push_back(x);
+    w.add(x);
+  }
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  EXPECT_NEAR(w.mean(), mean, 1e-9);
+  EXPECT_NEAR(w.variance(), var, 1e-9);
+  EXPECT_NEAR(w.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(Welford, MergeEquivalentToSequential) {
+  Xoshiro256 rng(2);
+  Welford all;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double();
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptyIsNoop) {
+  Welford a;
+  a.add(1.0);
+  a.add(3.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+
+  Welford b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // Sorted: 0, 10. Quantile 0.25 -> 2.5.
+  EXPECT_NEAR(percentile({0.0, 10.0}, 0.25), 2.5, 1e-12);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 0.5), 7.0);
+  EXPECT_EQ(percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(CdfPoints, EndpointsAndMonotonicity) {
+  Xoshiro256 rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.next_double());
+  const auto points = cdf_points(values, 11);
+  ASSERT_EQ(points.size(), 11u);
+  EXPECT_EQ(points.front().first, 0.0);
+  EXPECT_EQ(points.back().first, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].second, points[i - 1].second);
+    EXPECT_GT(points[i].first, points[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,90 @@
+// Shared helpers for the test suite: concise snapshot builders and
+// randomized-instance generators used by the property tests.
+#pragma once
+
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/snapshot.h"
+
+namespace skewless::testutil {
+
+/// Builds a snapshot from explicit per-key cost/state/destination vectors.
+/// hash_dest defaults to current (i.e. an empty routing table).
+inline PartitionSnapshot make_snapshot(InstanceId nd, std::vector<Cost> cost,
+                                       std::vector<InstanceId> current,
+                                       std::vector<Bytes> state = {},
+                                       std::vector<InstanceId> hash = {}) {
+  PartitionSnapshot snap;
+  snap.num_instances = nd;
+  snap.cost = std::move(cost);
+  snap.current = std::move(current);
+  snap.state = state.empty() ? std::vector<Bytes>(snap.cost.size(), 1.0)
+                             : std::move(state);
+  snap.hash_dest = hash.empty() ? snap.current : std::move(hash);
+  snap.validate();
+  return snap;
+}
+
+/// Random Zipf-cost snapshot placed by a consistent-hash ring — the
+/// canonical "skewed workload just arrived" planning input.
+inline PartitionSnapshot random_zipf_snapshot(InstanceId nd,
+                                              std::size_t num_keys,
+                                              double skew,
+                                              std::uint64_t seed,
+                                              double state_scale = 4.0) {
+  const ZipfDistribution zipf(num_keys, skew, true, seed);
+  const auto counts = zipf.expected_counts(num_keys * 10);
+  const ConsistentHashRing ring(nd, 128, seed ^ 0x1234);
+
+  PartitionSnapshot snap;
+  snap.num_instances = nd;
+  snap.cost.resize(num_keys);
+  snap.state.resize(num_keys);
+  snap.hash_dest.resize(num_keys);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    snap.cost[k] = static_cast<Cost>(counts[k]);
+    snap.state[k] = state_scale * static_cast<Bytes>(counts[k]);
+    snap.hash_dest[k] = ring.owner(static_cast<KeyId>(k));
+  }
+  snap.current = snap.hash_dest;
+  snap.validate();
+  return snap;
+}
+
+/// Plants a snapshot for which a perfectly balanced assignment exists:
+/// `per_instance` keys per instance, each instance's costs summing to
+/// `target` exactly, and no single key above `max_key_fraction · target`.
+inline PartitionSnapshot planted_perfect_snapshot(InstanceId nd,
+                                                  int per_instance,
+                                                  double target,
+                                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  PartitionSnapshot snap;
+  snap.num_instances = nd;
+  for (InstanceId d = 0; d < nd; ++d) {
+    // Split `target` into per_instance random positive parts.
+    std::vector<double> cuts;
+    cuts.push_back(0.0);
+    for (int i = 0; i < per_instance - 1; ++i) {
+      cuts.push_back(rng.next_double() * target);
+    }
+    cuts.push_back(target);
+    std::sort(cuts.begin(), cuts.end());
+    for (int i = 0; i < per_instance; ++i) {
+      const double c = cuts[static_cast<std::size_t>(i) + 1] -
+                       cuts[static_cast<std::size_t>(i)];
+      snap.cost.push_back(std::max(c, 1e-6));
+      snap.state.push_back(1.0);
+      // Start everything hashed onto instance 0 — maximally imbalanced.
+      snap.hash_dest.push_back(0);
+      snap.current.push_back(0);
+    }
+  }
+  snap.validate();
+  return snap;
+}
+
+}  // namespace skewless::testutil

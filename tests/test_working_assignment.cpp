@@ -1,0 +1,139 @@
+#include "core/working_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace skewless {
+namespace {
+
+using testutil::make_snapshot;
+
+TEST(WorkingAssignment, InitialLoadsMatchSnapshot) {
+  const auto snap = make_snapshot(2, {7.0, 4.0, 5.0, 2.0}, {0, 0, 1, 1});
+  const WorkingAssignment wa(snap);
+  EXPECT_EQ(wa.load(0), 11.0);
+  EXPECT_EQ(wa.load(1), 7.0);
+  EXPECT_EQ(wa.keys_of(0).size(), 2u);
+  EXPECT_EQ(wa.keys_of(1).size(), 2u);
+}
+
+TEST(WorkingAssignment, DisassociateRemovesLoadAndBucket) {
+  const auto snap = make_snapshot(2, {7.0, 4.0}, {0, 0});
+  WorkingAssignment wa(snap);
+  wa.disassociate(0);
+  EXPECT_EQ(wa.dest(0), kNilInstance);
+  EXPECT_EQ(wa.load(0), 4.0);
+  EXPECT_EQ(wa.keys_of(0).size(), 1u);
+  EXPECT_EQ(wa.keys_of(0).front(), 1u);
+}
+
+TEST(WorkingAssignment, DisassociateTwiceIsNoop) {
+  const auto snap = make_snapshot(2, {7.0}, {0});
+  WorkingAssignment wa(snap);
+  wa.disassociate(0);
+  wa.disassociate(0);
+  EXPECT_EQ(wa.load(0), 0.0);
+}
+
+TEST(WorkingAssignment, AssignAfterDisassociate) {
+  const auto snap = make_snapshot(2, {7.0}, {0});
+  WorkingAssignment wa(snap);
+  wa.disassociate(0);
+  wa.assign(0, 1);
+  EXPECT_EQ(wa.dest(0), 1);
+  EXPECT_EQ(wa.load(0), 0.0);
+  EXPECT_EQ(wa.load(1), 7.0);
+  EXPECT_EQ(wa.keys_of(1).size(), 1u);
+}
+
+TEST(WorkingAssignment, MoveBackRestoresHashDestination) {
+  // Key 0 hashes to 1 but currently sits on 0.
+  const auto snap =
+      make_snapshot(2, {5.0, 1.0}, {0, 1}, {1.0, 1.0}, {1, 1});
+  WorkingAssignment wa(snap);
+  wa.move_back(0);
+  EXPECT_EQ(wa.dest(0), 1);
+  EXPECT_EQ(wa.load(0), 0.0);
+  EXPECT_EQ(wa.load(1), 6.0);
+}
+
+TEST(WorkingAssignment, MoveBackWhenAlreadyHomeIsNoop) {
+  const auto snap = make_snapshot(2, {5.0}, {1}, {1.0}, {1});
+  WorkingAssignment wa(snap);
+  wa.move_back(0);
+  EXPECT_EQ(wa.dest(0), 1);
+  EXPECT_EQ(wa.load(1), 5.0);
+}
+
+TEST(WorkingAssignment, InstancesByLoadAscending) {
+  const auto snap = make_snapshot(3, {9.0, 1.0, 5.0}, {0, 1, 2});
+  const WorkingAssignment wa(snap);
+  const auto order = wa.instances_by_load_ascending();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(WorkingAssignment, LoadTiesBreakByInstanceId) {
+  const auto snap = make_snapshot(3, {2.0, 2.0, 2.0}, {2, 1, 0});
+  const WorkingAssignment wa(snap);
+  const auto order = wa.instances_by_load_ascending();
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(WorkingAssignment, ToAssignmentRoundTrips) {
+  const auto snap = make_snapshot(3, {1.0, 2.0, 3.0, 4.0}, {0, 1, 2, 0});
+  WorkingAssignment wa(snap);
+  EXPECT_EQ(wa.to_assignment(), snap.current);
+  wa.disassociate(3);
+  wa.assign(3, 2);
+  const auto result = wa.to_assignment();
+  EXPECT_EQ(result[3], 2);
+}
+
+TEST(WorkingAssignmentDeath, ToAssignmentRejectsNilKeys) {
+  const auto snap = make_snapshot(2, {1.0}, {0});
+  WorkingAssignment wa(snap);
+  wa.disassociate(0);
+  EXPECT_DEATH((void)wa.to_assignment(), "postcondition");
+}
+
+TEST(WorkingAssignmentDeath, AssignOccupiedKeyRejected) {
+  const auto snap = make_snapshot(2, {1.0}, {0});
+  WorkingAssignment wa(snap);
+  EXPECT_DEATH(wa.assign(0, 1), "precondition");
+}
+
+TEST(WorkingAssignment, BucketIntegrityUnderChurn) {
+  const auto snap = testutil::random_zipf_snapshot(4, 500, 0.9, 77);
+  WorkingAssignment wa(snap);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = static_cast<KeyId>(rng.next_below(500));
+    if (wa.dest(k) == kNilInstance) {
+      wa.assign(k, static_cast<InstanceId>(rng.next_below(4)));
+    } else if (rng.next_double() < 0.5) {
+      wa.disassociate(k);
+    } else {
+      wa.move_back(k);
+    }
+  }
+  // Invariant: per-instance bucket contents and loads agree with dest().
+  for (InstanceId d = 0; d < 4; ++d) {
+    Cost load = 0.0;
+    for (const KeyId k : wa.keys_of(d)) {
+      EXPECT_EQ(wa.dest(k), d);
+      load += snap.cost[static_cast<std::size_t>(k)];
+    }
+    EXPECT_NEAR(load, wa.load(d), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace skewless

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/social.h"
+#include "workload/stock.h"
+#include "workload/synthetic.h"
+
+namespace skewless {
+namespace {
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(poisson_sample(rng, 0.0), 0u);
+}
+
+TEST(Poisson, SmallMeanMatches) {
+  Xoshiro256 rng(2);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(poisson_sample(rng, 3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Poisson, LargeMeanMatches) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(poisson_sample(rng, 500.0));
+  }
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+}
+
+TEST(ZipfFluctuatingSource, FirstIntervalMatchesZipfExpectation) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 1000;
+  opts.tuples_per_interval = 50'000;
+  opts.fluctuation = 0.0;
+  ZipfFluctuatingSource source(opts);
+  const auto load = source.next_interval();
+  EXPECT_EQ(load.total(), 50'000u);
+  EXPECT_EQ(load.counts.size(), 1000u);
+}
+
+TEST(ZipfFluctuatingSource, NoFluctuationKeepsCountsStable) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 500;
+  opts.tuples_per_interval = 20'000;
+  opts.fluctuation = 0.0;
+  ZipfFluctuatingSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(ZipfFluctuatingSource, FluctuationPreservesTotal) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 2000;
+  opts.tuples_per_interval = 100'000;
+  opts.fluctuation = 0.5;
+  ZipfFluctuatingSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  EXPECT_EQ(a.total(), b.total());  // swaps conserve mass
+  EXPECT_NE(a.counts, b.counts);
+}
+
+TEST(ZipfFluctuatingSource, FluctuationReachesRequestedMagnitude) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 5000;
+  opts.tuples_per_interval = 200'000;
+  opts.fluctuation = 0.6;
+  opts.reference_instances = 10;
+  ZipfFluctuatingSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+
+  // Recompute reference-instance loads the way the generator defines them.
+  ConsistentHashRing ring(10, 128, opts.seed ^ 0xabc);
+  std::vector<double> la(10, 0.0);
+  std::vector<double> lb(10, 0.0);
+  for (std::size_t k = 0; k < a.counts.size(); ++k) {
+    const auto d = static_cast<std::size_t>(ring.owner(static_cast<KeyId>(k)));
+    la[d] += static_cast<double>(a.counts[k]);
+    lb[d] += static_cast<double>(b.counts[k]);
+  }
+  double avg = 0.0;
+  for (const double l : la) avg += l;
+  avg /= 10.0;
+  double worst = 0.0;
+  for (std::size_t d = 0; d < 10; ++d) {
+    worst = std::max(worst, std::abs(la[d] - lb[d]) / avg);
+  }
+  EXPECT_GE(worst, 0.6);
+}
+
+TEST(ZipfFluctuatingSource, SampleNoiseApproximatesExpectation) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 100;
+  opts.tuples_per_interval = 100'000;
+  opts.fluctuation = 0.0;
+  opts.sample_noise = true;
+  ZipfFluctuatingSource source(opts);
+  const auto load = source.next_interval();
+  EXPECT_NEAR(static_cast<double>(load.total()), 100'000.0, 3'000.0);
+}
+
+TEST(SocialSource, TotalStaysConstant) {
+  SocialSource::Options opts;
+  opts.num_words = 5000;
+  opts.tuples_per_interval = 100'000;
+  SocialSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  EXPECT_EQ(a.total(), 100'000u);
+  EXPECT_EQ(b.total(), 100'000u);
+}
+
+TEST(SocialSource, DriftIsGradual) {
+  SocialSource::Options opts;
+  opts.num_words = 5000;
+  opts.tuples_per_interval = 100'000;
+  opts.drift_fraction = 0.01;
+  SocialSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  // L1 distance between consecutive snapshots is a small fraction of the
+  // total (slow topic drift).
+  std::uint64_t l1 = 0;
+  for (std::size_t k = 0; k < a.counts.size(); ++k) {
+    l1 += a.counts[k] > b.counts[k] ? a.counts[k] - b.counts[k]
+                                    : b.counts[k] - a.counts[k];
+  }
+  EXPECT_GT(l1, 0u);
+  EXPECT_LT(l1, a.total() / 5);
+}
+
+TEST(SocialSource, ZeroDriftIsStationary) {
+  SocialSource::Options opts;
+  opts.num_words = 1000;
+  opts.tuples_per_interval = 10'000;
+  opts.drift_fraction = 0.0;
+  SocialSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(StockSource, MatchesPaperKeyCount) {
+  StockSource::Options opts;
+  const StockSource source(opts);
+  EXPECT_EQ(source.num_keys(), 1036u);
+}
+
+TEST(StockSource, BurstsAmplifyVolume) {
+  StockSource::Options opts;
+  opts.num_symbols = 100;
+  opts.tuples_per_interval = 100'000;
+  opts.burst_probability = 1.0;  // burst every interval
+  opts.burst_min_factor = 10.0;
+  opts.burst_max_factor = 10.0;
+  StockSource source(opts);
+  const auto base_total = 100'000.0;
+  const auto load = source.next_interval();
+  EXPECT_GT(static_cast<double>(load.total()), base_total);
+  EXPECT_GE(source.active_bursts(), 1u);
+}
+
+TEST(StockSource, NoBurstsMeansStationary) {
+  StockSource::Options opts;
+  opts.num_symbols = 100;
+  opts.tuples_per_interval = 50'000;
+  opts.burst_probability = 0.0;
+  StockSource source(opts);
+  const auto a = source.next_interval();
+  const auto b = source.next_interval();
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(source.active_bursts(), 0u);
+}
+
+TEST(StockSource, BurstsExpire) {
+  StockSource::Options opts;
+  opts.num_symbols = 50;
+  opts.tuples_per_interval = 10'000;
+  opts.burst_probability = 0.0;
+  StockSource source(opts);
+  // Manually unreachable: with probability 0 no bursts ever start, so
+  // active_bursts stays 0 across many intervals.
+  for (int i = 0; i < 10; ++i) (void)source.next_interval();
+  EXPECT_EQ(source.active_bursts(), 0u);
+}
+
+}  // namespace
+}  // namespace skewless

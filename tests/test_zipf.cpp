@@ -1,0 +1,122 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace skewless {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  const ZipfDistribution zipf(100, 0.85);
+  double sum = 0.0;
+  for (KeyId k = 0; k < 100; ++k) sum += zipf.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  const ZipfDistribution zipf(50, 0.0);
+  for (KeyId k = 0; k < 50; ++k) {
+    EXPECT_NEAR(zipf.probability(k), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  const ZipfDistribution zipf(1000, 1.0);
+  const KeyId hottest = zipf.key_at_rank(0);
+  const KeyId coldest = zipf.key_at_rank(999);
+  EXPECT_GT(zipf.probability(hottest), zipf.probability(coldest));
+}
+
+TEST(Zipf, ClassicZipfRatioBetweenTopRanks) {
+  const ZipfDistribution zipf(1000, 1.0, /*permute_ranks=*/false);
+  // With z = 1, P(rank 1) = 2 * P(rank 2).
+  EXPECT_NEAR(zipf.probability(zipf.key_at_rank(0)) /
+                  zipf.probability(zipf.key_at_rank(1)),
+              2.0, 1e-9);
+}
+
+TEST(Zipf, ExpectedCountsSumExactly) {
+  const ZipfDistribution zipf(333, 0.85);
+  const auto counts = zipf.expected_counts(123'457);
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 123'457u);
+}
+
+TEST(Zipf, ExpectedCountsMatchProbabilities) {
+  const ZipfDistribution zipf(100, 0.9);
+  const std::uint64_t n = 1'000'000;
+  const auto counts = zipf.expected_counts(n);
+  for (KeyId k = 0; k < 100; ++k) {
+    const double expected = zipf.probability(k) * static_cast<double>(n);
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]),
+                expected, 1.0);
+  }
+}
+
+TEST(Zipf, SamplingMatchesProbabilities) {
+  const ZipfDistribution zipf(20, 0.85, /*permute_ranks=*/false);
+  Xoshiro256 rng(123);
+  std::vector<int> counts(20, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(zipf.sample(rng))];
+  }
+  for (KeyId k = 0; k < 20; ++k) {
+    const double expected = zipf.probability(k) * n;
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(k)]),
+                expected, 5.0 * std::sqrt(expected) + 5.0);
+  }
+}
+
+TEST(Zipf, PermutationIsDeterministicPerSeed) {
+  const ZipfDistribution a(100, 0.85, true, 7);
+  const ZipfDistribution b(100, 0.85, true, 7);
+  const ZipfDistribution c(100, 0.85, true, 8);
+  EXPECT_EQ(a.key_at_rank(0), b.key_at_rank(0));
+  int diffs = 0;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    if (a.key_at_rank(r) != c.key_at_rank(r)) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(Zipf, PermutationIsBijective) {
+  const ZipfDistribution zipf(500, 0.85, true, 3);
+  std::vector<bool> seen(500, false);
+  for (std::uint64_t r = 0; r < 500; ++r) {
+    const KeyId k = zipf.key_at_rank(r);
+    ASSERT_LT(k, 500u);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(k)]);
+    seen[static_cast<std::size_t>(k)] = true;
+  }
+}
+
+class ZipfSkewParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewParam, TopRankShareGrowsWithSkew) {
+  const double z = GetParam();
+  const ZipfDistribution zipf(10'000, z, /*permute_ranks=*/false);
+  const double top = zipf.probability(zipf.key_at_rank(0));
+  const double uniform = 1.0 / 10'000.0;
+  if (z == 0.0) {
+    EXPECT_NEAR(top, uniform, 1e-12);
+  } else {
+    EXPECT_GT(top, uniform);
+  }
+  // CDF of top-100 keys must be monotone in z (checked against z = 0).
+  double top100 = 0.0;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    top100 += zipf.probability(zipf.key_at_rank(r));
+  }
+  EXPECT_GE(top100, 100.0 * uniform - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, ZipfSkewParam,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.85, 1.0, 1.2));
+
+}  // namespace
+}  // namespace skewless
