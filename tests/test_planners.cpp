@@ -162,7 +162,9 @@ TEST(MixedBf, FindsFeasiblePlanWhenMixedDoes) {
   const auto plan_mixed = mixed.plan(snap, cfg);
   const auto plan_bf = brute.plan(snap, cfg);
   expect_valid_plan(plan_bf, snap);
-  if (plan_mixed.table_fits) EXPECT_TRUE(plan_bf.table_fits);
+  if (plan_mixed.table_fits) {
+    EXPECT_TRUE(plan_bf.table_fits);
+  }
 }
 
 TEST(MixedBf, NeverWorseMigrationThanMixedWhenBothFeasible) {

@@ -26,7 +26,7 @@ TEST(ShuffleRouter, RoundRobinIgnoresKeys) {
 
 TEST(ShuffleRouter, AddInstanceExtendsCycle) {
   ShuffleRouter router(2);
-  router.route(0);
+  (void)router.route(0);
   router.add_instance();
   std::vector<int> counts(3, 0);
   for (int i = 0; i < 300; ++i) {
@@ -58,7 +58,7 @@ TEST(PkgRouter, BalancesSingleHotKey) {
   // The whole point of key splitting: one hot key spreads over both its
   // candidates instead of melting one instance.
   PkgRouter router(4);
-  for (int i = 0; i < 10'000; ++i) router.route(/*key=*/7);
+  for (int i = 0; i < 10'000; ++i) (void)router.route(/*key=*/7);
   const auto c1 = static_cast<std::size_t>(router.candidate(7, 0));
   const auto c2 = static_cast<std::size_t>(router.candidate(7, 1));
   ASSERT_NE(c1, c2);
@@ -68,7 +68,7 @@ TEST(PkgRouter, BalancesSingleHotKey) {
 
 TEST(PkgRouter, TracksCostEstimates) {
   PkgRouter router(4);
-  router.route(1, 5.0);
+  (void)router.route(1, 5.0);
   double total = 0.0;
   for (const double l : router.loads()) total += l;
   EXPECT_EQ(total, 5.0);
@@ -76,7 +76,7 @@ TEST(PkgRouter, TracksCostEstimates) {
 
 TEST(PkgRouter, IntervalDecayHalvesLoads) {
   PkgRouter router(2);
-  router.route(0, 8.0);
+  (void)router.route(0, 8.0);
   router.on_interval();
   double total = 0.0;
   for (const double l : router.loads()) total += l;

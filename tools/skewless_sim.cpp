@@ -3,8 +3,7 @@
 // Runs any workload/strategy combination and prints per-interval CSV, so
 // new scenarios can be explored without writing code:
 //
-//   skewless_sim --workload zipf --planner mixed --keys 50000 \
-//                --instances 10 --theta 0.08 --intervals 30
+//   skewless_sim --workload zipf --planner mixed --keys 50000 --instances 10 --theta 0.08 --intervals 30
 //
 // Strategies: mixed | mintable | minmig | mixedbf | compact | readj |
 //             dkg | hash | shuffle | pkg
