@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the machine-readable benches and refreshes the BENCH_*.json
+# trajectory files at the repository root.
+#
+#   bench/run_benches.sh [BUILD_DIR]     (default: build)
+#
+# Currently: bench_micro_sketch -> BENCH_sketch.json. The bench's own
+# acceptance gates (stats memory >= 10x smaller than exact, plan-quality
+# theta within tolerance) propagate through this script's exit status,
+# so CI can treat it as a check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_micro_sketch" ]]; then
+  echo "error: ${BUILD_DIR}/bench/bench_micro_sketch not built" >&2
+  echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+echo "== bench_micro_sketch -> BENCH_sketch.json" >&2
+"${BUILD_DIR}/bench/bench_micro_sketch" > BENCH_sketch.json
+cat BENCH_sketch.json

@@ -12,22 +12,25 @@ Controller::Controller(AssignmentFunction assignment, PlannerPtr planner,
     : assignment_(std::move(assignment)),
       planner_(std::move(planner)),
       config_(config),
-      stats_(num_keys, config.window) {
+      stats_(make_stats_provider(config.stats_mode, num_keys, config.window,
+                                 config.sketch)) {
   SKW_EXPECTS(planner_ != nullptr || !config_.enabled);
 }
 
 PartitionSnapshot Controller::build_snapshot() const {
   PartitionSnapshot snap;
   snap.num_instances = assignment_.num_instances();
-  snap.cost = stats_.last_cost();
-  snap.state = stats_.windowed_state();
-  snap.hash_dest = assignment_.materialize_hash(stats_.num_keys());
-  snap.current = assignment_.materialize(stats_.num_keys());
+  // Dense per-key view: exact copy in exact mode; heavy-exact plus
+  // normalized cold estimates in sketch mode — either way the planners
+  // consume the same PartitionSnapshot shape.
+  stats_->synthesize_dense(snap.cost, snap.state);
+  snap.hash_dest = assignment_.materialize_hash(stats_->num_keys());
+  snap.current = assignment_.materialize(stats_->num_keys());
   return snap;
 }
 
 std::optional<RebalancePlan> Controller::end_interval() {
-  stats_.roll();
+  stats_->roll();
   last_snapshot_ = build_snapshot();
   const auto loads = last_snapshot_.current_loads();
   last_observed_theta_ = PartitionSnapshot::max_theta(loads);
@@ -56,7 +59,7 @@ void Controller::add_instance() {
   // Installing after the ring change computes entries against the new
   // h(k), so keys whose ring owner changed get explicit pins and no state
   // moves implicitly.
-  const auto frozen = assignment_.materialize(stats_.num_keys());
+  const auto frozen = assignment_.materialize(stats_->num_keys());
   assignment_.add_instance();
   assignment_.install(frozen);
 }

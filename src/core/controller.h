@@ -32,6 +32,13 @@ struct ControllerConfig {
   /// If false, the controller reports imbalance but never migrates
   /// (the "Storm" baseline behaviour).
   bool enabled = true;
+  /// How per-key statistics are stored: kExact keeps dense O(|K|)
+  /// vectors (StatsWindow); kSketch keeps exact stats only for tracked
+  /// heavy hitters plus Count-Min aggregates for the cold tail
+  /// (SketchStatsWindow) — the million-key configuration.
+  StatsMode stats_mode = StatsMode::kExact;
+  /// Tuning for stats_mode == kSketch.
+  SketchStatsConfig sketch = {};
 };
 
 class Controller {
@@ -41,11 +48,19 @@ class Controller {
 
   /// Load reporting (step 1 of Fig. 5): the engine records each key's cost
   /// and state growth as it processes tuples.
-  void record(KeyId key, Cost cost, Bytes state_bytes) {
-    stats_.record(key, cost, state_bytes);
+  void record(KeyId key, Cost cost, Bytes state_bytes,
+              std::uint64_t frequency = 1) {
+    stats_->record(key, cost, state_bytes, frequency);
   }
 
-  [[nodiscard]] StatsWindow& stats() { return stats_; }
+  [[nodiscard]] StatsProvider& stats() { return *stats_; }
+  [[nodiscard]] const StatsProvider& stats() const { return *stats_; }
+
+  /// Resident bytes of the statistics structures (the exact-vs-sketch
+  /// trade-off number).
+  [[nodiscard]] std::size_t stats_memory_bytes() const {
+    return stats_->memory_bytes();
+  }
 
   /// Interval boundary: closes the stats interval, checks the trigger and
   /// plans + installs a new assignment if needed. Returns the plan when a
@@ -92,7 +107,7 @@ class Controller {
   AssignmentFunction assignment_;
   PlannerPtr planner_;
   ControllerConfig config_;
-  StatsWindow stats_;
+  std::unique_ptr<StatsProvider> stats_;
   PartitionSnapshot last_snapshot_;
   double last_observed_theta_ = 0.0;
   std::size_t rebalance_count_ = 0;

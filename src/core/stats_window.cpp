@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "sketch/sketch_stats_window.h"
 
 namespace skewless {
 
@@ -57,6 +58,41 @@ Bytes StatsWindow::total_windowed_state() const {
   return total;
 }
 
+Cost StatsWindow::last_cost_of(KeyId key) const {
+  SKW_EXPECTS(key < last_cost_.size());
+  return last_cost_[static_cast<std::size_t>(key)];
+}
+
+std::uint64_t StatsWindow::last_frequency_of(KeyId key) const {
+  SKW_EXPECTS(key < last_freq_.size());
+  return last_freq_[static_cast<std::size_t>(key)];
+}
+
+Bytes StatsWindow::windowed_state_of(KeyId key) const {
+  SKW_EXPECTS(key < window_sum_.size());
+  return window_sum_[static_cast<std::size_t>(key)];
+}
+
+void StatsWindow::synthesize_dense(std::vector<Cost>& cost,
+                                   std::vector<Bytes>& state) const {
+  cost = last_cost_;
+  state = window_sum_;
+}
+
+std::size_t StatsWindow::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      cur_cost_.capacity() * sizeof(Cost) +
+                      cur_state_.capacity() * sizeof(Bytes) +
+                      cur_freq_.capacity() * sizeof(std::uint64_t) +
+                      last_cost_.capacity() * sizeof(Cost) +
+                      last_freq_.capacity() * sizeof(std::uint64_t) +
+                      window_sum_.capacity() * sizeof(Bytes);
+  for (const auto& interval : ring_) {
+    bytes += sizeof(interval) + interval.capacity() * sizeof(Bytes);
+  }
+  return bytes;
+}
+
 void StatsWindow::resize_keys(std::size_t num_keys) {
   SKW_EXPECTS(num_keys >= cur_cost_.size());
   cur_cost_.resize(num_keys, 0.0);
@@ -66,6 +102,15 @@ void StatsWindow::resize_keys(std::size_t num_keys) {
   last_freq_.resize(num_keys, 0);
   window_sum_.resize(num_keys, 0.0);
   for (auto& interval : ring_) interval.resize(num_keys, 0.0);
+}
+
+std::unique_ptr<StatsProvider> make_stats_provider(
+    StatsMode mode, std::size_t num_keys, int window,
+    const SketchStatsConfig& sketch) {
+  if (mode == StatsMode::kSketch) {
+    return std::make_unique<SketchStatsWindow>(num_keys, window, sketch);
+  }
+  return std::make_unique<StatsWindow>(num_keys, window);
 }
 
 }  // namespace skewless

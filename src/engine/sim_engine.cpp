@@ -16,7 +16,9 @@ SimEngine::SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
       controller_(std::move(controller)),
       mode_(RoutingMode::kController),
       num_instances_(controller_->num_instances()),
-      state_(source_->num_keys(), controller_->config().window),
+      state_(make_stats_provider(config.stats_mode, source_->num_keys(),
+                                 controller_->config().window,
+                                 config.sketch)),
       pause_debt_(static_cast<std::size_t>(num_instances_), 0),
       key_paused_(source_->num_keys(), false) {
   SKW_EXPECTS(op_ && source_ && controller_);
@@ -29,7 +31,8 @@ SimEngine::SimEngine(SimConfig config, std::unique_ptr<SimOperator> op,
       source_(std::move(source)),
       mode_(mode),
       num_instances_(config.num_instances),
-      state_(source_->num_keys(), config.state_window),
+      state_(make_stats_provider(config.stats_mode, source_->num_keys(),
+                                 config.state_window, config.sketch)),
       pause_debt_(static_cast<std::size_t>(num_instances_), 0),
       key_paused_(source_->num_keys(), false) {
   SKW_EXPECTS(mode != RoutingMode::kController);
@@ -69,7 +72,7 @@ void SimEngine::add_instance() {
 
 IntervalMetrics SimEngine::step() {
   const IntervalWorkload load = source_->next_interval();
-  SKW_EXPECTS(load.counts.size() == state_.num_keys());
+  SKW_EXPECTS(load.counts.size() == state_->num_keys());
   const std::size_t num_keys = load.counts.size();
   const auto nd = static_cast<std::size_t>(num_instances_);
 
@@ -79,7 +82,6 @@ IntervalMetrics SimEngine::step() {
   std::vector<double> tuples(nd, 0.0);
   std::vector<double> paused_tuples_on(nd, 0.0);
 
-  const auto& windowed = state_.windowed_state();
   double total_tuples = 0.0;
 
   if (mode_ == RoutingMode::kShuffle) {
@@ -89,9 +91,11 @@ IntervalMetrics SimEngine::step() {
       const auto n = load.counts[k];
       if (n == 0) continue;
       total_tuples += static_cast<double>(n);
-      total_work += op_->batch_cost(static_cast<KeyId>(k), n, windowed[k]);
-      state_.record(static_cast<KeyId>(k), 0.0, op_->state_delta(
-          static_cast<KeyId>(k), n));
+      total_work += op_->batch_cost(
+          static_cast<KeyId>(k), n,
+          state_->windowed_state_of(static_cast<KeyId>(k)));
+      state_->record(static_cast<KeyId>(k), 0.0,
+                     op_->state_delta(static_cast<KeyId>(k), n), n);
     }
     for (std::size_t d = 0; d < nd; ++d) {
       m.instance_work[d] = total_work / static_cast<double>(nd);
@@ -104,7 +108,9 @@ IntervalMetrics SimEngine::step() {
       const auto n = load.counts[k];
       if (n == 0) continue;
       total_tuples += static_cast<double>(n);
-      const Cost batch = op_->batch_cost(static_cast<KeyId>(k), n, windowed[k]);
+      const Cost batch = op_->batch_cost(
+          static_cast<KeyId>(k), n,
+          state_->windowed_state_of(static_cast<KeyId>(k)));
       const Cost per_tuple = batch / static_cast<double>(n);
       std::uint64_t remaining = n;
       const std::uint64_t chunk = std::max<std::uint64_t>(1, n / 8);
@@ -118,8 +124,8 @@ IntervalMetrics SimEngine::step() {
         tuples[static_cast<std::size_t>(d)] += static_cast<double>(take);
         remaining -= take;
       }
-      state_.record(static_cast<KeyId>(k), batch,
-                    op_->state_delta(static_cast<KeyId>(k), n));
+      state_->record(static_cast<KeyId>(k), batch,
+                     op_->state_delta(static_cast<KeyId>(k), n), n);
     }
     pkg_router_->on_interval();
   } else {
@@ -139,14 +145,15 @@ IntervalMetrics SimEngine::step() {
         d = hash_router_->route(key);
       }
       const auto di = static_cast<std::size_t>(d);
-      const Cost batch = op_->batch_cost(key, n, windowed[k]);
+      const Cost batch =
+          op_->batch_cost(key, n, state_->windowed_state_of(key));
       const Bytes delta = op_->state_delta(key, n);
       m.instance_work[di] += batch;
       tuples[di] += static_cast<double>(n);
       if (key_paused_[k]) paused_tuples_on[di] += static_cast<double>(n);
-      state_.record(key, batch, delta);
+      state_->record(key, batch, delta, n);
       if (mode_ == RoutingMode::kController) {
-        controller_->record(key, batch, delta);
+        controller_->record(key, batch, delta, n);
       }
     }
   }
@@ -221,7 +228,7 @@ IntervalMetrics SimEngine::step() {
   // Pause latency is charged exactly once per migration.
   std::fill(key_paused_.begin(), key_paused_.end(), false);
 
-  state_.roll();
+  state_->roll();
 
   // ---- Rebalance machinery at the interval boundary (controller mode).
   if (mode_ == RoutingMode::kController) {
@@ -249,7 +256,7 @@ IntervalMetrics SimEngine::step() {
       m.generation_micros = plan->generation_micros;
       m.table_size = plan->table_size;
       m.moves = plan->moves.size();
-      const Bytes total_state = state_.total_windowed_state();
+      const Bytes total_state = state_->total_windowed_state();
       m.migration_pct = total_state > 0.0
                             ? plan->migration_bytes / total_state * 100.0
                             : 0.0;

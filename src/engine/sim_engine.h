@@ -62,6 +62,12 @@ struct SimConfig {
   /// w — sliding-window length (intervals) for the engine's own state
   /// tracker in router modes; controller mode inherits the controller's.
   int state_window = 1;
+  /// Storage for the engine's own per-key state tracker: exact dense
+  /// vectors or the sketch provider (million-key domains). The
+  /// controller keeps its own provider per ControllerConfig::stats_mode.
+  StatsMode stats_mode = StatsMode::kExact;
+  /// Tuning for stats_mode == kSketch.
+  SketchStatsConfig sketch = {};
 };
 
 struct IntervalMetrics {
@@ -105,7 +111,7 @@ class SimEngine {
   [[nodiscard]] Controller* controller() { return controller_.get(); }
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] InstanceId num_instances() const { return num_instances_; }
-  [[nodiscard]] const StatsWindow& state_tracker() const { return state_; }
+  [[nodiscard]] const StatsProvider& state_tracker() const { return *state_; }
 
  private:
   void route_interval(const IntervalWorkload& load,
@@ -127,8 +133,8 @@ class SimEngine {
 
   // Windowed per-key state tracking for batch_cost and migration sizes
   // (the controller keeps its own copy for planning; this one feeds the
-  // cost model in every mode).
-  StatsWindow state_;
+  // cost model in every mode). Exact or sketch per SimConfig::stats_mode.
+  std::unique_ptr<StatsProvider> state_;
 
   // Pause bookkeeping: capacity debt (micros) per instance from the most
   // recent migration, consumed over subsequent intervals.

@@ -42,6 +42,9 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
       num_workers_(controller_->num_instances()),
       migration_mailbox_(1 << 20) {
   SKW_EXPECTS(logic_ != nullptr);
+  // No separate monitor in controller mode: the controller's provider
+  // already sees every drained observation, and doubling it would
+  // double exactly the stats memory the sketch mode exists to shrink.
   start_workers();
 }
 
@@ -54,6 +57,9 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
       migration_mailbox_(1 << 20) {
   SKW_EXPECTS(logic_ != nullptr);
   hash_ring_.emplace(num_workers, 128, ring_seed);
+  // The key domain is discovered from the stream; the monitor grows on
+  // demand (the exact provider via resize_keys, the sketch natively).
+  monitor_ = make_stats_provider(config_.stats_mode, 0, 1, config_.sketch);
   start_workers();
 }
 
@@ -67,11 +73,14 @@ void ThreadedEngine::start_workers() {
   stores_.reserve(n);
   stats_.reserve(n);
   pending_batches_.resize(n);
+  drain_scratch_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     queues_.push_back(
         std::make_unique<BoundedMpmcQueue<WorkerMsg>>(config_.queue_capacity));
     stores_.push_back(std::make_unique<StateStore>());
     stats_.push_back(std::make_unique<WorkerStats>());
+    stats_.back()->per_key.reserve(256);
+    drain_scratch_[i].reserve(256);
   }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +94,10 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   StateStore& store = *stores_[idx];
   WorkerStats& stats = *stats_[idx];
   CountingCollector collector(total_outputs_);
+  // Per-batch aggregation buffer, reused across batches (clear() keeps
+  // the bucket array, so steady state allocates nothing per batch).
+  std::unordered_map<KeyId, PerKeyStat> local;
+  local.reserve(256);
 
   while (true) {
     auto msg = queues_[idx]->pop();
@@ -100,7 +113,7 @@ void ThreadedEngine::worker_loop(InstanceId id) {
       double latency_acc = 0.0;
       std::uint64_t latency_n = 0;
       // Per-key aggregation outside the shared lock.
-      std::unordered_map<KeyId, std::pair<double, double>> local;
+      local.clear();
       for (const Tuple& t : batch->tuples) {
         KeyState& state =
             store.get_or_create(t.key, [&] { return logic_->make_state(); });
@@ -108,8 +121,9 @@ void ThreadedEngine::worker_loop(InstanceId id) {
         const Cost cost = logic_->process(t, state, collector);
         const Bytes delta = std::max(0.0, state.bytes() - before);
         auto& entry = local[t.key];
-        entry.first += cost;
-        entry.second += delta;
+        entry.cost += cost;
+        entry.bytes += delta;
+        ++entry.count;
         latency_acc +=
             static_cast<double>(now - engine_epoch_us_ - t.emit_micros);
         ++latency_n;
@@ -117,11 +131,14 @@ void ThreadedEngine::worker_loop(InstanceId id) {
       total_processed_.fetch_add(batch->tuples.size(),
                                  std::memory_order_relaxed);
       {
+        // One lock per batch: the merge and every counter update share a
+        // single critical section.
         std::lock_guard lock(stats.mu);
         for (const auto& [key, cb] : local) {
           auto& entry = stats.per_key[key];
-          entry.first += cb.first;
-          entry.second += cb.second;
+          entry.cost += cb.cost;
+          entry.bytes += cb.bytes;
+          entry.count += cb.count;
         }
         stats.processed += batch->tuples.size();
         stats.latency_sum_us += latency_acc;
@@ -182,8 +199,11 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
   std::vector<double> worker_cost(stats_.size(), 0.0);
   for (std::size_t w = 0; w < stats_.size(); ++w) {
     WorkerStats& ws = *stats_[w];
-    std::unordered_map<KeyId, std::pair<double, double>> drained;
+    auto& drained = drain_scratch_[w];
     {
+      // Single short critical section per worker: swap out the per-key
+      // map (handing back last interval's cleared, pre-bucketed map) and
+      // grab every scalar counter in one acquisition.
       std::lock_guard lock(ws.mu);
       drained.swap(ws.per_key);
       report.processed += ws.processed;
@@ -194,9 +214,20 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
       ws.latency_samples = 0;
     }
     for (const auto& [key, cb] : drained) {
-      worker_cost[w] += cb.first;
-      if (controller_) controller_->record(key, cb.first, cb.second);
+      worker_cost[w] += cb.cost;
+      if (controller_) {
+        controller_->record(key, cb.cost, cb.bytes, cb.count);
+      } else {
+        if (monitor_->mode() == StatsMode::kExact &&
+            key >= monitor_->num_keys()) {
+          monitor_->resize_keys(static_cast<std::size_t>(key) + 1);
+        }
+        monitor_->record(key, cb.cost, cb.bytes, cb.count);
+      }
     }
+    // clear() keeps the bucket array; the next swap hands it back to the
+    // worker so steady-state intervals do no hash-table allocation.
+    drained.clear();
   }
   report.avg_latency_ms =
       latency_n > 0 ? latency_sum / static_cast<double>(latency_n) / 1000.0
@@ -308,6 +339,9 @@ ThreadedIntervalReport ThreadedEngine::run_interval(
   }
 
   drain_worker_stats(report);
+  if (monitor_) monitor_->roll();
+  report.stats_memory_bytes = controller_ ? controller_->stats_memory_bytes()
+                                          : monitor_->memory_bytes();
   if (controller_) {
     if (auto plan = controller_->end_interval()) {
       report.migrated = true;

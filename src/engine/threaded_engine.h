@@ -52,6 +52,13 @@ struct ThreadedConfig {
   /// distributed deployment would ship them. Costs CPU, proves fidelity,
   /// and fills ThreadedIntervalReport::migration_wire_bytes.
   bool serialize_migration = false;
+  /// Storage for the engine-side statistics monitor that hash-only mode
+  /// keeps (there is no controller to hold one). In controller mode the
+  /// controller's provider — configured via ControllerConfig — is the
+  /// single statistics store and this field is unused.
+  StatsMode stats_mode = StatsMode::kExact;
+  /// Tuning for stats_mode == kSketch.
+  SketchStatsConfig sketch = {};
 };
 
 struct ThreadedIntervalReport {
@@ -69,6 +76,10 @@ struct ThreadedIntervalReport {
   /// ThreadedConfig::serialize_migration is set).
   Bytes migration_wire_bytes = 0.0;
   Micros generation_micros = 0;
+  /// Resident bytes of the per-key statistics structures: the
+  /// controller's provider in controller mode, the engine monitor in
+  /// hash-only mode.
+  std::size_t stats_memory_bytes = 0;
 };
 
 class ThreadedEngine {
@@ -109,6 +120,14 @@ class ThreadedEngine {
   [[nodiscard]] std::size_t total_state_entries() const;
 
   [[nodiscard]] Controller* controller() { return controller_.get(); }
+
+  /// The per-key statistics view: the controller's provider in
+  /// controller mode, the engine-side monitor (rolled once per
+  /// interval, per ThreadedConfig::stats_mode) in hash-only mode.
+  [[nodiscard]] const StatsProvider& state_tracker() const {
+    return controller_ ? controller_->stats() : *monitor_;
+  }
+
   [[nodiscard]] std::uint64_t total_emitted() const {
     return total_emitted_;
   }
@@ -142,11 +161,21 @@ class ThreadedEngine {
     std::unique_ptr<KeyState> state;  // nullptr if the key had no state yet
   };
 
+  /// Per-key accumulation for one interval on one worker.
+  struct PerKeyStat {
+    double cost = 0.0;
+    double bytes = 0.0;
+    std::uint64_t count = 0;
+  };
+
   /// Per-worker statistics shared with the driver (mutex-guarded; the
-  /// driver drains them at interval boundaries).
+  /// driver drains them at interval boundaries). The per_key map is
+  /// recycled between intervals: the driver swaps it against a cleared
+  /// scratch map that keeps its buckets, so steady-state intervals do no
+  /// hash-table allocation on the hot path.
   struct WorkerStats {
     std::mutex mu;
-    std::unordered_map<KeyId, std::pair<double, double>> per_key;  // cost, bytes
+    std::unordered_map<KeyId, PerKeyStat> per_key;
     std::uint64_t processed = 0;
     double latency_sum_us = 0.0;
     std::uint64_t latency_samples = 0;
@@ -174,6 +203,10 @@ class ThreadedEngine {
   std::vector<std::unique_ptr<BoundedMpmcQueue<WorkerMsg>>> queues_;
   std::vector<std::unique_ptr<StateStore>> stores_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;
+  /// Driver-side scratch maps swapped against WorkerStats::per_key at
+  /// each drain (cleared with buckets retained — no per-interval rebuild).
+  std::vector<std::unordered_map<KeyId, PerKeyStat>> drain_scratch_;
+  std::unique_ptr<StatsProvider> monitor_;  // hash-only mode, else null
   BoundedMpmcQueue<ExtractedState> migration_mailbox_;
   std::vector<std::thread> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;

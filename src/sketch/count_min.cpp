@@ -1,0 +1,89 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(Params params) : seed_(params.seed) {
+  SKW_EXPECTS(params.epsilon > 0.0 && params.epsilon < 1.0);
+  SKW_EXPECTS(params.delta > 0.0 && params.delta < 1.0);
+  const double e = std::exp(1.0);
+  width_ = next_pow2(static_cast<std::size_t>(std::ceil(e / params.epsilon)));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / params.delta)));
+  depth_ = std::max<std::size_t>(depth_, 1);
+  cells_.assign(depth_ * width_, 0.0);
+}
+
+void CountMinSketch::add(KeyId key, double amount) {
+  SKW_EXPECTS(amount >= 0.0);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    cells_[row * width_ + cell_index(row, key)] += amount;
+  }
+  total_ += amount;
+}
+
+void CountMinSketch::add_conservative(KeyId key, double amount) {
+  SKW_EXPECTS(amount >= 0.0);
+  double est = cells_[cell_index(0, key)];
+  for (std::size_t row = 1; row < depth_; ++row) {
+    est = std::min(est, cells_[row * width_ + cell_index(row, key)]);
+  }
+  const double target = est + amount;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    double& cell = cells_[row * width_ + cell_index(row, key)];
+    cell = std::max(cell, target);
+  }
+  total_ += amount;
+}
+
+double CountMinSketch::estimate(KeyId key) const {
+  double est = cells_[cell_index(0, key)];
+  for (std::size_t row = 1; row < depth_; ++row) {
+    est = std::min(est, cells_[row * width_ + cell_index(row, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::add_sketch(const CountMinSketch& other) {
+  SKW_EXPECTS(other.width_ == width_ && other.depth_ == depth_ &&
+              other.seed_ == seed_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+void CountMinSketch::subtract_sketch(const CountMinSketch& other) {
+  SKW_EXPECTS(other.width_ == width_ && other.depth_ == depth_ &&
+              other.seed_ == seed_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    // Clamp tiny float residue; cells are sums of non-negative amounts.
+    cells_[i] = std::max(0.0, cells_[i] - other.cells_[i]);
+  }
+  total_ = std::max(0.0, total_ - other.total_);
+}
+
+void CountMinSketch::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+  total_ = 0.0;
+}
+
+double CountMinSketch::effective_epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+std::size_t CountMinSketch::memory_bytes() const {
+  return sizeof(*this) + cells_.capacity() * sizeof(double);
+}
+
+}  // namespace skewless

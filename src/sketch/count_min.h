@@ -1,0 +1,80 @@
+// Count-Min sketch (Cormode & Muthukrishnan, J. Algorithms '05) over the
+// KeyId domain with double-valued counters, supporting both the classic
+// update and the conservative-update variant (Estan & Varghese, SIGCOMM'02)
+// that only raises the cells that need raising.
+//
+// Guarantees (classic update, depth d = ⌈ln 1/δ⌉, width w ≥ e/ε):
+//   estimate(k) ≥ true(k)                                   always
+//   P[ estimate(k) − true(k) > ε · Σ true ] ≤ δ             per query
+// Conservative update preserves the overestimate property and is never
+// less accurate, but cell-wise merge/subtract only remain sound for the
+// classic update — which is why the windowed-state ring uses add() while
+// the per-interval frequency/cost sketches use add_conservative().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace skewless {
+
+class CountMinSketch {
+ public:
+  struct Params {
+    double epsilon = 2e-4;
+    double delta = 0.01;
+    std::uint64_t seed = 0x5eedc0de;
+  };
+
+  explicit CountMinSketch(Params params);
+
+  /// Classic update: every row's cell += amount. Cell-wise add_sketch /
+  /// subtract_sketch stay exact under this update.
+  void add(KeyId key, double amount);
+
+  /// Conservative update: raises each row's cell only up to
+  /// min-row-estimate + amount. Tighter estimates, but the sketch is no
+  /// longer a linear function of the stream (no subtract).
+  void add_conservative(KeyId key, double amount);
+
+  /// Upper-bound point estimate: min over rows.
+  [[nodiscard]] double estimate(KeyId key) const;
+
+  /// Cell-wise merge/unmerge (used to maintain a sliding-window sum of
+  /// per-interval sketches). Both sketches must share width/depth/seed.
+  void add_sketch(const CountMinSketch& other);
+  void subtract_sketch(const CountMinSketch& other);
+
+  void clear();
+
+  /// Exact running total of all added amounts (maintained as a scalar;
+  /// conservative updates make cell sums useless for this).
+  [[nodiscard]] double total() const { return total_; }
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  /// The realized ε after rounding the width up to a power of two.
+  [[nodiscard]] double effective_epsilon() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t row, KeyId key) const {
+    // Independent row hashes derived from one seed; width is a power of
+    // two so the modulo is a mask.
+    return static_cast<std::size_t>(
+               hash64(key, seed_ + (row + 1) * 0x9e3779b97f4a7c15ULL)) &
+           (width_ - 1);
+  }
+
+  std::size_t width_;   // power of two
+  std::size_t depth_;
+  std::uint64_t seed_;
+  double total_ = 0.0;
+  std::vector<double> cells_;  // depth_ rows of width_ cells
+};
+
+}  // namespace skewless

@@ -1,0 +1,265 @@
+#include "sketch/sketch_stats_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+CountMinSketch::Params SketchStatsWindow::cms_params(
+    std::uint64_t salt) const {
+  CountMinSketch::Params p;
+  p.epsilon = config_.epsilon;
+  p.delta = config_.delta;
+  // Distinct hash families per quantity; every state sketch shares salt 3
+  // so the window ring can be cell-wise merged/subtracted.
+  p.seed = config_.seed + salt * 0x9e3779b97f4a7c15ULL;
+  return p;
+}
+
+SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
+                                     SketchStatsConfig config)
+    : config_(config),
+      window_(window),
+      num_keys_(num_keys),
+      candidates_(config.heavy_capacity),
+      cost_cur_(cms_params(1)),
+      cost_last_(cms_params(1)),
+      freq_cur_(cms_params(2)),
+      freq_last_(cms_params(2)),
+      state_cur_(cms_params(3)),
+      state_window_(cms_params(3)) {
+  SKW_EXPECTS(window >= 1);
+  SKW_EXPECTS(config.heavy_capacity >= 1);
+  heavy_.reserve(config.heavy_capacity);
+}
+
+void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
+                               std::uint64_t frequency) {
+  SKW_EXPECTS(cost >= 0.0 && state_bytes >= 0.0);
+  // The sketch allocates nothing per key, so the domain auto-grows
+  // (StatsWindow asserts here instead — see its header).
+  if (key >= num_keys_) num_keys_ = static_cast<std::size_t>(key) + 1;
+
+  if (const auto it = heavy_.find(key); it != heavy_.end()) {
+    it->second.cur_cost += cost;
+    it->second.cur_freq += frequency;
+    it->second.cur_state += state_bytes;
+    return;
+  }
+  cost_cur_.add_conservative(key, cost);
+  freq_cur_.add_conservative(key, static_cast<double>(frequency));
+  state_cur_.add(key, state_bytes);
+  candidates_.add(key, cost);
+  cold_cost_cur_ += cost;
+  cold_freq_cur_ += frequency;
+  cold_state_cur_ += state_bytes;
+}
+
+void SketchStatsWindow::close_cold_interval() {
+  std::swap(cost_last_, cost_cur_);
+  cost_cur_.clear();
+  std::swap(freq_last_, freq_cur_);
+  freq_cur_.clear();
+
+  state_window_.add_sketch(state_cur_);
+  state_ring_.push_back(std::move(state_cur_));
+  if (state_ring_.size() > static_cast<std::size_t>(window_)) {
+    state_window_.subtract_sketch(state_ring_.front());
+    // Recycle the expired interval's sketch as the new open one —
+    // no churn of multi-hundred-KB allocations at interval cadence.
+    state_cur_ = std::move(state_ring_.front());
+    state_ring_.pop_front();
+    state_cur_.clear();
+  } else {
+    state_cur_ = CountMinSketch(cms_params(3));
+  }
+
+  cold_cost_last_ = cold_cost_cur_;
+  cold_cost_cur_ = 0.0;
+  cold_freq_last_ = cold_freq_cur_;
+  cold_freq_cur_ = 0;
+  cold_state_window_ += cold_state_cur_;
+  cold_state_ring_.push_back(cold_state_cur_);
+  cold_state_cur_ = 0.0;
+  if (cold_state_ring_.size() > static_cast<std::size_t>(window_)) {
+    cold_state_window_ =
+        std::max(0.0, cold_state_window_ - cold_state_ring_.front());
+    cold_state_ring_.pop_front();
+  }
+}
+
+void SketchStatsWindow::roll_heavy_entries(Cost& heavy_cost_closed) {
+  heavy_cost_closed = 0.0;
+  for (auto it = heavy_.begin(); it != heavy_.end();) {
+    HeavyEntry& e = it->second;
+    e.last_cost = e.cur_cost;
+    e.last_freq = e.cur_freq;
+    heavy_cost_closed += e.last_cost;
+    e.window_state += e.cur_state;
+    e.ring.push_back(e.cur_state);
+    if (e.ring.size() > static_cast<std::size_t>(window_)) {
+      e.window_state = std::max(0.0, e.window_state - e.ring.front());
+      e.ring.pop_front();
+    }
+    e.idle_intervals =
+        (e.cur_cost == 0.0 && e.cur_freq == 0) ? e.idle_intervals + 1 : 0;
+    e.cur_cost = 0.0;
+    e.cur_freq = 0;
+    e.cur_state = 0.0;
+    // Demote keys that have been silent for a full window and hold no
+    // windowed state: their stats are all-zero, so nothing is lost and
+    // the slot frees up for a new heavy hitter.
+    if (e.idle_intervals >= std::max(window_, 2) && e.window_state <= 0.0) {
+      it = heavy_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SketchStatsWindow::promote_candidates(Cost interval_total_cost) {
+  const Cost threshold = config_.promote_fraction * interval_total_cost;
+  for (const SpaceSaving::Entry& cand : candidates_.entries_by_count()) {
+    if (heavy_.size() >= config_.heavy_capacity) break;
+    // Sorted descending, so the first miss ends the scan. Zero-cost
+    // candidates never promote (threshold is 0 in cost-free streams,
+    // e.g. shuffle mode, and promoting them would pin arbitrary keys in
+    // the bounded hot tier forever).
+    if (cand.count < threshold || cand.count <= 0.0) break;
+    if (heavy_.find(cand.key) != heavy_.end()) continue;
+    HeavyEntry e;
+    // Backfill the closed interval from the cold-tier estimates (upper
+    // bounds); the matching mass leaves the cold aggregates so the dense
+    // synthesis does not count it twice.
+    e.last_cost = cand.count;
+    e.last_freq = static_cast<std::uint64_t>(
+        std::llround(freq_last_.estimate(cand.key)));
+    e.window_state = state_window_.estimate(cand.key);
+    // The backfill lands in a single ring slot for the just-closed
+    // interval: a key is usually promoted right after its first active
+    // interval, where that is the exact expiry schedule.
+    e.ring.assign(1, e.window_state);
+    cold_cost_last_ = std::max(0.0, cold_cost_last_ - e.last_cost);
+    cold_freq_last_ -= std::min(cold_freq_last_, e.last_freq);
+    // Debit the backfilled window state from the ring entries (newest
+    // first) as well as the running window: the expired entries would
+    // otherwise re-subtract mass that already moved to the hot tier,
+    // leaving a permanent deficit in the cold aggregate.
+    Bytes remaining = e.window_state;
+    for (auto rit = cold_state_ring_.rbegin();
+         rit != cold_state_ring_.rend() && remaining > 0.0; ++rit) {
+      const Bytes take = std::min(*rit, remaining);
+      *rit -= take;
+      remaining -= take;
+    }
+    cold_state_window_ =
+        std::max(0.0, cold_state_window_ - (e.window_state - remaining));
+    heavy_.emplace(cand.key, std::move(e));
+  }
+  candidates_.clear();
+}
+
+void SketchStatsWindow::roll() {
+  close_cold_interval();
+  Cost heavy_cost_closed = 0.0;
+  roll_heavy_entries(heavy_cost_closed);
+  promote_candidates(cold_cost_last_ + heavy_cost_closed);
+  ++closed_;
+}
+
+Cost SketchStatsWindow::last_cost_of(KeyId key) const {
+  if (const auto it = heavy_.find(key); it != heavy_.end()) {
+    return it->second.last_cost;
+  }
+  return cost_last_.estimate(key);
+}
+
+std::uint64_t SketchStatsWindow::last_frequency_of(KeyId key) const {
+  if (const auto it = heavy_.find(key); it != heavy_.end()) {
+    return it->second.last_freq;
+  }
+  return static_cast<std::uint64_t>(std::llround(freq_last_.estimate(key)));
+}
+
+Bytes SketchStatsWindow::windowed_state_of(KeyId key) const {
+  if (const auto it = heavy_.find(key); it != heavy_.end()) {
+    return it->second.window_state;
+  }
+  return state_window_.estimate(key);
+}
+
+Bytes SketchStatsWindow::total_windowed_state() const {
+  Bytes total = cold_state_window_;
+  for (const auto& [key, e] : heavy_) total += e.window_state;
+  return total;
+}
+
+void SketchStatsWindow::synthesize_dense(std::vector<Cost>& cost,
+                                         std::vector<Bytes>& state) const {
+  cost.assign(num_keys_, 0.0);
+  state.assign(num_keys_, 0.0);
+
+  std::vector<char> is_heavy_key(num_keys_, 0);
+  for (const auto& [key, e] : heavy_) {
+    if (key < num_keys_) is_heavy_key[static_cast<std::size_t>(key)] = 1;
+  }
+
+  // Pass 1: raw upper-bound estimates for the cold tail.
+  double raw_cost_sum = 0.0;
+  double raw_state_sum = 0.0;
+  for (std::size_t k = 0; k < num_keys_; ++k) {
+    if (is_heavy_key[k]) continue;
+    const auto key = static_cast<KeyId>(k);
+    cost[k] = cost_last_.estimate(key);
+    state[k] = state_window_.estimate(key);
+    raw_cost_sum += cost[k];
+    raw_state_sum += state[k];
+  }
+
+  // Pass 2: normalize the cold tail so its mass equals the exactly-known
+  // cold aggregate (collision noise inflates the raw sum; scaling keeps
+  // the planner's view of total load and total state truthful).
+  const double cost_scale =
+      raw_cost_sum > 0.0 ? cold_cost_last_ / raw_cost_sum : 0.0;
+  const double state_scale =
+      raw_state_sum > 0.0 ? cold_state_window_ / raw_state_sum : 0.0;
+  for (std::size_t k = 0; k < num_keys_; ++k) {
+    if (is_heavy_key[k]) continue;
+    cost[k] *= cost_scale;
+    state[k] *= state_scale;
+  }
+
+  // Pass 3: exact values for the hot tier.
+  for (const auto& [key, e] : heavy_) {
+    if (key >= num_keys_) continue;
+    cost[static_cast<std::size_t>(key)] = e.last_cost;
+    state[static_cast<std::size_t>(key)] = e.window_state;
+  }
+}
+
+void SketchStatsWindow::resize_keys(std::size_t num_keys) {
+  num_keys_ = std::max(num_keys_, num_keys);
+}
+
+std::size_t SketchStatsWindow::memory_bytes() const {
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  std::size_t heavy_bytes =
+      heavy_.size() *
+          (sizeof(std::pair<const KeyId, HeavyEntry>) + kNodeOverhead +
+           static_cast<std::size_t>(window_) * sizeof(Bytes)) +
+      heavy_.bucket_count() * sizeof(void*);
+  std::size_t sketch_bytes = cost_cur_.memory_bytes() +
+                             cost_last_.memory_bytes() +
+                             freq_cur_.memory_bytes() +
+                             freq_last_.memory_bytes() +
+                             state_cur_.memory_bytes() +
+                             state_window_.memory_bytes();
+  for (const auto& s : state_ring_) sketch_bytes += s.memory_bytes();
+  return sizeof(*this) + heavy_bytes + sketch_bytes +
+         candidates_.memory_bytes() +
+         cold_state_ring_.size() * sizeof(Bytes);
+}
+
+}  // namespace skewless

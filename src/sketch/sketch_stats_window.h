@@ -1,0 +1,119 @@
+// SketchStatsWindow — approximate per-key statistics matching the
+// StatsWindow rolling-interval contract in O(sketch + heavy_capacity)
+// memory, independent of the key-domain size |K|.
+//
+// Two-tier design (DKG's sketch+heavy-hitters idea, DEBS'15, carried into
+// the rolling-window setting):
+//
+//  * HOT TIER — keys promoted to "heavy" are tracked exactly in a bounded
+//    hash map: per-interval cost/frequency/state plus a w-slot ring for
+//    the windowed state sum. This is precisely the set the Mixed planner
+//    wants explicit routing-table entries for.
+//  * COLD TIER — everything else goes into Count-Min sketches
+//    (conservative update for the per-interval cost/frequency pair;
+//    classic update for state so a ring of per-interval sketches can be
+//    cell-wise subtracted to maintain the w-interval window sum) and a
+//    Space-Saving tracker that nominates next interval's promotions.
+//
+// Interval totals (cost, frequency, state) are tracked exactly as
+// scalars, so total_windowed_state() and the aggregate mass of the dense
+// synthesized view stay exact: synthesize_dense() writes exact values for
+// heavy keys and scales the cold keys' upper-bound estimates so they sum
+// to the exactly-known cold aggregate.
+//
+// Approximation caveats (all bounded, none affect aggregate totals):
+//  * a key promoted at interval i was sketched during interval i, so its
+//    first "exact" values are backfilled upper-bound estimates (the
+//    matching mass is removed from the cold aggregate, clamped at 0);
+//  * per-key accessors (last_cost_of, ...) return unnormalized
+//    upper-bound estimates for cold keys; only synthesize_dense
+//    normalizes (it needs the full domain to compute the scale);
+//  * record() on a key ≥ num_keys() auto-grows the logical domain —
+//    unlike StatsWindow, which asserts — because the sketch allocates
+//    nothing per key.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/count_min.h"
+#include "sketch/space_saving.h"
+#include "sketch/stats_provider.h"
+
+namespace skewless {
+
+class SketchStatsWindow final : public StatsProvider {
+ public:
+  /// `num_keys` = |K| (logical bound for synthesize_dense; grows on
+  /// demand), `window` = w ≥ 1.
+  SketchStatsWindow(std::size_t num_keys, int window,
+                    SketchStatsConfig config = {});
+
+  void record(KeyId key, Cost cost, Bytes state_bytes,
+              std::uint64_t frequency = 1) override;
+  void roll() override;
+
+  [[nodiscard]] Cost last_cost_of(KeyId key) const override;
+  [[nodiscard]] std::uint64_t last_frequency_of(KeyId key) const override;
+  [[nodiscard]] Bytes windowed_state_of(KeyId key) const override;
+  [[nodiscard]] Bytes total_windowed_state() const override;
+  void synthesize_dense(std::vector<Cost>& cost,
+                        std::vector<Bytes>& state) const override;
+
+  [[nodiscard]] std::size_t num_keys() const override { return num_keys_; }
+  void resize_keys(std::size_t num_keys) override;
+  [[nodiscard]] int window() const override { return window_; }
+  [[nodiscard]] IntervalId closed_intervals() const override {
+    return closed_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] StatsMode mode() const override { return StatsMode::kSketch; }
+
+  /// Number of keys currently tracked exactly.
+  [[nodiscard]] std::size_t heavy_count() const { return heavy_.size(); }
+  [[nodiscard]] bool is_heavy(KeyId key) const {
+    return heavy_.find(key) != heavy_.end();
+  }
+  [[nodiscard]] const SketchStatsConfig& config() const { return config_; }
+
+ private:
+  struct HeavyEntry {
+    Cost cur_cost = 0.0;
+    Cost last_cost = 0.0;
+    std::uint64_t cur_freq = 0;
+    std::uint64_t last_freq = 0;
+    Bytes cur_state = 0.0;
+    Bytes window_state = 0.0;
+    std::deque<Bytes> ring;  // per closed interval, newest at back
+    int idle_intervals = 0;
+  };
+
+  [[nodiscard]] CountMinSketch::Params cms_params(std::uint64_t salt) const;
+  void close_cold_interval();
+  void roll_heavy_entries(Cost& heavy_cost_closed);
+  void promote_candidates(Cost interval_total_cost);
+
+  SketchStatsConfig config_;
+  int window_;
+  std::size_t num_keys_;
+  IntervalId closed_ = 0;
+
+  std::unordered_map<KeyId, HeavyEntry> heavy_;
+  SpaceSaving candidates_;  // cold stream of the open interval, weight=cost
+
+  CountMinSketch cost_cur_, cost_last_;    // conservative update
+  CountMinSketch freq_cur_, freq_last_;    // conservative update
+  CountMinSketch state_cur_;               // classic update (subtractable)
+  CountMinSketch state_window_;            // running sum of state_ring_
+  std::deque<CountMinSketch> state_ring_;  // last ≤ w closed intervals
+
+  // Exact scalar totals for the cold tier.
+  Cost cold_cost_cur_ = 0.0, cold_cost_last_ = 0.0;
+  std::uint64_t cold_freq_cur_ = 0, cold_freq_last_ = 0;
+  Bytes cold_state_cur_ = 0.0;
+  Bytes cold_state_window_ = 0.0;
+  std::deque<Bytes> cold_state_ring_;
+};
+
+}  // namespace skewless

@@ -1,0 +1,100 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace skewless {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  SKW_EXPECTS(capacity >= 1);
+  map_.reserve(capacity);
+  heap_.reserve(2 * capacity);
+}
+
+void SpaceSaving::push_heap_item(KeyId key, double count) {
+  heap_.push_back(HeapItem{count, key});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+void SpaceSaving::compact_heap() {
+  // Drop stale snapshots (an item is live iff it matches the map exactly);
+  // bounds the heap at O(capacity) regardless of stream length.
+  heap_.clear();
+  for (const auto& [key, entry] : map_) {
+    heap_.push_back(HeapItem{entry.count, key});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+void SpaceSaving::add(KeyId key, double weight) {
+  SKW_EXPECTS(weight >= 0.0);
+  total_ += weight;
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second.count += weight;
+    push_heap_item(key, it->second.count);
+  } else if (map_.size() < capacity_) {
+    map_.emplace(key, Entry{key, weight, 0.0});
+    push_heap_item(key, weight);
+  } else {
+    // Evict the minimum live (count, key): pop stale snapshots until the
+    // top matches a live entry.
+    while (true) {
+      SKW_ASSERT(!heap_.empty());
+      const HeapItem top = heap_.front();
+      const auto live = map_.find(top.key);
+      if (live != map_.end() && live->second.count == top.count) break;
+      std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+      heap_.pop_back();
+    }
+    const HeapItem victim = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
+    map_.erase(victim.key);
+    map_.emplace(key, Entry{key, victim.count + weight, victim.count});
+    push_heap_item(key, victim.count + weight);
+  }
+  if (heap_.size() > 8 * capacity_) compact_heap();
+}
+
+const SpaceSaving::Entry* SpaceSaving::find(KeyId key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries_by_count() const {
+  std::vector<Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [key, entry] : map_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::guaranteed(
+    double threshold) const {
+  std::vector<Entry> out;
+  for (const auto& entry : entries_by_count()) {
+    if (entry.count - entry.error >= threshold) out.push_back(entry);
+  }
+  return out;
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  // unordered_map node ≈ entry + next pointer + allocator header.
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  return sizeof(*this) +
+         map_.size() * (sizeof(std::pair<const KeyId, Entry>) + kNodeOverhead) +
+         map_.bucket_count() * sizeof(void*) +
+         heap_.capacity() * sizeof(HeapItem);
+}
+
+void SpaceSaving::clear() {
+  map_.clear();
+  heap_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace skewless

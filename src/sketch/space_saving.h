@@ -1,0 +1,75 @@
+// Space-Saving (Metwally, Agrawal & El Abbadi, ICDT'05) — deterministic
+// top-k tracking of a weighted stream in O(capacity) memory.
+//
+// Invariants with capacity m over a stream of total weight W:
+//   * tracked count(k) ≥ true weight(k)            (overestimate)
+//   * count(k) − error(k) ≤ true weight(k)         (error bounds the slack)
+//   * every key with true weight > W / m is tracked (guaranteed heavy
+//     hitters — the property the sketch stats window's promotion relies on)
+//
+// Implementation: hash map + lazy min-heap of (count, key) snapshots.
+// Eviction picks the minimum (count, key) pair, so runs are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    KeyId key = 0;
+    double count = 0.0;  // overestimate of the key's true weight
+    double error = 0.0;  // count inherited from the evicted predecessor
+  };
+
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Observes `weight` more mass on `key`.
+  void add(KeyId key, double weight = 1.0);
+
+  /// The tracked entry for `key`, or nullptr if untracked.
+  [[nodiscard]] const Entry* find(KeyId key) const;
+
+  /// All tracked entries, sorted by count descending (key ascending on
+  /// ties) — deterministic.
+  [[nodiscard]] std::vector<Entry> entries_by_count() const;
+
+  /// Entries whose guaranteed lower bound (count − error) is ≥ threshold.
+  /// Since count − error never exceeds the true weight, every returned
+  /// key provably carries ≥ threshold of true weight.
+  [[nodiscard]] std::vector<Entry> guaranteed(double threshold) const;
+
+  [[nodiscard]] double total_weight() const { return total_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  void clear();
+
+ private:
+  struct HeapItem {
+    double count;
+    KeyId key;
+  };
+  /// Min-heap order on (count, key).
+  static bool heap_after(const HeapItem& a, const HeapItem& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key > b.key;
+  }
+
+  void push_heap_item(KeyId key, double count);
+  void compact_heap();
+
+  std::size_t capacity_;
+  double total_ = 0.0;
+  std::unordered_map<KeyId, Entry> map_;
+  std::vector<HeapItem> heap_;  // lazy: stale items skipped on pop
+};
+
+}  // namespace skewless

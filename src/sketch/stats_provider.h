@@ -1,0 +1,102 @@
+// StatsProvider — the statistics contract the controller and the engines
+// consume, abstracted from its storage. Two implementations exist:
+//
+//  * StatsWindow (core/stats_window.h) — exact, six dense O(|K|) vectors.
+//    Right for the figure benches (K ≤ a few hundred thousand).
+//  * SketchStatsWindow (sketch/sketch_stats_window.h) — approximate:
+//    exact stats only for tracked heavy-hitter keys, Count-Min-sketched
+//    aggregates for the cold tail. O(sketch + k) memory regardless of |K|,
+//    which is what makes million-key domains affordable.
+//
+// Planners keep consuming a dense PartitionSnapshot either way: the
+// provider synthesizes the dense per-key view on demand (exact copy for
+// StatsWindow; heavy-exact + normalized cold estimates for the sketch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skewless {
+
+/// How per-key statistics are stored (the ControllerConfig / SimConfig /
+/// ThreadedConfig `stats_mode` switch).
+enum class StatsMode {
+  kExact,   // dense per-key vectors (StatsWindow)
+  kSketch,  // heavy-hitter map + Count-Min sketches (SketchStatsWindow)
+};
+
+/// Tuning knobs for the sketch-based provider.
+struct SketchStatsConfig {
+  /// Count-Min ε: per-query overestimate ≤ ε · (total mass) with
+  /// probability ≥ 1 − δ. Width = next power of two ≥ e / ε.
+  double epsilon = 2e-4;
+  /// Count-Min δ. Depth = ⌈ln(1/δ)⌉.
+  double delta = 0.01;
+  /// Maximum number of keys tracked exactly (Space-Saving capacity and
+  /// heavy-map bound).
+  std::size_t heavy_capacity = 4096;
+  /// A key is promoted to exact tracking when its estimated interval cost
+  /// is ≥ promote_fraction · (interval total cost).
+  double promote_fraction = 1e-4;
+  /// Seed for the sketch hash functions (determinism knob).
+  std::uint64_t seed = 0x5eedc0de;
+};
+
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+
+  /// Accumulates one observation for the current (open) interval.
+  virtual void record(KeyId key, Cost cost, Bytes state_bytes,
+                      std::uint64_t frequency) = 0;
+
+  /// Convenience: single-tuple observation.
+  void record_one(KeyId key, Cost cost, Bytes state_bytes) {
+    record(key, cost, state_bytes, 1);
+  }
+
+  /// Closes the current interval (see StatsWindow::roll for semantics).
+  virtual void roll() = 0;
+
+  /// c_{i-1}(k). For the sketch provider this is exact for heavy keys and
+  /// an unnormalized upper-bound estimate for cold keys.
+  [[nodiscard]] virtual Cost last_cost_of(KeyId key) const = 0;
+
+  /// g_{i-1}(k), same exact/estimate split as last_cost_of.
+  [[nodiscard]] virtual std::uint64_t last_frequency_of(KeyId key) const = 0;
+
+  /// S_{i-1}(k, w), same exact/estimate split as last_cost_of.
+  [[nodiscard]] virtual Bytes windowed_state_of(KeyId key) const = 0;
+
+  /// Total windowed state over all keys. Exact in both implementations
+  /// (the sketch provider tracks interval totals as scalars).
+  [[nodiscard]] virtual Bytes total_windowed_state() const = 0;
+
+  /// Materializes the dense per-key view the planners consume:
+  /// cost[k] = c_{i-1}(k) and state[k] = S_{i-1}(k, w) for the whole
+  /// domain [0, num_keys()). The sketch provider writes exact values for
+  /// heavy keys and scales cold-key estimates so that their sum matches
+  /// the exactly-tracked cold aggregate.
+  virtual void synthesize_dense(std::vector<Cost>& cost,
+                                std::vector<Bytes>& state) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_keys() const = 0;
+
+  /// Grows the key domain. Exact mode allocates; sketch mode only widens
+  /// the logical bound used by synthesize_dense.
+  virtual void resize_keys(std::size_t num_keys) = 0;
+
+  [[nodiscard]] virtual int window() const = 0;
+  [[nodiscard]] virtual IntervalId closed_intervals() const = 0;
+
+  /// Resident bytes of the statistics structures themselves — the number
+  /// the exact-vs-sketch trade-off is about.
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  [[nodiscard]] virtual StatsMode mode() const = 0;
+};
+
+}  // namespace skewless

@@ -16,6 +16,7 @@
 #include "core/compact.h"
 #include "core/plan.h"
 #include "core/planners.h"
+#include "sketch/sketch_stats_window.h"
 #include "test_util.h"
 
 namespace skewless {
@@ -99,6 +100,47 @@ TEST(Determinism, SeededXoshiroStreamsAreIdentical) {
     ASSERT_EQ(a.next(), b.next());
   }
   ASSERT_EQ(a.next_double(), b.next_double());
+}
+
+// The sketch statistics provider must be a pure function of (config,
+// stream): identically-seeded instances fed the same stream produce
+// byte-identical estimates — the same property the planner determinism
+// tests above demand, one layer down.
+TEST(Determinism, SeededSketchStatsWindowIsByteIdentical) {
+  const auto feed = [](SketchStatsWindow& w) {
+    const ZipfDistribution zipf(5000, 1.1, true, 9);
+    Xoshiro256 rng(31);
+    for (int interval = 0; interval < 3; ++interval) {
+      for (int i = 0; i < 20'000; ++i) {
+        const KeyId key = zipf.sample(rng);
+        w.record(key, 1.5, 8.0);
+      }
+      w.roll();
+    }
+  };
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 128;
+  SketchStatsWindow a(5000, 2, cfg);
+  SketchStatsWindow b(5000, 2, cfg);
+  feed(a);
+  feed(b);
+
+  ASSERT_EQ(a.heavy_count(), b.heavy_count());
+  std::vector<Cost> cost_a, cost_b;
+  std::vector<Bytes> state_a, state_b;
+  a.synthesize_dense(cost_a, state_a);
+  b.synthesize_dense(cost_b, state_b);
+  ASSERT_EQ(cost_a.size(), cost_b.size());
+  EXPECT_EQ(0, std::memcmp(cost_a.data(), cost_b.data(),
+                           cost_a.size() * sizeof(Cost)));
+  EXPECT_EQ(0, std::memcmp(state_a.data(), state_b.data(),
+                           state_a.size() * sizeof(Bytes)));
+  for (KeyId key = 0; key < 5000; ++key) {
+    ASSERT_EQ(a.last_cost_of(key), b.last_cost_of(key));
+    ASSERT_EQ(a.last_frequency_of(key), b.last_frequency_of(key));
+    ASSERT_EQ(a.windowed_state_of(key), b.windowed_state_of(key));
+  }
+  EXPECT_EQ(a.total_windowed_state(), b.total_windowed_state());
 }
 
 TEST(Determinism, SeededZipfSamplesAreIdentical) {

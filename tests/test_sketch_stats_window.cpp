@@ -1,0 +1,253 @@
+#include "sketch/sketch_stats_window.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/controller.h"
+#include "core/planners.h"
+#include "core/stats_window.h"
+
+namespace skewless {
+namespace {
+
+SketchStatsConfig tiny_config(std::size_t heavy_capacity = 64,
+                              double promote_fraction = 0.0) {
+  SketchStatsConfig cfg;
+  cfg.epsilon = 1e-3;
+  cfg.delta = 0.01;
+  cfg.heavy_capacity = heavy_capacity;
+  cfg.promote_fraction = promote_fraction;
+  return cfg;
+}
+
+TEST(SketchStatsWindow, FreshWindowIsZero) {
+  const SketchStatsWindow w(100, 3, tiny_config());
+  EXPECT_EQ(w.num_keys(), 100u);
+  EXPECT_EQ(w.window(), 3);
+  EXPECT_EQ(w.closed_intervals(), 0);
+  EXPECT_EQ(w.total_windowed_state(), 0.0);
+  EXPECT_EQ(w.heavy_count(), 0u);
+  EXPECT_EQ(w.mode(), StatsMode::kSketch);
+}
+
+// With heavy capacity ≥ |K| and promote_fraction = 0, every active key is
+// promoted at the first roll and tracked exactly from then on: the sketch
+// window must agree with the exact window (w = 1 so the backfilled ring
+// slot matches the exact expiry schedule).
+TEST(SketchStatsWindow, AllKeysHeavyMatchesExactWindow) {
+  const std::size_t kKeys = 40;
+  StatsWindow exact(kKeys, 1);
+  SketchStatsWindow sketch(kKeys, 1, tiny_config(64));
+  Xoshiro256 rng(5);
+  for (int interval = 0; interval < 4; ++interval) {
+    for (KeyId k = 0; k < kKeys; ++k) {
+      const Cost c = 1.0 + static_cast<double>(rng.next_below(50));
+      const Bytes b = static_cast<double>(rng.next_below(100));
+      exact.record(k, c, b, 2);
+      sketch.record(k, c, b, 2);
+    }
+    exact.roll();
+    sketch.roll();
+    EXPECT_NEAR(sketch.total_windowed_state(), exact.total_windowed_state(),
+                1e-6);
+  }
+  EXPECT_EQ(sketch.heavy_count(), kKeys);
+  std::vector<Cost> cost_e, cost_s;
+  std::vector<Bytes> state_e, state_s;
+  exact.synthesize_dense(cost_e, state_e);
+  sketch.synthesize_dense(cost_s, state_s);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_NEAR(cost_s[k], cost_e[k], 1e-9) << "key " << k;
+    EXPECT_NEAR(state_s[k], state_e[k], 1e-9) << "key " << k;
+    EXPECT_EQ(sketch.last_cost_of(k), exact.last_cost_of(k));
+    EXPECT_EQ(sketch.last_frequency_of(k), exact.last_frequency_of(k));
+    EXPECT_EQ(sketch.windowed_state_of(k), exact.windowed_state_of(k));
+  }
+}
+
+// With promotion disabled the provider is pure sketch — but the interval
+// totals are tracked as scalars and must stay exact.
+TEST(SketchStatsWindow, TotalsExactEvenWithoutHeavyTier) {
+  const std::size_t kKeys = 500;
+  SketchStatsConfig cfg = tiny_config(1, /*promote_fraction=*/1e9);
+  StatsWindow exact(kKeys, 2);
+  SketchStatsWindow sketch(kKeys, 2, cfg);
+  const ZipfDistribution zipf(kKeys, 1.0, true, 7);
+  for (int interval = 0; interval < 5; ++interval) {
+    const auto counts = zipf.expected_counts(20'000);
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      if (counts[k] == 0) continue;
+      const auto n = static_cast<double>(counts[k]);
+      exact.record(static_cast<KeyId>(k), 2.0 * n, 8.0 * n, counts[k]);
+      sketch.record(static_cast<KeyId>(k), 2.0 * n, 8.0 * n, counts[k]);
+    }
+    exact.roll();
+    sketch.roll();
+    EXPECT_EQ(sketch.heavy_count(), 0u);
+    EXPECT_NEAR(sketch.total_windowed_state(), exact.total_windowed_state(),
+                1e-6)
+        << "interval " << interval;
+  }
+}
+
+// The dense synthesized view must preserve aggregate mass: the cold tail
+// is normalized against the exactly-tracked cold totals, heavy keys are
+// exact, so column sums match the exact window's.
+TEST(SketchStatsWindow, SynthesisPreservesAggregateMass) {
+  const std::size_t kKeys = 2000;
+  SketchStatsConfig cfg = tiny_config(16, 1e-3);
+  cfg.epsilon = 5e-3;  // force collisions so normalization matters
+  StatsWindow exact(kKeys, 1);
+  SketchStatsWindow sketch(kKeys, 1, cfg);
+  const ZipfDistribution zipf(kKeys, 1.1, true, 13);
+  for (int interval = 0; interval < 3; ++interval) {
+    const auto counts = zipf.expected_counts(50'000);
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      if (counts[k] == 0) continue;
+      const auto n = static_cast<double>(counts[k]);
+      exact.record(static_cast<KeyId>(k), 1.5 * n, 8.0 * n, counts[k]);
+      sketch.record(static_cast<KeyId>(k), 1.5 * n, 8.0 * n, counts[k]);
+    }
+    exact.roll();
+    sketch.roll();
+  }
+  std::vector<Cost> cost_e, cost_s;
+  std::vector<Bytes> state_e, state_s;
+  exact.synthesize_dense(cost_e, state_e);
+  sketch.synthesize_dense(cost_s, state_s);
+  const double sum_cost_e =
+      std::accumulate(cost_e.begin(), cost_e.end(), 0.0);
+  const double sum_cost_s =
+      std::accumulate(cost_s.begin(), cost_s.end(), 0.0);
+  const double sum_state_e =
+      std::accumulate(state_e.begin(), state_e.end(), 0.0);
+  const double sum_state_s =
+      std::accumulate(state_s.begin(), state_s.end(), 0.0);
+  // Promotion backfills shift a bounded sliver between tiers; aggregate
+  // mass stays within a fraction of a percent.
+  EXPECT_NEAR(sum_cost_s, sum_cost_e, 0.005 * sum_cost_e);
+  EXPECT_NEAR(sum_state_s, sum_state_e, 0.005 * sum_state_e);
+}
+
+TEST(SketchStatsWindow, HeavyHittersAreTrackedExactlyAfterWarmup) {
+  const std::size_t kKeys = 10'000;
+  SketchStatsWindow sketch(kKeys, 1, tiny_config(64, 1e-3));
+  const ZipfDistribution zipf(kKeys, 1.2, true, 3);
+  const auto counts = zipf.expected_counts(100'000);
+  // Interval 1: all keys cold; hot ones get promoted at the roll.
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    sketch.record(static_cast<KeyId>(k), static_cast<double>(counts[k]), 8.0,
+                  counts[k]);
+  }
+  sketch.roll();
+  EXPECT_GT(sketch.heavy_count(), 0u);
+  // Interval 2: identical load; the hottest keys must now be exact.
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    sketch.record(static_cast<KeyId>(k), static_cast<double>(counts[k]), 8.0,
+                  counts[k]);
+  }
+  sketch.roll();
+  for (std::uint64_t rank = 0; rank < 10; ++rank) {
+    const KeyId hot = zipf.key_at_rank(rank);
+    ASSERT_TRUE(sketch.is_heavy(hot)) << "rank " << rank;
+    EXPECT_DOUBLE_EQ(sketch.last_cost_of(hot),
+                     static_cast<double>(counts[hot]));
+    EXPECT_EQ(sketch.last_frequency_of(hot), counts[hot]);
+  }
+}
+
+TEST(SketchStatsWindow, WindowedStateExpires) {
+  SketchStatsWindow w(10, 2, tiny_config(16));
+  w.record(3, 1.0, 100.0);
+  w.roll();
+  EXPECT_NEAR(w.total_windowed_state(), 100.0, 1e-9);
+  w.record(3, 1.0, 50.0);
+  w.roll();
+  EXPECT_NEAR(w.total_windowed_state(), 150.0, 1e-9);
+  w.roll();  // 100 expires
+  EXPECT_NEAR(w.total_windowed_state(), 50.0, 1e-9);
+  w.roll();  // 50 expires
+  EXPECT_NEAR(w.total_windowed_state(), 0.0, 1e-9);
+}
+
+// Unlike StatsWindow (which asserts), the sketch provider auto-grows the
+// logical domain: it allocates nothing per key.
+TEST(SketchStatsWindow, RecordBeyondDomainAutoGrows) {
+  SketchStatsWindow w(4, 1, tiny_config());
+  w.record(1'000'000, 5.0, 8.0);
+  EXPECT_EQ(w.num_keys(), 1'000'001u);
+  w.roll();
+  EXPECT_GE(w.last_cost_of(1'000'000), 5.0);
+  std::vector<Cost> cost;
+  std::vector<Bytes> state;
+  w.synthesize_dense(cost, state);
+  EXPECT_EQ(cost.size(), 1'000'001u);
+}
+
+TEST(SketchStatsWindow, MemoryIndependentOfDomainSize) {
+  const SketchStatsWindow small(100, 1);
+  const SketchStatsWindow large(10'000'000, 1);
+  EXPECT_EQ(small.memory_bytes(), large.memory_bytes());
+}
+
+TEST(SketchStatsWindow, DefaultConfigAtLeastTenTimesSmallerThanExactAt1M) {
+  const std::size_t kKeys = 1'000'000;
+  const StatsWindow exact(kKeys, 1);
+  const SketchStatsWindow sketch(kKeys, 1);
+  EXPECT_GE(exact.memory_bytes(), 10 * sketch.memory_bytes());
+}
+
+TEST(SketchStatsWindow, IdleHeavyKeysAreDemoted) {
+  SketchStatsWindow w(100, 1, tiny_config(16, 0.0));
+  w.record(7, 10.0, 4.0);
+  w.roll();
+  ASSERT_TRUE(w.is_heavy(7));
+  // Silent for enough intervals with no windowed state -> demoted.
+  for (int i = 0; i < 4; ++i) w.roll();
+  EXPECT_FALSE(w.is_heavy(7));
+  EXPECT_EQ(w.heavy_count(), 0u);
+}
+
+// End-to-end: a controller in sketch mode must detect the imbalance and
+// produce a plan that fixes it, through the same planner code path.
+TEST(SketchStatsWindow, ControllerInSketchModeRebalances) {
+  ControllerConfig cfg;
+  cfg.planner.theta_max = 0.08;
+  cfg.planner.max_table_entries = 0;
+  cfg.stats_mode = StatsMode::kSketch;
+  cfg.sketch = tiny_config(32, 0.0);
+  Controller ctrl(AssignmentFunction(ConsistentHashRing(2, 128, 9), 0),
+                  std::make_unique<MixedPlanner>(), cfg, 10);
+
+  const InstanceId hot = ctrl.assignment()(0);
+  ctrl.record(0, 10.0, 4.0);
+  KeyId other = 1;
+  while (ctrl.assignment()(other) != hot) ++other;
+  ctrl.record(other, 10.0, 4.0);
+
+  const auto plan = ctrl.end_interval();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->moves.size(), 1u);
+  EXPECT_GT(ctrl.last_observed_theta(), 0.5);
+  EXPECT_EQ(ctrl.stats().mode(), StatsMode::kSketch);
+
+  // Identical load under the new assignment: balanced, no further plan.
+  ctrl.record(0, 10.0, 4.0);
+  ctrl.record(other, 10.0, 4.0);
+  EXPECT_FALSE(ctrl.end_interval().has_value());
+  EXPECT_NEAR(ctrl.last_observed_theta(), 0.0, 1e-9);
+}
+
+TEST(SketchStatsWindowDeath, NegativeCostRejected) {
+  SketchStatsWindow w(10, 1);
+  EXPECT_DEATH(w.record(0, -1.0, 1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace skewless

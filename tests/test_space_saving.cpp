@@ -1,0 +1,130 @@
+#include "sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace skewless {
+namespace {
+
+TEST(SpaceSaving, ExactWhenDistinctKeysFitCapacity) {
+  SpaceSaving ss(16);
+  Xoshiro256 rng(3);
+  std::unordered_map<KeyId, double> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const KeyId key = rng.next_below(10);
+    const double w = 1.0 + static_cast<double>(rng.next_below(5));
+    ss.add(key, w);
+    truth[key] += w;
+  }
+  EXPECT_EQ(ss.size(), truth.size());
+  for (const auto& [key, count] : truth) {
+    const auto* e = ss.find(key);
+    ASSERT_NE(e, nullptr);
+    EXPECT_DOUBLE_EQ(e->count, count);
+    EXPECT_DOUBLE_EQ(e->error, 0.0);
+  }
+}
+
+TEST(SpaceSaving, CapacityIsNeverExceeded) {
+  SpaceSaving ss(8);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) ss.add(rng.next_below(1000));
+  EXPECT_EQ(ss.size(), 8u);
+  EXPECT_DOUBLE_EQ(ss.total_weight(), 10'000.0);
+}
+
+TEST(SpaceSaving, CountOverestimatesAndErrorBoundsSlack) {
+  SpaceSaving ss(32);
+  const ZipfDistribution zipf(2000, 1.1, true, 17);
+  Xoshiro256 rng(4);
+  std::unordered_map<KeyId, double> truth;
+  for (int i = 0; i < 50'000; ++i) {
+    const KeyId key = zipf.sample(rng);
+    ss.add(key);
+    truth[key] += 1.0;
+  }
+  for (const auto& e : ss.entries_by_count()) {
+    const double true_count = truth.count(e.key) ? truth.at(e.key) : 0.0;
+    EXPECT_GE(e.count, true_count - 1e-9);          // overestimate
+    EXPECT_LE(e.count - e.error, true_count + 1e-9);  // slack bounded
+    // Classic bound: every tracked count's error ≤ W / m.
+    EXPECT_LE(e.error, ss.total_weight() / static_cast<double>(ss.capacity()));
+  }
+}
+
+TEST(SpaceSaving, GuaranteedHeavyHittersOnZipfStream) {
+  // Space-Saving guarantee: every key with true weight > W/m is tracked.
+  const std::size_t m = 64;
+  SpaceSaving ss(m);
+  const ZipfDistribution zipf(10'000, 1.2, true, 23);
+  Xoshiro256 rng(8);
+  std::unordered_map<KeyId, double> truth;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const KeyId key = zipf.sample(rng);
+    ss.add(key);
+    truth[key] += 1.0;
+  }
+  const double bound = static_cast<double>(n) / static_cast<double>(m);
+  for (const auto& [key, count] : truth) {
+    if (count > bound) {
+      EXPECT_NE(ss.find(key), nullptr)
+          << "heavy key " << key << " (count " << count << ") not tracked";
+    }
+  }
+  // Every guaranteed() entry truly carries at least the threshold.
+  const double threshold = bound / 2.0;
+  for (const auto& e : ss.guaranteed(threshold)) {
+    ASSERT_TRUE(truth.count(e.key));
+    EXPECT_GE(truth.at(e.key), threshold - 1e-9);
+  }
+}
+
+TEST(SpaceSaving, EntriesSortedDeterministically) {
+  SpaceSaving ss(8);
+  for (KeyId k = 0; k < 8; ++k) ss.add(k, 1.0);  // all ties
+  const auto entries = ss.entries_by_count();
+  ASSERT_EQ(entries.size(), 8u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, static_cast<KeyId>(i));  // key-ascending ties
+  }
+}
+
+TEST(SpaceSaving, DeterministicAcrossInstances) {
+  SpaceSaving a(16), b(16);
+  const ZipfDistribution zipf(500, 0.9, true, 31);
+  Xoshiro256 rng_a(12), rng_b(12);
+  for (int i = 0; i < 20'000; ++i) {
+    a.add(zipf.sample(rng_a));
+    b.add(zipf.sample(rng_b));
+  }
+  const auto ea = a.entries_by_count();
+  const auto eb = b.entries_by_count();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].key, eb[i].key);
+    EXPECT_EQ(ea[i].count, eb[i].count);
+    EXPECT_EQ(ea[i].error, eb[i].error);
+  }
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(4);
+  ss.add(1, 5.0);
+  ss.clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total_weight(), 0.0);
+  EXPECT_EQ(ss.find(1), nullptr);
+}
+
+TEST(SpaceSavingDeath, ZeroCapacityRejected) {
+  EXPECT_DEATH(SpaceSaving(0), "precondition");
+}
+
+}  // namespace
+}  // namespace skewless

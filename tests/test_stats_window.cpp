@@ -80,6 +80,72 @@ TEST(StatsWindow, ResizeKeysPreservesExistingData) {
   EXPECT_EQ(w.windowed_state()[1], 7.0);  // still inside window 2
 }
 
+// resize_keys is grow-only: keys never leave the dense domain, so a
+// shrink is a precondition violation — and the window keeps working
+// normally after a grow.
+TEST(StatsWindowDeath, ResizeShrinkRejected) {
+  StatsWindow w(8, 2);
+  w.record(7, 1.0, 2.0);
+  EXPECT_DEATH(w.resize_keys(4), "precondition");
+}
+
+TEST(StatsWindow, ShrinkRejectedThenGrowStillWorks) {
+  StatsWindow w(4, 2);
+  w.record(3, 5.0, 10.0);
+  w.roll();
+  // (The shrink itself is covered by the death test; here we prove the
+  // documented alternative — growing — keeps every invariant.)
+  w.resize_keys(8);
+  EXPECT_EQ(w.num_keys(), 8u);
+  EXPECT_EQ(w.last_cost()[3], 5.0);
+  w.record(7, 2.0, 4.0);
+  w.roll();
+  EXPECT_EQ(w.windowed_state()[3], 10.0);  // still inside window 2
+  EXPECT_EQ(w.windowed_state()[7], 4.0);
+  w.roll();
+  EXPECT_EQ(w.windowed_state()[3], 0.0);  // expired on schedule
+  EXPECT_EQ(w.windowed_state()[7], 4.0);
+}
+
+// Resizing while the ring holds fewer than w closed intervals must keep
+// both the old keys' expiry schedule and the new keys' zero history.
+TEST(StatsWindow, ResizeMidWindowWithPartiallyFilledRing) {
+  StatsWindow w(2, 3);
+  w.record(0, 1.0, 10.0);
+  w.roll();  // ring: [10] — 1 of 3 slots used
+  w.record(0, 1.0, 20.0);
+  w.roll();  // ring: [10, 20]
+  w.resize_keys(5);
+  EXPECT_EQ(w.num_keys(), 5u);
+  EXPECT_EQ(w.windowed_state()[0], 30.0);
+  EXPECT_EQ(w.windowed_state()[4], 0.0);
+
+  w.record(4, 1.0, 7.0);
+  w.roll();  // ring: [10, 20, 7-interval] — now full
+  EXPECT_EQ(w.windowed_state()[0], 30.0);
+  EXPECT_EQ(w.windowed_state()[4], 7.0);
+  w.roll();  // the pre-resize interval (10) expires first
+  EXPECT_EQ(w.windowed_state()[0], 20.0);
+  EXPECT_EQ(w.windowed_state()[4], 7.0);
+  w.roll();  // then the 20
+  EXPECT_EQ(w.windowed_state()[0], 0.0);
+  EXPECT_EQ(w.windowed_state()[4], 7.0);
+  w.roll();  // finally the post-resize interval
+  EXPECT_EQ(w.windowed_state()[4], 0.0);
+}
+
+// record() beyond num_keys() is a contract violation by design (callers
+// must resize_keys first); the sketch provider auto-grows instead — see
+// the headers of both classes. RecordOutOfRangeKey below pins the
+// asserting behaviour.
+TEST(StatsWindow, RecordAtExactDomainBoundaryAfterGrow) {
+  StatsWindow w(2, 1);
+  w.resize_keys(3);
+  w.record(2, 1.0, 1.0);  // largest valid key after the grow
+  w.roll();
+  EXPECT_EQ(w.last_cost()[2], 1.0);
+}
+
 TEST(StatsWindow, ClosedIntervalCount) {
   StatsWindow w(1, 1);
   for (int i = 0; i < 5; ++i) w.roll();

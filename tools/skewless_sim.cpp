@@ -43,6 +43,8 @@ struct Args {
   std::uint64_t tuples = 1'000'000;
   Cost tuple_cost_us = 4.0;
   std::uint64_t seed = 7;
+  StatsMode stats_mode = StatsMode::kExact;
+  SketchStatsConfig sketch = {};
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -52,7 +54,8 @@ struct Args {
       "          [--keys N] [--instances N] [--theta X] [--intervals N]\n"
       "          [--skew Z] [--fluctuation F] [--fluctuate-every N]\n"
       "          [--amax N] [--window W] [--tuples N] [--cost US]\n"
-      "          [--seed N]\n"
+      "          [--seed N] [--stats exact|sketch] [--sketch-eps X]\n"
+      "          [--sketch-delta X] [--heavy N]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
       "          hash shuffle pkg\n",
       argv0);
@@ -95,6 +98,22 @@ Args parse(int argc, char** argv) {
       args.tuple_cost_us = std::atof(need_value());
     } else if (flag == "--seed") {
       args.seed = std::strtoull(need_value(), nullptr, 10);
+    } else if (flag == "--stats") {
+      const std::string mode = need_value();
+      if (mode == "exact") {
+        args.stats_mode = StatsMode::kExact;
+      } else if (mode == "sketch") {
+        args.stats_mode = StatsMode::kSketch;
+      } else {
+        std::fprintf(stderr, "unknown stats mode: %s\n", mode.c_str());
+        usage(argv[0]);
+      }
+    } else if (flag == "--sketch-eps") {
+      args.sketch.epsilon = std::atof(need_value());
+    } else if (flag == "--sketch-delta") {
+      args.sketch.delta = std::atof(need_value());
+    } else if (flag == "--heavy") {
+      args.sketch.heavy_capacity = std::strtoull(need_value(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -102,6 +121,14 @@ Args parse(int argc, char** argv) {
   }
   if (args.instances < 1 || args.intervals < 1 || args.keys < 1 ||
       args.window < 1) {
+    usage(argv[0]);
+  }
+  if (args.sketch.heavy_capacity < 1 || args.sketch.epsilon <= 0.0 ||
+      args.sketch.epsilon >= 1.0 || args.sketch.delta <= 0.0 ||
+      args.sketch.delta >= 1.0) {
+    std::fprintf(stderr,
+                 "invalid sketch tuning: need --heavy >= 1 and "
+                 "--sketch-eps/--sketch-delta in (0, 1)\n");
     usage(argv[0]);
   }
   return args;
@@ -160,6 +187,8 @@ int main(int argc, char** argv) {
   SimConfig scfg;
   scfg.num_instances = args.instances;
   scfg.state_window = args.window;
+  scfg.stats_mode = args.stats_mode;
+  scfg.sketch = args.sketch;
 
   std::unique_ptr<SimEngine> engine;
   if (args.planner == "hash") {
@@ -184,6 +213,8 @@ int main(int argc, char** argv) {
     ccfg.planner.theta_max = args.theta;
     ccfg.planner.max_table_entries = args.amax;
     ccfg.window = args.window;
+    ccfg.stats_mode = args.stats_mode;
+    ccfg.sketch = args.sketch;
     auto controller = std::make_unique<Controller>(
         AssignmentFunction(ConsistentHashRing(args.instances), args.amax),
         std::move(planner), ccfg, num_keys);
@@ -203,5 +234,11 @@ int main(int argc, char** argv) {
                 m.table_size,
                 static_cast<double>(m.generation_micros) / 1000.0);
   }
+  // Stats-memory summary on stderr so the CSV on stdout stays parseable.
+  const auto* ctrl = engine->controller();
+  std::fprintf(stderr, "# stats=%s stats_memory_bytes=%zu\n",
+               args.stats_mode == StatsMode::kSketch ? "sketch" : "exact",
+               ctrl != nullptr ? ctrl->stats_memory_bytes()
+                               : engine->state_tracker().memory_bytes());
   return 0;
 }
