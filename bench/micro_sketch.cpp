@@ -79,7 +79,15 @@ int main(int argc, char** argv) {
   const InstanceId num_instances = 10;
   const int window = 2;
   for (int i = 1; i < argc; ++i) {
-    const auto need = [&] { return std::atoll(argv[++i]); };
+    const auto need = [&]() -> long long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--keys N] [--tuples N] [--intervals N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return std::atoll(argv[++i]);
+    };
     if (std::strcmp(argv[i], "--keys") == 0) {
       num_keys = static_cast<std::uint64_t>(need());
     } else if (std::strcmp(argv[i], "--tuples") == 0) {

@@ -1,0 +1,255 @@
+// micro_threaded — the threaded-engine statistics-contract harness.
+//
+// Scenario: a 1M-key Zipf(1.2) stream through REAL worker threads (the
+// ROADMAP's "threaded engine at 1M keys" item), run twice through the
+// hash-only ThreadedEngine — once per stats mode:
+//
+//   * exact  — workers merge per-batch maps into mutex-guarded shared
+//              per-key maps; the driver swaps them out at the interval
+//              boundary and replays every key into a dense StatsWindow.
+//   * sketch — workers write thread-local WorkerSketchSlabs; the driver
+//              cell-wise merges them into one SketchStatsWindow at the
+//              boundary. No per-key hash traffic crosses threads.
+//
+// Measured:
+//   1. MEMORY     — end-to-end statistics bytes (provider + per-worker
+//                   accumulators) from ThreadedIntervalReport;
+//   2. THROUGHPUT — steady-state tuples/s (interval 0 is excluded: it
+//                   pays one-off state creation in both modes);
+//   3. FIDELITY   — the sketch monitor's heavy tier must have picked up
+//                   hot keys, and both modes must process every tuple.
+//
+// Output: human-readable summary on stderr, machine-readable JSON on
+// stdout (bench/run_benches.sh redirects it into BENCH_threaded.json).
+// Exit status is non-zero if the acceptance gates fail (sketch stats
+// memory >= 8x smaller than exact; sketch throughput >= 0.9x exact —
+// the tolerance absorbs scheduler noise, the point is "no worse"), so
+// CI can run it as a check.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "engine/threaded_engine.h"
+#include "sketch/sketch_stats_window.h"
+#include "workload/operators.h"
+#include "workload/synthetic.h"
+
+using namespace skewless;
+
+namespace {
+
+struct ModeResult {
+  double steady_tps = 0.0;       // aggregate over intervals >= 1
+  double best_interval_tps = 0.0;  // least scheduler-noise estimate
+  double total_wall_ms = 0.0;
+  std::uint64_t processed = 0;
+  std::size_t stats_memory_bytes = 0;  // last interval (fullest view)
+  std::size_t heavy_keys = 0;          // sketch mode only
+};
+
+struct Scenario {
+  std::uint64_t num_keys = 1'000'000;
+  std::uint64_t tuples_per_interval = 2'000'000;
+  int intervals = 5;
+  InstanceId workers = 4;
+  std::size_t batch = 1024;
+  SketchStatsConfig sketch;
+};
+
+ModeResult run_mode(const Scenario& sc, StatsMode mode) {
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = sc.num_keys;
+  opts.skew = 1.2;
+  opts.tuples_per_interval = sc.tuples_per_interval;
+  opts.fluctuation = 0.0;
+  opts.fluctuate_every = sc.intervals + 1;  // stable distribution
+  opts.seed = 0x5eed;
+  ZipfFluctuatingSource source(opts);
+
+  ThreadedConfig cfg;
+  cfg.batch_size = sc.batch;
+  cfg.stats_mode = mode;
+  cfg.sketch = sc.sketch;
+  ThreadedEngine engine(cfg, std::make_shared<WordCountLogic>(),
+                        /*num_workers_for_ring=*/sc.workers,
+                        /*ring_seed=*/11);
+  const auto reports = engine.run(source, sc.intervals, /*seed=*/1);
+
+  ModeResult res;
+  double steady_wall_ms = 0.0;
+  std::uint64_t steady_processed = 0;
+  for (const auto& r : reports) {
+    res.processed += r.processed;
+    res.total_wall_ms += r.wall_ms;
+    if (r.interval > 0) {
+      steady_wall_ms += r.wall_ms;
+      steady_processed += r.processed;
+      res.best_interval_tps = std::max(res.best_interval_tps,
+                                       r.throughput_tps);
+    }
+  }
+  res.steady_tps = steady_wall_ms > 0.0
+                       ? static_cast<double>(steady_processed) /
+                             (steady_wall_ms / 1000.0)
+                       : 0.0;
+  res.stats_memory_bytes = reports.back().stats_memory_bytes;
+  if (const auto* sketch =
+          dynamic_cast<const SketchStatsWindow*>(&engine.state_tracker())) {
+    res.heavy_keys = sketch->heavy_count();
+  }
+  engine.shutdown();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults reproduce the acceptance scenario; smaller values are
+  // available for quick runs.
+  Scenario sc;
+  // Coarser sketches than the planner-accuracy bench (micro_sketch):
+  // eps 1e-3 / delta 0.05 give width-4096 x depth-3 sketches, so one
+  // worker's three slab sketches fit in ~300 KB (L2-resident on the data
+  // path, and 3 row updates per cold key instead of 5) and the whole
+  // sketch-mode footprint (window + N slabs) stays an order of magnitude
+  // under exact mode's dense vectors. The hot head — what planning
+  // actually consumes — is tracked exactly either way via the heavy
+  // tier, which is also why the cold tail can afford the coarser
+  // geometry.
+  sc.sketch.epsilon = 1e-3;
+  sc.sketch.delta = 0.05;
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--keys N] [--tuples N] [--intervals N] "
+                 "[--workers N] [--batch N]\n",
+                 argv[0]);
+    std::exit(2);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&]() -> long long {
+      if (i + 1 >= argc) usage();
+      return std::atoll(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--keys") == 0) {
+      sc.num_keys = static_cast<std::uint64_t>(need());
+    } else if (std::strcmp(argv[i], "--tuples") == 0) {
+      sc.tuples_per_interval = static_cast<std::uint64_t>(need());
+    } else if (std::strcmp(argv[i], "--intervals") == 0) {
+      sc.intervals = static_cast<int>(need());
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      sc.workers = static_cast<InstanceId>(need());
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      sc.batch = static_cast<std::size_t>(need());
+    } else {
+      usage();
+    }
+  }
+  if (sc.intervals < 2 || sc.workers < 1) {
+    std::fprintf(stderr, "need --intervals >= 2 and --workers >= 1\n");
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "threaded %llu-key Zipf(1.2), %llu tuples/interval, %d "
+               "intervals, %d workers\n",
+               static_cast<unsigned long long>(sc.num_keys),
+               static_cast<unsigned long long>(sc.tuples_per_interval),
+               sc.intervals, static_cast<int>(sc.workers));
+
+  // Two alternating measurement rounds per mode, keeping each mode's
+  // best: a transient load spike on the machine (the usual CI hazard)
+  // would have to hit the SAME mode in BOTH rounds to skew the ratio.
+  ModeResult exact, sketch;
+  for (int round = 0; round < 2; ++round) {
+    std::fprintf(stderr, "round %d: exact mode...\n", round);
+    const ModeResult e = run_mode(sc, StatsMode::kExact);
+    std::fprintf(stderr, "round %d: sketch mode...\n", round);
+    const ModeResult s = run_mode(sc, StatsMode::kSketch);
+    // Best interval is tracked across BOTH rounds, independent of which
+    // round wins on steady throughput.
+    const double best_e = std::max(exact.best_interval_tps, e.best_interval_tps);
+    const double best_s =
+        std::max(sketch.best_interval_tps, s.best_interval_tps);
+    if (e.steady_tps > exact.steady_tps) exact = e;
+    if (s.steady_tps > sketch.steady_tps) sketch = s;
+    exact.best_interval_tps = best_e;
+    sketch.best_interval_tps = best_s;
+  }
+
+  const double memory_ratio =
+      sketch.stats_memory_bytes > 0
+          ? static_cast<double>(exact.stats_memory_bytes) /
+                static_cast<double>(sketch.stats_memory_bytes)
+          : 0.0;
+  // Gate on the best steady interval of each mode: the aggregate mean is
+  // dominated by whatever else the CI machine was doing, while the best
+  // interval is each mode's demonstrated capability under this workload.
+  const double tput_ratio =
+      exact.best_interval_tps > 0.0
+          ? sketch.best_interval_tps / exact.best_interval_tps
+          : 0.0;
+
+  const std::uint64_t expected =
+      sc.tuples_per_interval * static_cast<std::uint64_t>(sc.intervals);
+  const bool pass_processed =
+      exact.processed == expected && sketch.processed == expected;
+  const bool pass_memory = memory_ratio >= 8.0;
+  const bool pass_tput = tput_ratio >= 0.9;
+  const bool pass_heavy = sketch.heavy_keys > 0;
+
+  std::fprintf(stderr,
+               "\n%-28s %15s %15s\n"
+               "%-28s %15zu %15zu\n"
+               "%-28s %15.0f %15.0f\n"
+               "%-28s %15.0f %15.0f\n"
+               "%-28s %15.0f %15.0f\n",
+               "", "exact", "sketch",
+               "stats memory (bytes)", exact.stats_memory_bytes,
+               sketch.stats_memory_bytes,
+               "steady throughput (t/s)", exact.steady_tps, sketch.steady_tps,
+               "best interval (t/s)", exact.best_interval_tps,
+               sketch.best_interval_tps,
+               "total wall (ms)", exact.total_wall_ms, sketch.total_wall_ms);
+  std::fprintf(stderr,
+               "memory ratio %.1fx (gate >= 8x: %s), throughput ratio %.2f "
+               "(gate >= 0.9: %s), heavy keys %zu (gate > 0: %s), processed "
+               "%s\n",
+               memory_ratio, pass_memory ? "PASS" : "FAIL", tput_ratio,
+               pass_tput ? "PASS" : "FAIL", sketch.heavy_keys,
+               pass_heavy ? "PASS" : "FAIL", pass_processed ? "PASS" : "FAIL");
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"micro_threaded\",\n"
+      "  \"workload\": {\"distribution\": \"zipf\", \"skew\": 1.2, "
+      "\"keys\": %llu, \"tuples_per_interval\": %llu, \"intervals\": %d, "
+      "\"workers\": %d, \"batch\": %zu},\n"
+      "  \"exact\":  {\"stats_memory_bytes\": %zu, \"steady_tps\": %.0f, "
+      "\"best_interval_tps\": %.0f, \"wall_ms\": %.1f, \"processed\": "
+      "%llu},\n"
+      "  \"sketch\": {\"stats_memory_bytes\": %zu, \"steady_tps\": %.0f, "
+      "\"best_interval_tps\": %.0f, \"wall_ms\": %.1f, \"processed\": %llu, "
+      "\"heavy_keys\": %zu},\n"
+      "  \"memory_ratio\": %.2f,\n"
+      "  \"throughput_ratio\": %.3f,\n"
+      "  \"gates\": {\"memory_ratio_ge_8x\": %s, "
+      "\"throughput_ratio_ge_0_9\": %s, \"heavy_keys_nonzero\": %s, "
+      "\"all_tuples_processed\": %s}\n"
+      "}\n",
+      static_cast<unsigned long long>(sc.num_keys),
+      static_cast<unsigned long long>(sc.tuples_per_interval), sc.intervals,
+      static_cast<int>(sc.workers), sc.batch, exact.stats_memory_bytes,
+      exact.steady_tps, exact.best_interval_tps, exact.total_wall_ms,
+      static_cast<unsigned long long>(exact.processed),
+      sketch.stats_memory_bytes, sketch.steady_tps,
+      sketch.best_interval_tps, sketch.total_wall_ms,
+      static_cast<unsigned long long>(sketch.processed), sketch.heavy_keys,
+      memory_ratio, tput_ratio, pass_memory ? "true" : "false",
+      pass_tput ? "true" : "false", pass_heavy ? "true" : "false",
+      pass_processed ? "true" : "false");
+
+  return (pass_memory && pass_tput && pass_heavy && pass_processed) ? 0 : 1;
+}

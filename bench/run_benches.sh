@@ -4,21 +4,41 @@
 #
 #   bench/run_benches.sh [BUILD_DIR]     (default: build)
 #
-# Currently: bench_micro_sketch -> BENCH_sketch.json. The bench's own
-# acceptance gates (stats memory >= 10x smaller than exact, plan-quality
-# theta within tolerance) propagate through this script's exit status,
-# so CI can treat it as a check.
-set -euo pipefail
+# Benches and their acceptance gates (each bench enforces its own gates
+# through its exit status; this script runs every bench and fails if ANY
+# gate failed, so CI gets one pass/fail for the whole trajectory):
+#
+#   bench_micro_sketch   -> BENCH_sketch.json
+#       stats memory >= 10x smaller than exact, plan-quality theta
+#       within tolerance of the exact plan.
+#   bench_micro_threaded -> BENCH_threaded.json
+#       real-thread 1M-key run: sketch-mode stats memory >= 8x smaller
+#       than exact, throughput no worse than the exact mutex-drain path.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_micro_sketch" ]]; then
-  echo "error: ${BUILD_DIR}/bench/bench_micro_sketch not built" >&2
-  echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 1
-fi
+BENCHES=(
+  bench_micro_sketch:BENCH_sketch.json
+  bench_micro_threaded:BENCH_threaded.json
+)
 
-echo "== bench_micro_sketch -> BENCH_sketch.json" >&2
-"${BUILD_DIR}/bench/bench_micro_sketch" > BENCH_sketch.json
-cat BENCH_sketch.json
+status=0
+for spec in "${BENCHES[@]}"; do
+  bench="${spec%%:*}"
+  out="${spec##*:}"
+  bin="${BUILD_DIR}/bench/${bench}"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  echo "== ${bench} -> ${out}" >&2
+  if ! "$bin" > "$out"; then
+    echo "!! ${bench} gates FAILED (see ${out})" >&2
+    status=1
+  fi
+  cat "$out"
+done
+exit "$status"

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "sketch/sketch_stats_window.h"
 
 namespace skewless {
 
@@ -15,6 +16,10 @@ Controller::Controller(AssignmentFunction assignment, PlannerPtr planner,
       stats_(make_stats_provider(config.stats_mode, num_keys, config.window,
                                  config.sketch)) {
   SKW_EXPECTS(planner_ != nullptr || !config_.enabled);
+}
+
+SketchStatsWindow* Controller::sketch_stats() {
+  return dynamic_cast<SketchStatsWindow*>(stats_.get());
 }
 
 PartitionSnapshot Controller::build_snapshot() const {

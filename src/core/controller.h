@@ -25,6 +25,8 @@
 
 namespace skewless {
 
+class SketchStatsWindow;
+
 struct ControllerConfig {
   PlannerConfig planner;
   /// w — sliding window length in intervals.
@@ -55,6 +57,13 @@ class Controller {
 
   [[nodiscard]] StatsProvider& stats() { return *stats_; }
   [[nodiscard]] const StatsProvider& stats() const { return *stats_; }
+
+  /// The provider as a SketchStatsWindow when stats_mode == kSketch,
+  /// nullptr in exact mode. The ThreadedEngine uses this seam to switch
+  /// its workers onto thread-local sketch slabs merged at the interval
+  /// boundary (instead of funnelling dense per-key maps through the
+  /// shared record() path).
+  [[nodiscard]] SketchStatsWindow* sketch_stats();
 
   /// Resident bytes of the statistics structures (the exact-vs-sketch
   /// trade-off number).

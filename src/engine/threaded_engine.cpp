@@ -45,6 +45,7 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
   // No separate monitor in controller mode: the controller's provider
   // already sees every drained observation, and doubling it would
   // double exactly the stats memory the sketch mode exists to shrink.
+  sketch_sink_ = controller_->sketch_stats();
   start_workers();
 }
 
@@ -60,6 +61,7 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
   // The key domain is discovered from the stream; the monitor grows on
   // demand (the exact provider via resize_keys, the sketch natively).
   monitor_ = make_stats_provider(config_.stats_mode, 0, 1, config_.sketch);
+  sketch_sink_ = dynamic_cast<SketchStatsWindow*>(monitor_.get());
   start_workers();
 }
 
@@ -74,6 +76,7 @@ void ThreadedEngine::start_workers() {
   stats_.reserve(n);
   pending_batches_.resize(n);
   drain_scratch_.resize(n);
+  pushed_msgs_.resize(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     queues_.push_back(
         std::make_unique<BoundedMpmcQueue<WorkerMsg>>(config_.queue_capacity));
@@ -81,6 +84,15 @@ void ThreadedEngine::start_workers() {
     stats_.push_back(std::make_unique<WorkerStats>());
     stats_.back()->per_key.reserve(256);
     drain_scratch_[i].reserve(256);
+  }
+  if (sketch_sink_ != nullptr) {
+    // Sketch mode: one thread-local slab per worker, built against the
+    // sink's own config so the Count-Min families match cell-for-cell.
+    slabs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slabs_.push_back(
+          std::make_unique<WorkerSketchSlab>(sketch_sink_->config()));
+    }
   }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -93,6 +105,8 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   const auto idx = static_cast<std::size_t>(id);
   StateStore& store = *stores_[idx];
   WorkerStats& stats = *stats_[idx];
+  WorkerSketchSlab* slab =
+      slabs_.empty() ? nullptr : slabs_[idx].get();  // sketch mode
   CountingCollector collector(total_outputs_);
   // Per-batch aggregation buffer, reused across batches (clear() keeps
   // the bucket array, so steady state allocates nothing per batch).
@@ -102,11 +116,13 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   while (true) {
     auto msg = queues_[idx]->pop();
     if (!msg.has_value()) return;  // queue closed
-    stats.busy.store(true, std::memory_order_release);
-    struct BusyGuard {
-      std::atomic<bool>& flag;
-      ~BusyGuard() { flag.store(false, std::memory_order_release); }
-    } busy_guard{stats.busy};
+    // Publish completion only after every effect of the message is done
+    // — the release pairs with the driver's acquire in its quiescence
+    // wait, ordering all slab/state writes before any driver read.
+    struct DoneGuard {
+      std::atomic<std::uint64_t>& counter;
+      ~DoneGuard() { counter.fetch_add(1, std::memory_order_release); }
+    } done_guard{stats.done_msgs};
 
     if (auto* batch = std::get_if<BatchMsg>(&*msg)) {
       const Micros now = steady_now_us();
@@ -130,9 +146,20 @@ void ThreadedEngine::worker_loop(InstanceId id) {
       }
       total_processed_.fetch_add(batch->tuples.size(),
                                  std::memory_order_relaxed);
-      {
-        // One lock per batch: the merge and every counter update share a
-        // single critical section.
+      if (slab != nullptr) {
+        // Sketch mode: fold the batch into this worker's thread-local
+        // slab — no lock, no shared per-key map. The driver reads the
+        // slab only after the quiescence wait at the interval boundary.
+        for (const auto& [key, cb] : local) {
+          slab->add(key, cb.cost, cb.bytes, cb.count);
+        }
+        std::lock_guard lock(stats.mu);
+        stats.processed += batch->tuples.size();
+        stats.latency_sum_us += latency_acc;
+        stats.latency_samples += latency_n;
+      } else {
+        // Exact mode — one lock per batch: the merge and every counter
+        // update share a single critical section.
         std::lock_guard lock(stats.mu);
         for (const auto& [key, cb] : local) {
           auto& entry = stats.per_key[key];
@@ -187,6 +214,7 @@ void ThreadedEngine::flush_batch(InstanceId d) {
   const bool ok =
       queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(std::move(msg)));
   SKW_ASSERT(ok);
+  ++pushed_msgs_[static_cast<std::size_t>(d)];
 }
 
 void ThreadedEngine::flush_batches() {
@@ -201,11 +229,11 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
     WorkerStats& ws = *stats_[w];
     auto& drained = drain_scratch_[w];
     {
-      // Single short critical section per worker: swap out the per-key
-      // map (handing back last interval's cleared, pre-bucketed map) and
-      // grab every scalar counter in one acquisition.
+      // Single short critical section per worker: grab every scalar
+      // counter (and, in exact mode, swap out the per-key map, handing
+      // back last interval's cleared, pre-bucketed map).
       std::lock_guard lock(ws.mu);
-      drained.swap(ws.per_key);
+      if (sketch_sink_ == nullptr) drained.swap(ws.per_key);
       report.processed += ws.processed;
       ws.processed = 0;
       latency_sum += ws.latency_sum_us;
@@ -213,6 +241,25 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
       ws.latency_sum_us = 0.0;
       ws.latency_samples = 0;
     }
+    if (sketch_sink_ != nullptr) {
+      // Boundary merge, in worker-index order — a fixed order, so the
+      // merged sketch state is byte-identical regardless of which worker
+      // finished first. The quiescence wait in run_interval ordered all
+      // slab writes before this read; no lock is needed.
+      WorkerSketchSlab& slab = *slabs_[w];
+      worker_cost[w] = slab.total_cost();
+      report.stats_memory_bytes += slab.memory_bytes();
+      sketch_sink_->absorb(slab);
+      slab.clear();
+      continue;
+    }
+    // Exact mode: account the worker-side map at its fullest (nodes are
+    // freed by the clear below), then replay it into the provider.
+    constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+    report.stats_memory_bytes +=
+        drained.size() *
+            (sizeof(std::pair<const KeyId, PerKeyStat>) + kNodeOverhead) +
+        (drained.bucket_count() + ws.per_key.bucket_count()) * sizeof(void*);
     for (const auto& [key, cb] : drained) {
       worker_cost[w] += cb.cost;
       if (controller_) {
@@ -247,6 +294,12 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
   }
 }
 
+void ThreadedEngine::refresh_worker_heavy_sets() {
+  if (sketch_sink_ == nullptr) return;
+  const std::vector<KeyId> keys = sketch_sink_->heavy_keys();
+  for (auto& slab : slabs_) slab->set_heavy_keys(keys);
+}
+
 Bytes ThreadedEngine::execute_migration(const RebalancePlan& plan) {
   // Group the moves by source worker and extract.
   std::vector<std::vector<KeyId>> by_source(
@@ -264,6 +317,7 @@ Bytes ThreadedEngine::execute_migration(const RebalancePlan& plan) {
     const bool ok =
         queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(std::move(msg)));
     SKW_ASSERT(ok);
+    ++pushed_msgs_[static_cast<std::size_t>(d)];
   }
 
   // Collect the extracted states (workers reach the Extract message after
@@ -308,6 +362,7 @@ Bytes ThreadedEngine::execute_migration(const RebalancePlan& plan) {
     const bool ok =
         queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(std::move(msg)));
     SKW_ASSERT(ok);
+    ++pushed_msgs_[static_cast<std::size_t>(d)];
   }
   return wire_bytes;
 }
@@ -327,21 +382,24 @@ ThreadedIntervalReport ThreadedEngine::run_interval(
   flush_batches();
   total_emitted_ += report.emitted;
 
-  // Interval boundary: wait for queues to drain so the interval's
-  // statistics are complete before planning. (A production engine plans
-  // on slightly stale stats instead; draining makes tests deterministic.)
+  // Interval boundary: wait for every pushed message to be fully
+  // processed so the interval's statistics are complete before planning.
+  // (A production engine plans on slightly stale stats instead; draining
+  // makes tests deterministic.) Counting completions instead of polling
+  // queue emptiness is what makes this gap-free: a message a worker has
+  // popped but not finished keeps done_msgs behind pushed_msgs_.
   for (InstanceId d = 0; d < num_workers_; ++d) {
     const auto di = static_cast<std::size_t>(d);
-    while (queues_[di]->size() > 0 ||
-           stats_[di]->busy.load(std::memory_order_acquire)) {
+    while (stats_[di]->done_msgs.load(std::memory_order_acquire) !=
+           pushed_msgs_[di]) {
       std::this_thread::yield();
     }
   }
 
-  drain_worker_stats(report);
+  drain_worker_stats(report);  // also accounts worker-side stats memory
   if (monitor_) monitor_->roll();
-  report.stats_memory_bytes = controller_ ? controller_->stats_memory_bytes()
-                                          : monitor_->memory_bytes();
+  report.stats_memory_bytes += controller_ ? controller_->stats_memory_bytes()
+                                           : monitor_->memory_bytes();
   if (controller_) {
     if (auto plan = controller_->end_interval()) {
       report.migrated = true;
@@ -356,10 +414,21 @@ ThreadedIntervalReport ThreadedEngine::run_interval(
           (interval_ + 1 - config_.expire_lag_intervals) * 1'000'000;
       for (InstanceId d = 0; d < num_workers_; ++d) {
         ExpireMsg msg{watermark};
-        queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(msg));
+        const bool ok =
+            queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(msg));
+        // A dropped-but-counted message would deadlock the quiescence
+        // wait; push only fails after close(), which cannot happen here.
+        SKW_ASSERT(ok);
+        ++pushed_msgs_[static_cast<std::size_t>(d)];
       }
     }
   }
+
+  // The roll just promoted/demoted: re-broadcast the heavy set so next
+  // interval's hot keys accumulate exactly in the worker slabs. Workers
+  // only read the heavy set while processing a Batch message, and the
+  // next batch is pushed (queue-synchronized) after this write.
+  refresh_worker_heavy_sets();
 
   report.wall_ms = timer.elapsed_millis();
   report.throughput_tps = report.wall_ms > 0.0

@@ -18,6 +18,19 @@
 //      routed afterwards sits behind the Install in the destination's
 //      FIFO queue, so it can never observe a missing state.
 // Keys not involved in ∆(F, F') keep flowing the whole time.
+//
+// Statistics contract (worker ↔ driver):
+//   * exact mode — workers aggregate per batch into a private map, merge
+//     it into a mutex-guarded shared map, and the driver swaps those out
+//     at interval boundaries and replays them into the provider. O(|K|)
+//     hash traffic crosses threads each interval.
+//   * sketch mode — each worker owns a thread-local WorkerSketchSlab
+//     (Count-Min sketches + Space-Saving candidates + exact hot-key map
+//     for the current heavy set). The driver merges the slabs into the
+//     SketchStatsWindow at the interval boundary (cell-wise add_sketch,
+//     candidate union, one promotion pass in roll) in worker-index
+//     order, so results are byte-identical regardless of worker finish
+//     order. No per-key hash traffic crosses threads on the data path.
 #pragma once
 
 #include <atomic>
@@ -36,6 +49,8 @@
 #include "engine/state.h"
 #include "engine/tuple.h"
 #include "engine/workload_source.h"
+#include "sketch/sketch_stats_window.h"
+#include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
 
@@ -76,9 +91,12 @@ struct ThreadedIntervalReport {
   /// ThreadedConfig::serialize_migration is set).
   Bytes migration_wire_bytes = 0.0;
   Micros generation_micros = 0;
-  /// Resident bytes of the per-key statistics structures: the
-  /// controller's provider in controller mode, the engine monitor in
-  /// hash-only mode.
+  /// Resident bytes of ALL statistics structures on the engine: the
+  /// provider (controller's in controller mode, the engine monitor in
+  /// hash-only mode) plus the per-worker accumulators — sketch slabs in
+  /// sketch mode, the shared per-key maps and drain scratch in exact
+  /// mode. This is the end-to-end number the exact-vs-sketch memory
+  /// trade-off is about.
   std::size_t stats_memory_bytes = 0;
 };
 
@@ -168,20 +186,34 @@ class ThreadedEngine {
     std::uint64_t count = 0;
   };
 
-  /// Per-worker statistics shared with the driver (mutex-guarded; the
-  /// driver drains them at interval boundaries). The per_key map is
-  /// recycled between intervals: the driver swaps it against a cleared
-  /// scratch map that keeps its buckets, so steady-state intervals do no
-  /// hash-table allocation on the hot path.
+  /// Per-worker statistics shared with the driver. Scalars are
+  /// mutex-guarded (one uncontended lock per batch). The per-key channel
+  /// depends on the stats mode:
+  ///
+  ///  * EXACT — the per_key map, merged under the mutex per batch and
+  ///    swapped out by the driver at interval boundaries against a
+  ///    cleared scratch map that keeps its buckets, so steady-state
+  ///    intervals do no hash-table allocation on the hot path.
+  ///  * SKETCH — the worker writes its WorkerSketchSlab (see slabs_)
+  ///    with NO lock at all: the driver only reads a slab after the
+  ///    quiescence wait in run_interval (done_msgs observed equal, with
+  ///    acquire ordering, to the driver's own push count), which orders
+  ///    every worker write before the driver's boundary merge. No
+  ///    per-key hash traffic crosses threads.
   struct WorkerStats {
     std::mutex mu;
     std::unordered_map<KeyId, PerKeyStat> per_key;
     std::uint64_t processed = 0;
     double latency_sum_us = 0.0;
     std::uint64_t latency_samples = 0;
-    /// True while the worker is processing a popped message — lets the
-    /// driver wait for true quiescence, not just empty queues.
-    std::atomic<bool> busy{false};
+    /// Messages fully handled by the worker, incremented with release
+    /// ordering only AFTER all the message's effects (state mutations,
+    /// slab writes, stats updates) are complete. The driver is the only
+    /// producer, so `done_msgs == pushed_msgs_[w]` observed with acquire
+    /// is gap-free quiescence: a popped-but-unfinished message keeps the
+    /// counts unequal. (A busy *flag* set after pop() would leave a
+    /// window where the queue is empty and the flag not yet raised.)
+    std::atomic<std::uint64_t> done_msgs{0};
   };
 
   void start_workers();
@@ -192,6 +224,9 @@ class ThreadedEngine {
   /// Returns the serialized payload size (0 when serialization is off).
   Bytes execute_migration(const RebalancePlan& plan);
   void drain_worker_stats(ThreadedIntervalReport& report);
+  /// Pushes the sketch window's post-roll heavy set into every worker
+  /// slab (sketch mode only; workers must be quiescent).
+  void refresh_worker_heavy_sets();
   [[nodiscard]] InstanceId route_of(KeyId key) const;
 
   ThreadedConfig config_;
@@ -203,10 +238,21 @@ class ThreadedEngine {
   std::vector<std::unique_ptr<BoundedMpmcQueue<WorkerMsg>>> queues_;
   std::vector<std::unique_ptr<StateStore>> stores_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;
+  /// Messages the driver has pushed to each worker (driver-owned; the
+  /// quiescence wait compares it against WorkerStats::done_msgs).
+  /// StopMsg is deliberately uncounted — nothing waits after shutdown.
+  std::vector<std::uint64_t> pushed_msgs_;
   /// Driver-side scratch maps swapped against WorkerStats::per_key at
   /// each drain (cleared with buckets retained — no per-interval rebuild).
   std::vector<std::unordered_map<KeyId, PerKeyStat>> drain_scratch_;
   std::unique_ptr<StatsProvider> monitor_;  // hash-only mode, else null
+  /// The provider downcast to its sketch form when stats_mode == kSketch
+  /// (whether owned by the controller or by monitor_); null in exact
+  /// mode. Non-null switches the worker↔driver statistics contract to
+  /// thread-local slabs + boundary merge.
+  SketchStatsWindow* sketch_sink_ = nullptr;
+  /// One thread-local slab per worker (sketch mode only, else empty).
+  std::vector<std::unique_ptr<WorkerSketchSlab>> slabs_;
   BoundedMpmcQueue<ExtractedState> migration_mailbox_;
   std::vector<std::thread> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;

@@ -28,30 +28,33 @@ CountMinSketch::CountMinSketch(Params params) : seed_(params.seed) {
 
 void CountMinSketch::add(KeyId key, double amount) {
   SKW_EXPECTS(amount >= 0.0);
+  const KeyProbe p = probe(key);
   for (std::size_t row = 0; row < depth_; ++row) {
-    cells_[row * width_ + cell_index(row, key)] += amount;
+    cells_[row * width_ + cell_index(p, row)] += amount;
   }
   total_ += amount;
 }
 
 void CountMinSketch::add_conservative(KeyId key, double amount) {
   SKW_EXPECTS(amount >= 0.0);
-  double est = cells_[cell_index(0, key)];
+  const KeyProbe p = probe(key);
+  double est = cells_[cell_index(p, 0)];
   for (std::size_t row = 1; row < depth_; ++row) {
-    est = std::min(est, cells_[row * width_ + cell_index(row, key)]);
+    est = std::min(est, cells_[row * width_ + cell_index(p, row)]);
   }
   const double target = est + amount;
   for (std::size_t row = 0; row < depth_; ++row) {
-    double& cell = cells_[row * width_ + cell_index(row, key)];
+    double& cell = cells_[row * width_ + cell_index(p, row)];
     cell = std::max(cell, target);
   }
   total_ += amount;
 }
 
 double CountMinSketch::estimate(KeyId key) const {
-  double est = cells_[cell_index(0, key)];
+  const KeyProbe p = probe(key);
+  double est = cells_[cell_index(p, 0)];
   for (std::size_t row = 1; row < depth_; ++row) {
-    est = std::min(est, cells_[row * width_ + cell_index(row, key)]);
+    est = std::min(est, cells_[row * width_ + cell_index(p, row)]);
   }
   return est;
 }
@@ -61,6 +64,16 @@ void CountMinSketch::add_sketch(const CountMinSketch& other) {
               other.seed_ == seed_);
   for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
   total_ += other.total_;
+}
+
+void CountMinSketch::add_interleaved(const double* cells, std::size_t stride,
+                                     std::size_t width, std::size_t depth,
+                                     double total) {
+  SKW_EXPECTS(width == width_ && depth == depth_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += cells[i * stride];
+  }
+  total_ += total;
 }
 
 void CountMinSketch::subtract_sketch(const CountMinSketch& other) {

@@ -48,6 +48,15 @@ class CountMinSketch {
   void add_sketch(const CountMinSketch& other);
   void subtract_sketch(const CountMinSketch& other);
 
+  /// Cell-wise merge from an interleaved external buffer: cell (row, c)
+  /// is read from `cells[(row * width + c) * stride]`. The buffer must
+  /// have been written with this sketch's exact geometry and probe
+  /// placement (same family Params — see make_probe/probe_index, which
+  /// exist so external accumulators like WorkerSketchSlab can share the
+  /// placement). `total` is the exact mass the buffer accumulated.
+  void add_interleaved(const double* cells, std::size_t stride,
+                       std::size_t width, std::size_t depth, double total);
+
   void clear();
 
   /// Exact running total of all added amounts (maintained as a scalar;
@@ -61,13 +70,35 @@ class CountMinSketch {
   [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  /// Kirsch–Mitzenmacher double hashing: two base hashes per operation,
+  /// row i probes (h1 + i·h2). h2 is forced odd so every stride is
+  /// coprime with the power-of-two width — each row still touches a
+  /// distinct, well-distributed cell, at 2 hash evaluations per key
+  /// instead of `depth`. (K&M '06 show the pairwise-independence bounds
+  /// carry over, which is all the CM guarantee needs.) The statics are
+  /// public so an external accumulator (WorkerSketchSlab's fused cell
+  /// array) can reproduce the exact placement of a same-seed sketch.
+  struct KeyProbe {
+    std::uint64_t h1;
+    std::uint64_t h2;
+  };
+  [[nodiscard]] static KeyProbe make_probe(KeyId key, std::uint64_t seed) {
+    return {hash64(key, seed),
+            hash64(key, seed ^ 0x9e3779b97f4a7c15ULL) | 1ULL};
+  }
+  [[nodiscard]] static std::size_t probe_index(const KeyProbe& p,
+                                               std::size_t row,
+                                               std::size_t width_mask) {
+    return static_cast<std::size_t>(p.h1 + row * p.h2) & width_mask;
+  }
+
  private:
-  [[nodiscard]] std::size_t cell_index(std::size_t row, KeyId key) const {
-    // Independent row hashes derived from one seed; width is a power of
-    // two so the modulo is a mask.
-    return static_cast<std::size_t>(
-               hash64(key, seed_ + (row + 1) * 0x9e3779b97f4a7c15ULL)) &
-           (width_ - 1);
+  [[nodiscard]] KeyProbe probe(KeyId key) const {
+    return make_probe(key, seed_);
+  }
+  [[nodiscard]] std::size_t cell_index(const KeyProbe& p,
+                                       std::size_t row) const {
+    return probe_index(p, row, width_ - 1);
   }
 
   std::size_t width_;   // power of two

@@ -4,18 +4,22 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
 
+CountMinSketch::Params SketchStatsWindow::family_params(
+    const SketchStatsConfig& config, std::uint64_t salt) {
+  CountMinSketch::Params p;
+  p.epsilon = config.epsilon;
+  p.delta = config.delta;
+  p.seed = config.seed + salt * 0x9e3779b97f4a7c15ULL;
+  return p;
+}
+
 CountMinSketch::Params SketchStatsWindow::cms_params(
     std::uint64_t salt) const {
-  CountMinSketch::Params p;
-  p.epsilon = config_.epsilon;
-  p.delta = config_.delta;
-  // Distinct hash families per quantity; every state sketch shares salt 3
-  // so the window ring can be cell-wise merged/subtracted.
-  p.seed = config_.seed + salt * 0x9e3779b97f4a7c15ULL;
-  return p;
+  return family_params(config_, salt);
 }
 
 SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
@@ -24,12 +28,13 @@ SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
       window_(window),
       num_keys_(num_keys),
       candidates_(config.heavy_capacity),
-      cost_cur_(cms_params(1)),
-      cost_last_(cms_params(1)),
-      freq_cur_(cms_params(2)),
-      freq_last_(cms_params(2)),
-      state_cur_(cms_params(3)),
-      state_window_(cms_params(3)) {
+      // One shared family across quantities — see kSharedFamilySalt.
+      cost_cur_(cms_params(kSharedFamilySalt)),
+      cost_last_(cms_params(kSharedFamilySalt)),
+      freq_cur_(cms_params(kSharedFamilySalt)),
+      freq_last_(cms_params(kSharedFamilySalt)),
+      state_cur_(cms_params(kSharedFamilySalt)),
+      state_window_(cms_params(kSharedFamilySalt)) {
   SKW_EXPECTS(window >= 1);
   SKW_EXPECTS(config.heavy_capacity >= 1);
   heavy_.reserve(config.heavy_capacity);
@@ -57,6 +62,45 @@ void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
   cold_state_cur_ += state_bytes;
 }
 
+void SketchStatsWindow::absorb(const WorkerSketchSlab& slab) {
+  if (slab.key_bound() > num_keys_) num_keys_ = slab.key_bound();
+  // Hot tier: exact accumulation. Iteration order over the slab's map is
+  // irrelevant because each key only touches its own heavy entry (and
+  // scalar += is commutative over disjoint keys). record() re-checks
+  // membership, so a stale hot entry (demoted since the slab's snapshot)
+  // degrades gracefully to the cold path.
+  for (const auto& [key, agg] : slab.hot()) {
+    record(key, agg.cost, agg.state_bytes, agg.frequency);
+  }
+  // Cold tier: unpack the slab's fused (cost, freq, state) cells into
+  // the per-quantity sketches cell-wise. Exact merge — the slab writes
+  // its cells with classic updates, under which a Count-Min array is a
+  // linear function of its stream — legal because every sketch here
+  // shares the slab's hash family (kSharedFamilySalt).
+  const auto* fused = slab.cells().data();
+  constexpr std::size_t kStride =
+      sizeof(WorkerSketchSlab::FusedCell) / sizeof(double);
+  cost_cur_.add_interleaved(&fused->cost, kStride, slab.width(), slab.depth(),
+                            slab.cold_cost());
+  freq_cur_.add_interleaved(&fused->freq, kStride, slab.width(), slab.depth(),
+                            static_cast<double>(slab.cold_frequency()));
+  state_cur_.add_interleaved(&fused->state, kStride, slab.width(),
+                             slab.depth(), slab.cold_state());
+  candidates_.merge(slab.candidates().entries_by_count(),
+                    slab.candidates().total_weight());
+  cold_cost_cur_ += slab.cold_cost();
+  cold_freq_cur_ += slab.cold_frequency();
+  cold_state_cur_ += slab.cold_state();
+}
+
+std::vector<KeyId> SketchStatsWindow::heavy_keys() const {
+  std::vector<KeyId> keys;
+  keys.reserve(heavy_.size());
+  for (const auto& [key, e] : heavy_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 void SketchStatsWindow::close_cold_interval() {
   std::swap(cost_last_, cost_cur_);
   cost_cur_.clear();
@@ -73,7 +117,7 @@ void SketchStatsWindow::close_cold_interval() {
     state_ring_.pop_front();
     state_cur_.clear();
   } else {
-    state_cur_ = CountMinSketch(cms_params(3));
+    state_cur_ = CountMinSketch(cms_params(kSharedFamilySalt));
   }
 
   cold_cost_last_ = cold_cost_cur_;

@@ -43,6 +43,8 @@
 
 namespace skewless {
 
+class WorkerSketchSlab;
+
 class SketchStatsWindow final : public StatsProvider {
  public:
   /// `num_keys` = |K| (logical bound for synthesize_dense; grows on
@@ -50,9 +52,39 @@ class SketchStatsWindow final : public StatsProvider {
   SketchStatsWindow(std::size_t num_keys, int window,
                     SketchStatsConfig config = {});
 
+  /// Every per-quantity sketch (cost, frequency, state — current, last
+  /// and the windowed-state ring) shares ONE hash family: the worker
+  /// slabs fuse all three quantities into a single probed cell array on
+  /// the data path (one probe, one set of cache lines per key), and
+  /// cell-wise unpacking that array into the per-quantity sketches is
+  /// only sound when the placements coincide. Per-sketch Count-Min
+  /// bounds are unaffected (the analysis is per sketch); the price is
+  /// that two colliding keys collide in every quantity at once.
+  static constexpr std::uint64_t kSharedFamilySalt = 3;
+
+  /// The Count-Min parameters of hash family `salt` under `config`.
+  /// Shared with WorkerSketchSlab so worker-local fused cells are
+  /// cell-wise compatible with the window's sketches.
+  [[nodiscard]] static CountMinSketch::Params family_params(
+      const SketchStatsConfig& config, std::uint64_t salt);
+
   void record(KeyId key, Cost cost, Bytes state_bytes,
               std::uint64_t frequency = 1) override;
   void roll() override;
+
+  /// Boundary merge: folds one worker's interval-local slab into the
+  /// open interval. Hot entries accumulate exactly into the heavy tier
+  /// (the slab's heavy set is a snapshot of this window's, so they route
+  /// straight to existing entries); cold mass merges cell-wise into the
+  /// open Count-Min sketches (exact, since slabs use the classic
+  /// update), candidates union into the Space-Saving tracker, and the
+  /// exact scalar aggregates add. Absorbing slabs in a fixed order
+  /// yields byte-identical state regardless of worker finish order.
+  void absorb(const WorkerSketchSlab& slab);
+
+  /// The current heavy key set, sorted ascending (deterministic) — what
+  /// the driver distributes to worker slabs at interval boundaries.
+  [[nodiscard]] std::vector<KeyId> heavy_keys() const;
 
   [[nodiscard]] Cost last_cost_of(KeyId key) const override;
   [[nodiscard]] std::uint64_t last_frequency_of(KeyId key) const override;

@@ -1,6 +1,7 @@
 #include "sketch/space_saving.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/assert.h"
 
@@ -57,6 +58,27 @@ void SpaceSaving::add(KeyId key, double weight) {
   if (heap_.size() > 8 * capacity_) compact_heap();
 }
 
+void SpaceSaving::merge(const SpaceSaving& other) {
+  merge(other.entries_by_count(), other.total_weight());
+}
+
+void SpaceSaving::merge(const std::vector<Entry>& entries,
+                        double total_weight) {
+  total_ += total_weight;
+  // Deterministic as long as `entries` is (entries_by_count() is).
+  // No truncation — see the header for why dropping entries here would
+  // break the heavy-hitter guarantee under chained merges.
+  for (const Entry& e : entries) {
+    if (auto it = map_.find(e.key); it != map_.end()) {
+      it->second.count += e.count;
+      it->second.error += e.error;
+    } else {
+      map_.emplace(e.key, e);
+    }
+  }
+  compact_heap();
+}
+
 const SpaceSaving::Entry* SpaceSaving::find(KeyId key) const {
   const auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;
@@ -95,6 +117,76 @@ void SpaceSaving::clear() {
   map_.clear();
   heap_.clear();
   total_ = 0.0;
+}
+
+MisraGries::MisraGries(std::size_t capacity) : capacity_(capacity) {
+  SKW_EXPECTS(capacity >= 1);
+  map_.reserve(2 * capacity + 1);
+  prune_scratch_.reserve(2 * capacity + 1);
+}
+
+void MisraGries::add(KeyId key, double weight) {
+  SKW_EXPECTS(weight >= 0.0);
+  total_ += weight;
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  // The key's prior mass (never tracked, or pruned at ≤ some earlier
+  // cutoff) is bounded by offset_, so starting at offset_ + weight keeps
+  // the overestimate invariant; error = offset_ records the slack.
+  map_.emplace(key, SpaceSaving::Entry{key, offset_ + weight, offset_});
+  if (map_.size() > 2 * capacity_) prune();
+}
+
+void MisraGries::prune() {
+  prune_scratch_.clear();
+  for (const auto& [key, e] : map_) prune_scratch_.push_back(e.count);
+  // The (capacity_+1)-th largest count: at most capacity_ entries can
+  // strictly exceed it, and it is ≤ (sum of counts)/(capacity_+1).
+  std::nth_element(prune_scratch_.begin(),
+                   prune_scratch_.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                   prune_scratch_.end(), std::greater<double>());
+  const double cutoff = prune_scratch_[capacity_];
+  for (auto it = map_.begin(); it != map_.end();) {
+    // Value threshold, not rank: equal counts drop together, so the
+    // surviving set never depends on hash iteration order.
+    it = it->second.count <= cutoff ? map_.erase(it) : std::next(it);
+  }
+  offset_ = std::max(offset_, cutoff);
+}
+
+const SpaceSaving::Entry* MisraGries::find(KeyId key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<SpaceSaving::Entry> MisraGries::entries_by_count() const {
+  std::vector<SpaceSaving::Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [key, entry] : map_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const SpaceSaving::Entry& a, const SpaceSaving::Entry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::size_t MisraGries::memory_bytes() const {
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  return sizeof(*this) +
+         map_.size() *
+             (sizeof(std::pair<const KeyId, SpaceSaving::Entry>) +
+              kNodeOverhead) +
+         map_.bucket_count() * sizeof(void*) +
+         prune_scratch_.capacity() * sizeof(double);
+}
+
+void MisraGries::clear() {
+  map_.clear();
+  total_ = 0.0;
+  offset_ = 0.0;
 }
 
 }  // namespace skewless

@@ -33,6 +33,36 @@ class SpaceSaving {
   /// Observes `weight` more mass on `key`.
   void add(KeyId key, double weight = 1.0);
 
+  /// Unions another tracker into this one (shared-nothing aggregation:
+  /// per-worker trackers merged at an interval boundary). For keys
+  /// tracked on both sides, counts and errors add; keys tracked on only
+  /// one side carry over unchanged. The union NEVER drops an entry, so
+  /// size() may exceed capacity() after merging (bounded by the sum of
+  /// the source sizes); a later add() that inserts still evicts the
+  /// minimum, and callers that want the bound back can take the top
+  /// entries of entries_by_count(). Not truncating is what keeps the
+  /// guarantee below exact even for CHAINED merges (N per-worker
+  /// trackers folded one at a time): truncating intermediate unions
+  /// could drop a key whose mass is still arriving from later workers.
+  ///
+  /// Invariants after any sequence of merges of trackers with capacity
+  /// ≥ m, over the combined stream of weight W:
+  ///   * sum of all counts == W (each source preserves it; addition
+  ///     preserves it);
+  ///   * count(k) ≥ true weight(k) and count(k) − error(k) ≤ true
+  ///     weight(k), both inherited per key by summation;
+  ///   * every key with true combined weight > W / m is tracked: such a
+  ///     key must carry > W_s / m in at least one source stream s (the
+  ///     weights sum), so that source tracked it, and the union drops
+  ///     nothing.
+  void merge(const SpaceSaving& other);
+
+  /// Same union, from a raw summary: `entries` must satisfy the Entry
+  /// invariants (count ≥ true ≥ count − error) over a stream of weight
+  /// `total_weight`, in deterministic order. This is how a MisraGries
+  /// worker summary folds into a Space-Saving union.
+  void merge(const std::vector<Entry>& entries, double total_weight);
+
   /// The tracked entry for `key`, or nullptr if untracked.
   [[nodiscard]] const Entry* find(KeyId key) const;
 
@@ -70,6 +100,62 @@ class SpaceSaving {
   double total_ = 0.0;
   std::unordered_map<KeyId, Entry> map_;
   std::vector<HeapItem> heap_;  // lazy: stale items skipped on pop
+};
+
+/// Misra-Gries / "frequent items" heavy-hitter summary (Misra & Gries
+/// '82, in the offset formulation used by modern frequent-items
+/// sketches): the amortized-O(1) alternative to SpaceSaving for hot
+/// paths that cannot afford per-add heap maintenance — specifically the
+/// WorkerSketchSlab data path, where SpaceSaving's eviction (heap pop +
+/// push per new cold key) measurably dominated per-tuple cost.
+///
+/// Design: a plain hash map plus a scalar `offset`. An untracked key
+/// inserts with count = offset + weight, error = offset. When the map
+/// exceeds 2×capacity, one O(size) prune finds the (capacity+1)-th
+/// largest count, drops every entry ≤ it (a value threshold — ties drop
+/// together, so the surviving set is deterministic) and raises `offset`
+/// to the cutoff. No heap, no per-add eviction.
+///
+/// Invariants over a stream of total weight W (same Entry semantics as
+/// SpaceSaving, so summaries union via SpaceSaving::merge):
+///   * count(k) ≥ true weight(k): by induction, a key's mass before its
+///     latest insertion is ≤ offset at that moment;
+///   * count(k) − error(k) ≤ true weight(k);
+///   * every untracked key has true weight ≤ offset, and each prune's
+///     cutoff is ≤ (sum of counts)/(capacity+1) — the offset stays
+///     O(W / capacity), which is the nomination guarantee promotion
+///     needs (the classic frequent-items bound).
+class MisraGries {
+ public:
+  explicit MisraGries(std::size_t capacity);
+
+  /// Observes `weight` more mass on `key`. Amortized O(1).
+  void add(KeyId key, double weight = 1.0);
+
+  /// The tracked entry for `key`, or nullptr if untracked.
+  [[nodiscard]] const SpaceSaving::Entry* find(KeyId key) const;
+
+  /// All tracked entries, sorted by count descending (key ascending on
+  /// ties) — deterministic.
+  [[nodiscard]] std::vector<SpaceSaving::Entry> entries_by_count() const;
+
+  [[nodiscard]] double total_weight() const { return total_; }
+  /// Upper bound on any untracked key's true weight.
+  [[nodiscard]] double offset() const { return offset_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  void clear();
+
+ private:
+  void prune();
+
+  std::size_t capacity_;
+  double total_ = 0.0;
+  double offset_ = 0.0;
+  std::unordered_map<KeyId, SpaceSaving::Entry> map_;
+  std::vector<double> prune_scratch_;
 };
 
 }  // namespace skewless

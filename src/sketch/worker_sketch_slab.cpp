@@ -1,0 +1,82 @@
+#include "sketch/worker_sketch_slab.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sketch/sketch_stats_window.h"
+
+namespace skewless {
+
+WorkerSketchSlab::WorkerSketchSlab(const SketchStatsConfig& config)
+    : candidates_(config.heavy_capacity) {
+  // Borrow the geometry derivation (width from ε, depth from δ, family
+  // seed) from a throwaway sketch of the shared family, so the fused
+  // cells are placed exactly where the window's sketches will look.
+  const CountMinSketch geometry(SketchStatsWindow::family_params(
+      config, SketchStatsWindow::kSharedFamilySalt));
+  width_ = geometry.width();
+  depth_ = geometry.depth();
+  seed_ = geometry.seed();
+  cells_.assign(depth_ * width_, FusedCell{});
+  heavy_.reserve(config.heavy_capacity);
+  hot_.reserve(config.heavy_capacity);
+}
+
+void WorkerSketchSlab::add(KeyId key, Cost cost, Bytes state_bytes,
+                           std::uint64_t frequency) {
+  SKW_EXPECTS(cost >= 0.0 && state_bytes >= 0.0);
+  key_bound_ = std::max(key_bound_, static_cast<std::size_t>(key) + 1);
+  if (heavy_.find(key) != heavy_.end()) {
+    KeyAgg& agg = hot_[key];
+    agg.cost += cost;
+    agg.state_bytes += state_bytes;
+    agg.frequency += frequency;
+    hot_cost_ += cost;
+    return;
+  }
+  // One probe, `depth_` fused cells: all three quantities ride the same
+  // cache lines (the point of the fused layout).
+  const auto probe = CountMinSketch::make_probe(key, seed_);
+  const std::size_t mask = width_ - 1;
+  const double freq = static_cast<double>(frequency);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    FusedCell& cell =
+        cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)];
+    cell.cost += cost;
+    cell.freq += freq;
+    cell.state += state_bytes;
+  }
+  candidates_.add(key, cost);
+  cold_cost_ += cost;
+  cold_freq_ += frequency;
+  cold_state_ += state_bytes;
+}
+
+void WorkerSketchSlab::set_heavy_keys(const std::vector<KeyId>& keys) {
+  heavy_.clear();
+  heavy_.insert(keys.begin(), keys.end());
+}
+
+void WorkerSketchSlab::clear() {
+  hot_.clear();  // keeps buckets
+  std::fill(cells_.begin(), cells_.end(), FusedCell{});
+  candidates_.clear();
+  cold_cost_ = 0.0;
+  hot_cost_ = 0.0;
+  cold_freq_ = 0;
+  cold_state_ = 0.0;
+}
+
+std::size_t WorkerSketchSlab::memory_bytes() const {
+  constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+  const std::size_t hot_bytes =
+      hot_.size() * (sizeof(std::pair<const KeyId, KeyAgg>) + kNodeOverhead) +
+      hot_.bucket_count() * sizeof(void*);
+  const std::size_t heavy_bytes =
+      heavy_.size() * (sizeof(KeyId) + kNodeOverhead) +
+      heavy_.bucket_count() * sizeof(void*);
+  return sizeof(*this) + hot_bytes + heavy_bytes +
+         cells_.capacity() * sizeof(FusedCell) + candidates_.memory_bytes();
+}
+
+}  // namespace skewless

@@ -1,0 +1,122 @@
+// WorkerSketchSlab — one worker thread's interval-local statistics
+// accumulator for sketch mode, designed so that NO per-key hash traffic
+// ever crosses a thread boundary on the data path.
+//
+// Each ThreadedEngine worker owns one slab and writes to it without any
+// lock: the driver only reads a slab at interval boundaries, after the
+// engine's quiescence protocol (the worker's completed-message counter
+// observed, with acquire ordering, equal to the driver's push count) has
+// established a happens-before edge from every worker write.
+//
+// The slab mirrors the two tiers of SketchStatsWindow:
+//
+//  * HOT — keys in the window's current heavy set (distributed by the
+//    driver at the previous interval boundary) accumulate exactly in a
+//    bounded per-slab map, so the hot tier keeps perfect fidelity even
+//    though the observations are produced on N threads.
+//  * COLD — everything else lands in ONE fused Count-Min cell array
+//    holding the (cost, frequency, state) triple per cell. All three
+//    quantities share a single Kirsch–Mitzenmacher probe and a single
+//    set of cache lines per key — the hot-path reason the slab exists —
+//    and the cells are written with CLASSIC updates (never conservative),
+//    so the array stays a linear function of the stream and the boundary
+//    merge can unpack it cell-wise (CountMinSketch::add_interleaved)
+//    into the window's per-quantity sketches, which share the same hash
+//    family. A MisraGries tracker (amortized O(1) per add — SpaceSaving's
+//    per-add heap maintenance measurably dominated the fold cost)
+//    nominates promotion candidates and exact scalars keep the cold
+//    aggregates truthful.
+//
+// At the interval boundary the driver calls SketchStatsWindow::absorb on
+// each slab in worker-index order — a fixed order, so the merged result
+// is byte-identical regardless of which worker finished first — and then
+// clear()s the slab for the next interval (allocations are retained).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/count_min.h"
+#include "sketch/space_saving.h"
+#include "sketch/stats_provider.h"
+
+namespace skewless {
+
+class WorkerSketchSlab {
+ public:
+  /// Exact accumulation for one hot key on one worker.
+  struct KeyAgg {
+    Cost cost = 0.0;
+    Bytes state_bytes = 0.0;
+    std::uint64_t frequency = 0;
+  };
+
+  /// One fused Count-Min cell: the three per-quantity counters a key's
+  /// probe touches together. Padded to 32 bytes so a cell never
+  /// straddles more cache lines than it must.
+  struct FusedCell {
+    double cost = 0.0;
+    double freq = 0.0;
+    double state = 0.0;
+    double pad = 0.0;
+  };
+
+  /// `config` must be the SketchStatsConfig of the SketchStatsWindow the
+  /// slab will be absorbed into: the fused cells replicate the geometry
+  /// and probe placement of the window's shared Count-Min family
+  /// (SketchStatsWindow::kSharedFamilySalt) cell-for-cell.
+  explicit WorkerSketchSlab(const SketchStatsConfig& config);
+
+  /// Accumulates one observation. Hot keys (current heavy set) go to the
+  /// exact map; everything else to the fused cells + candidate tracker.
+  void add(KeyId key, Cost cost, Bytes state_bytes, std::uint64_t frequency);
+
+  /// Replaces the hot-key set. Called by the driver at interval
+  /// boundaries (after SketchStatsWindow::roll has promoted/demoted),
+  /// while the worker is quiescent.
+  void set_heavy_keys(const std::vector<KeyId>& keys);
+
+  /// Resets the interval-local contents (keeps the heavy set and every
+  /// allocation: fused cells are zeroed, hash maps keep their buckets).
+  void clear();
+
+  [[nodiscard]] const std::unordered_map<KeyId, KeyAgg>& hot() const {
+    return hot_;
+  }
+  [[nodiscard]] const std::vector<FusedCell>& cells() const { return cells_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] const MisraGries& candidates() const { return candidates_; }
+
+  [[nodiscard]] Cost cold_cost() const { return cold_cost_; }
+  [[nodiscard]] std::uint64_t cold_frequency() const { return cold_freq_; }
+  [[nodiscard]] Bytes cold_state() const { return cold_state_; }
+
+  /// Exact total cost observed this interval (hot + cold) — what the
+  /// driver uses for the realized per-worker imbalance.
+  [[nodiscard]] Cost total_cost() const { return hot_cost_ + cold_cost_; }
+
+  /// One past the largest key observed since construction (the logical
+  /// domain bound the window grows to on absorb).
+  [[nodiscard]] std::size_t key_bound() const { return key_bound_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::unordered_set<KeyId> heavy_;
+  std::unordered_map<KeyId, KeyAgg> hot_;
+  std::size_t width_ = 0;  // power of two, mirrors the window's family
+  std::size_t depth_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<FusedCell> cells_;  // depth_ rows of width_ fused cells
+  MisraGries candidates_;
+  Cost cold_cost_ = 0.0;
+  Cost hot_cost_ = 0.0;
+  std::uint64_t cold_freq_ = 0;
+  Bytes cold_state_ = 0.0;
+  std::size_t key_bound_ = 0;
+};
+
+}  // namespace skewless

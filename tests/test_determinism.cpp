@@ -16,8 +16,12 @@
 #include "core/compact.h"
 #include "core/plan.h"
 #include "core/planners.h"
+#include "engine/threaded_engine.h"
 #include "sketch/sketch_stats_window.h"
+#include "sketch/worker_sketch_slab.h"
 #include "test_util.h"
+#include "workload/operators.h"
+#include "workload/synthetic.h"
 
 namespace skewless {
 namespace {
@@ -141,6 +145,104 @@ TEST(Determinism, SeededSketchStatsWindowIsByteIdentical) {
     ASSERT_EQ(a.windowed_state_of(key), b.windowed_state_of(key));
   }
   EXPECT_EQ(a.total_windowed_state(), b.total_windowed_state());
+}
+
+// The interval-boundary merge must be a pure function of (worker
+// streams, absorb order). Feeding the per-worker slabs in ANY order —
+// simulating workers finishing in different orders — must leave the
+// merged window byte-identical, because each slab's content depends only
+// on its own stream and the driver always absorbs in worker-index order.
+TEST(Determinism, WorkerSlabMergeIsByteIdenticalAcrossFinishOrders) {
+  constexpr int kWorkers = 4;
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 64;
+
+  // Worker w's deterministic stream: keys partitioned w-modulo.
+  const auto feed_slab = [&](WorkerSketchSlab& slab, int w) {
+    const ZipfDistribution zipf(8000, 1.1, true, 13);
+    Xoshiro256 rng(100 + static_cast<std::uint64_t>(w));
+    for (int i = 0; i < 15'000; ++i) {
+      KeyId key = zipf.sample(rng);
+      key = key - (key % kWorkers) + static_cast<KeyId>(w);  // w's partition
+      slab.add(key, 2.0, 8.0, 1);
+    }
+  };
+
+  const auto run_into = [&](SketchStatsWindow& window,
+                            const std::vector<int>& finish_order) {
+    std::vector<std::unique_ptr<WorkerSketchSlab>> slabs;
+    for (int w = 0; w < kWorkers; ++w) {
+      slabs.push_back(std::make_unique<WorkerSketchSlab>(cfg));
+    }
+    for (int interval = 0; interval < 3; ++interval) {
+      // "Finish order" = the order worker streams are produced; the
+      // absorb below always walks worker-index order, like the driver.
+      for (const int w : finish_order) feed_slab(*slabs[w], w);
+      for (int w = 0; w < kWorkers; ++w) {
+        window.absorb(*slabs[w]);
+        slabs[w]->clear();
+      }
+      window.roll();
+      const auto heavy = window.heavy_keys();
+      for (auto& slab : slabs) slab->set_heavy_keys(heavy);
+    }
+  };
+
+  SketchStatsWindow wa(8000, 2, cfg), wb(8000, 2, cfg);
+  run_into(wa, {0, 1, 2, 3});
+  run_into(wb, {2, 3, 1, 0});
+  ASSERT_EQ(wa.heavy_keys(), wb.heavy_keys());
+  std::vector<Cost> cost_a, cost_b;
+  std::vector<Bytes> state_a, state_b;
+  wa.synthesize_dense(cost_a, state_a);
+  wb.synthesize_dense(cost_b, state_b);
+  ASSERT_EQ(cost_a.size(), cost_b.size());
+  EXPECT_EQ(0, std::memcmp(cost_a.data(), cost_b.data(),
+                           cost_a.size() * sizeof(Cost)));
+  EXPECT_EQ(0, std::memcmp(state_a.data(), state_b.data(),
+                           state_a.size() * sizeof(Bytes)));
+  EXPECT_EQ(wa.total_windowed_state(), wb.total_windowed_state());
+}
+
+// Repeated-run determinism with REAL threads: two sketch-mode
+// ThreadedEngine runs over the same seeded workload must synthesize
+// byte-identical dense statistics, no matter how the OS schedules the
+// workers — the slab contents depend only on the (deterministic)
+// routing, and the boundary merge absorbs them in worker-index order.
+TEST(Determinism, ThreadedSketchStatsAreByteIdenticalAcrossRuns) {
+  const auto run = [](std::vector<Cost>& cost, std::vector<Bytes>& state) {
+    ZipfFluctuatingSource::Options opts;
+    opts.num_keys = 20'000;
+    opts.skew = 1.1;
+    opts.tuples_per_interval = 60'000;
+    opts.fluctuation = 0.5;
+    opts.seed = 77;
+    ZipfFluctuatingSource source(opts);
+
+    ThreadedConfig cfg;
+    cfg.stats_mode = StatsMode::kSketch;
+    cfg.sketch.heavy_capacity = 256;
+    ThreadedEngine engine(cfg, std::make_shared<WordCountLogic>(),
+                          /*num_workers_for_ring=*/4, /*ring_seed=*/3);
+    engine.run(source, 3, /*seed=*/9);
+    const auto* sketch =
+        dynamic_cast<const SketchStatsWindow*>(&engine.state_tracker());
+    ASSERT_NE(sketch, nullptr);
+    sketch->synthesize_dense(cost, state);
+    const auto heavy = sketch->heavy_keys();
+    engine.shutdown();
+    ASSERT_GT(heavy.size(), 0u);
+  };
+
+  std::vector<Cost> cost_a, cost_b;
+  std::vector<Bytes> state_a, state_b;
+  run(cost_a, state_a);
+  run(cost_b, state_b);
+  ASSERT_EQ(cost_a.size(), cost_b.size());
+  EXPECT_EQ(0, std::memcmp(cost_a.data(), cost_b.data(),
+                           cost_a.size() * sizeof(Cost)));
+  EXPECT_EQ(0, std::memcmp(state_a.data(), state_b.data(),
+                           state_a.size() * sizeof(Bytes)));
 }
 
 TEST(Determinism, SeededZipfSamplesAreIdentical) {

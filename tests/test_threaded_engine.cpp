@@ -3,18 +3,21 @@
 #include <gtest/gtest.h>
 
 #include "core/planners.h"
+#include "sketch/sketch_stats_window.h"
 #include "workload/operators.h"
 #include "workload/synthetic.h"
 
 namespace skewless {
 namespace {
 
-std::unique_ptr<Controller> make_controller(InstanceId nd,
-                                            std::size_t num_keys,
-                                            double theta_max) {
+std::unique_ptr<Controller> make_controller(
+    InstanceId nd, std::size_t num_keys, double theta_max,
+    StatsMode stats_mode = StatsMode::kExact) {
   ControllerConfig cfg;
   cfg.planner.theta_max = theta_max;
   cfg.planner.max_table_entries = 0;
+  cfg.stats_mode = stats_mode;
+  cfg.sketch.heavy_capacity = 256;
   return std::make_unique<Controller>(
       AssignmentFunction(ConsistentHashRing(nd, 128, 11), 0),
       std::make_unique<MixedPlanner>(), cfg, num_keys);
@@ -226,6 +229,80 @@ TEST(ThreadedEngine, SerializedMigrationPreservesState) {
   EXPECT_EQ(wire_plain, 0.0);
   EXPECT_GT(mig_serde, 0u);
   EXPECT_GT(wire_serde, 0.0);  // real bytes crossed the codec
+}
+
+TEST(ThreadedEngine, SketchModeHashOnlyTracksHeavyKeysViaSlabs) {
+  ThreadedConfig cfg;
+  cfg.stats_mode = StatsMode::kSketch;
+  cfg.sketch.heavy_capacity = 64;
+  ThreadedEngine engine(cfg, std::make_shared<WordCountLogic>(),
+                        /*num_workers_for_ring=*/4, /*ring_seed=*/7);
+  // Two intervals of heavy skew: key k carries ~2000/(k+1) tuples.
+  std::uint64_t expected = 0;
+  for (int interval = 0; interval < 2; ++interval) {
+    std::vector<Tuple> tuples;
+    for (KeyId k = 0; k < 500; ++k) {
+      const int n = static_cast<int>(2000 / (k + 1) + 1);
+      for (int i = 0; i < n; ++i) {
+        tuples.push_back(Tuple{k, static_cast<std::int64_t>(i), 0, 0});
+      }
+    }
+    expected += tuples.size();
+    const auto report = engine.run_interval(tuples);
+    EXPECT_GT(report.stats_memory_bytes, 0u);
+  }
+  const auto* sketch =
+      dynamic_cast<const SketchStatsWindow*>(&engine.state_tracker());
+  ASSERT_NE(sketch, nullptr);
+  // The hottest keys were promoted out of the worker slabs' candidate
+  // union, and their exact hot-tier stats match the true per-key cost
+  // (WordCountLogic reports cost 1 per tuple).
+  EXPECT_GT(sketch->heavy_count(), 0u);
+  EXPECT_TRUE(sketch->is_heavy(0));
+  EXPECT_DOUBLE_EQ(sketch->last_cost_of(0), 2001.0);
+  EXPECT_EQ(sketch->last_frequency_of(0), 2001u);
+  engine.shutdown();
+  EXPECT_EQ(engine.total_processed(), expected);
+}
+
+TEST(ThreadedEngine, SketchModeControllerMigratesAndPreservesState) {
+  // Same skewed workload under exact and sketch statistics: both must
+  // trigger migrations, and the final global state must be identical —
+  // the statistics path influences *planning*, never state ownership.
+  const std::size_t num_keys = 200;
+  const auto make_input = [&](std::uint64_t seed) {
+    std::vector<Tuple> tuples;
+    Xoshiro256 rng(seed);
+    for (KeyId k = 0; k < num_keys; ++k) {
+      const int n = static_cast<int>(1000 / (k + 1) + 1);
+      for (int i = 0; i < n; ++i) {
+        tuples.push_back(
+            Tuple{k, static_cast<std::int64_t>(k * 1000 + i), 0, 0});
+      }
+    }
+    for (std::size_t j = tuples.size(); j > 1; --j) {
+      std::swap(tuples[j - 1], tuples[rng.next_below(j)]);
+    }
+    return tuples;
+  };
+
+  const auto run_with = [&](StatsMode mode) {
+    ThreadedEngine engine(ThreadedConfig{},
+                          std::make_shared<WordCountLogic>(),
+                          make_controller(4, num_keys, 0.02, mode));
+    std::uint64_t migrations = 0;
+    for (int interval = 0; interval < 5; ++interval) {
+      migrations += engine.run_interval(make_input(interval)).migrated ? 1 : 0;
+    }
+    engine.shutdown();
+    return std::make_pair(engine.state_checksum(), migrations);
+  };
+
+  const auto [sum_exact, mig_exact] = run_with(StatsMode::kExact);
+  const auto [sum_sketch, mig_sketch] = run_with(StatsMode::kSketch);
+  EXPECT_GT(mig_exact, 0u);
+  EXPECT_GT(mig_sketch, 0u) << "sketch stats must still drive rebalancing";
+  EXPECT_EQ(sum_exact, sum_sketch);
 }
 
 TEST(ThreadedEngine, ShutdownIsIdempotent) {

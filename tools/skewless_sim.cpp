@@ -20,6 +20,8 @@
 #include "core/controller.h"
 #include "core/planners.h"
 #include "engine/sim_engine.h"
+#include "engine/threaded_engine.h"
+#include "workload/operators.h"
 #include "workload/social.h"
 #include "workload/stock.h"
 #include "workload/synthetic.h"
@@ -45,6 +47,10 @@ struct Args {
   std::uint64_t seed = 7;
   StatsMode stats_mode = StatsMode::kExact;
   SketchStatsConfig sketch = {};
+  /// "sim" = deterministic simulation engine; "threaded" = real worker
+  /// threads (one per instance) over bounded queues.
+  std::string engine = "sim";
+  std::size_t batch = 256;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -56,8 +62,9 @@ struct Args {
       "          [--amax N] [--window W] [--tuples N] [--cost US]\n"
       "          [--seed N] [--stats exact|sketch] [--sketch-eps X]\n"
       "          [--sketch-delta X] [--heavy N]\n"
+      "          [--engine sim|threaded] [--batch N]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
-      "          hash shuffle pkg\n",
+      "          hash shuffle pkg (shuffle/pkg: sim engine only)\n",
       argv0);
   std::exit(2);
 }
@@ -114,13 +121,21 @@ Args parse(int argc, char** argv) {
       args.sketch.delta = std::atof(need_value());
     } else if (flag == "--heavy") {
       args.sketch.heavy_capacity = std::strtoull(need_value(), nullptr, 10);
+    } else if (flag == "--engine") {
+      args.engine = need_value();
+      if (args.engine != "sim" && args.engine != "threaded") {
+        std::fprintf(stderr, "unknown engine: %s\n", args.engine.c_str());
+        usage(argv[0]);
+      }
+    } else if (flag == "--batch") {
+      args.batch = std::strtoull(need_value(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
     }
   }
   if (args.instances < 1 || args.intervals < 1 || args.keys < 1 ||
-      args.window < 1) {
+      args.window < 1 || args.batch < 1) {
     usage(argv[0]);
   }
   if (args.sketch.heavy_capacity < 1 || args.sketch.epsilon <= 0.0 ||
@@ -177,10 +192,70 @@ PlannerPtr make_planner(const std::string& name) {
   return nullptr;
 }
 
+/// Real-thread run: one worker per instance, WordCount operator state,
+/// per-interval CSV from the ThreadedIntervalReport fields.
+int run_threaded(const Args& args, char* argv0) {
+  auto source = make_source(args);
+  const std::size_t num_keys = source->num_keys();
+
+  ThreadedConfig tcfg;
+  tcfg.num_workers = args.instances;
+  tcfg.batch_size = args.batch;
+  tcfg.stats_mode = args.stats_mode;
+  tcfg.sketch = args.sketch;
+
+  // WordCount state with the requested per-tuple cost, so --cost means
+  // the same thing it does on the sim engine.
+  auto logic = std::make_shared<WordCountLogic>(args.tuple_cost_us);
+  std::unique_ptr<ThreadedEngine> engine;
+  if (args.planner == "hash") {
+    engine =
+        std::make_unique<ThreadedEngine>(tcfg, logic, args.instances, args.seed);
+  } else if (args.planner == "shuffle" || args.planner == "pkg") {
+    std::fprintf(stderr, "planner %s needs the sim engine (keyless routing)\n",
+                 args.planner.c_str());
+    usage(argv0);
+  } else {
+    auto planner = make_planner(args.planner);
+    if (planner == nullptr) {
+      std::fprintf(stderr, "unknown planner: %s\n", args.planner.c_str());
+      usage(argv0);
+    }
+    ControllerConfig ccfg;
+    ccfg.planner.theta_max = args.theta;
+    ccfg.planner.max_table_entries = args.amax;
+    ccfg.window = args.window;
+    ccfg.stats_mode = args.stats_mode;
+    ccfg.sketch = args.sketch;
+    auto controller = std::make_unique<Controller>(
+        AssignmentFunction(ConsistentHashRing(args.instances), args.amax),
+        std::move(planner), ccfg, num_keys);
+    engine =
+        std::make_unique<ThreadedEngine>(tcfg, logic, std::move(controller));
+  }
+
+  const auto reports = engine->run(*source, args.intervals, args.seed);
+  std::printf(
+      "interval,throughput_tps,latency_ms,max_theta,migrated,moves,"
+      "migration_bytes,stats_memory_bytes\n");
+  for (const auto& r : reports) {
+    std::printf("%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%zu\n",
+                static_cast<long long>(r.interval), r.throughput_tps,
+                r.avg_latency_ms, r.max_theta, r.migrated ? 1 : 0, r.moves,
+                r.migration_bytes, r.stats_memory_bytes);
+  }
+  engine->shutdown();
+  std::fprintf(stderr, "# engine=threaded stats=%s stats_memory_bytes=%zu\n",
+               args.stats_mode == StatsMode::kSketch ? "sketch" : "exact",
+               reports.empty() ? 0 : reports.back().stats_memory_bytes);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.engine == "threaded") return run_threaded(args, argv[0]);
   auto source = make_source(args);
   const std::size_t num_keys = source->num_keys();
 
