@@ -14,6 +14,10 @@
 #   bench_micro_threaded -> BENCH_threaded.json
 #       real-thread 1M-key run: sketch-mode stats memory >= 8x smaller
 #       than exact, throughput no worse than the exact mutex-drain path.
+#   bench_micro_plan     -> BENCH_plan.json
+#       compact planning path at 1M keys / 4096 heavy: snapshot + plan
+#       generation >= 20x faster than the dense path, no O(|K|)
+#       structures on the planning path.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +26,7 @@ BUILD_DIR="${1:-build}"
 BENCHES=(
   bench_micro_sketch:BENCH_sketch.json
   bench_micro_threaded:BENCH_threaded.json
+  bench_micro_plan:BENCH_plan.json
 )
 
 status=0

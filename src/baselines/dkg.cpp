@@ -13,11 +13,14 @@ RebalancePlan DkgPlanner::plan(const PartitionSnapshot& snap,
   const Cost avg = snap.average_load();
   const Cost threshold = options_.heavy_fraction * avg;
 
-  // Light keys at their hash destination; heavy keys collected.
+  // Light entries at their hash destination; heavy entries collected.
+  // Cold residual mass stays pinned to its current instance (untracked
+  // keys are not DKG's to move) and pre-loads the LPT targets.
   std::vector<InstanceId> assignment = snap.hash_dest;
   std::vector<Cost> loads(static_cast<std::size_t>(snap.num_instances), 0.0);
+  snap.seed_cold_loads(loads);
   std::vector<KeyId> heavy;
-  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+  for (std::size_t k = 0; k < snap.num_entries(); ++k) {
     if (snap.cost[k] >= threshold && snap.cost[k] > 0.0) {
       heavy.push_back(static_cast<KeyId>(k));
     } else {

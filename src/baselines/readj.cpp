@@ -46,9 +46,10 @@ std::vector<InstanceId> readj_attempt(const PartitionSnapshot& snap,
   const Cost heavy_threshold = sigma * total;
   const Cost lmax = snap.overload_threshold(config.theta_max);
 
-  // Move back every routed key that is not heavy — Readj's bias toward
-  // restoring the hash function's placement.
-  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+  // Move back every routed entry that is not heavy — Readj's bias toward
+  // restoring the hash function's placement. (Cold keys are untouchable;
+  // their mass rides along in the WorkingAssignment loads.)
+  for (std::size_t k = 0; k < snap.num_entries(); ++k) {
     if (snap.current[k] != snap.hash_dest[k] &&
         snap.cost[k] < heavy_threshold) {
       wa.move_back(static_cast<KeyId>(k));

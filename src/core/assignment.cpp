@@ -34,6 +34,15 @@ void AssignmentFunction::install(const std::vector<InstanceId>& assignment) {
   table_.assign(std::move(entries));
 }
 
+void AssignmentFunction::apply(KeyId key, InstanceId dest) {
+  SKW_EXPECTS(dest >= 0 && dest < num_instances());
+  if (dest == ring_.owner(key)) {
+    table_.erase(key);
+  } else {
+    table_.set_unchecked(key, dest);
+  }
+}
+
 std::vector<KeyId> assignment_delta(const std::vector<InstanceId>& before,
                                     const std::vector<InstanceId>& after) {
   SKW_EXPECTS(before.size() == after.size());

@@ -56,6 +56,13 @@ class AssignmentFunction {
   /// where `assignment[k] != h(k)`.
   void install(const std::vector<InstanceId>& assignment);
 
+  /// Sparse point update: routes `key` to `dest` (adding or removing its
+  /// explicit entry as needed), leaving every other key untouched. The
+  /// O(moves) plan-installation primitive of the compact planning path —
+  /// untracked cold keys keep their entries, so the table invariant
+  /// (entry exists iff F(k) != h(k)) is preserved key-by-key.
+  void apply(KeyId key, InstanceId dest);
+
  private:
   ConsistentHashRing ring_;
   RoutingTable table_;

@@ -15,7 +15,10 @@ namespace skewless {
 
 CompactSpace CompactSpace::build(const PartitionSnapshot& snap, int r_degree,
                                  bool greedy) {
-  const std::size_t num_keys = snap.num_keys();
+  // Slots, not raw keys: records hold entry-slot indices into the
+  // snapshot (identical to KeyIds on a dense snapshot); the cold residual
+  // tail has no records — its mass rides in the per-instance aggregates.
+  const std::size_t num_keys = snap.num_entries();
 
   // Discretize costs and states independently; each discretizer consumes
   // its values in non-increasing order (required by the greedy step).
@@ -112,9 +115,13 @@ namespace {
 /// the record that stays put.
 class RecordPlanState {
  public:
-  RecordPlanState(std::vector<CompactRecord> recs, InstanceId num_instances)
+  RecordPlanState(std::vector<CompactRecord> recs,
+                  const PartitionSnapshot& snap)
       : records_(std::move(recs)),
-        loads_(static_cast<std::size_t>(num_instances), 0.0) {
+        loads_(static_cast<std::size_t>(snap.num_instances), 0.0) {
+    // Cold residual mass is pinned: seed it first so every load figure
+    // (lmax comparisons, water levels, underload deficits) stays exact.
+    snap.seed_cold_loads(loads_);
     for (const auto& rec : records_) {
       if (rec.next != kNilInstance) {
         loads_[static_cast<std::size_t>(rec.next)] += rec.load();
@@ -192,7 +199,7 @@ std::vector<InstanceId> compact_trial(const CompactSpace& space,
                                       const PlannerConfig& config,
                                       std::size_t clean_n,
                                       std::vector<Cost>* est_loads_out) {
-  RecordPlanState state(space.records(), snap.num_instances);
+  RecordPlanState state(space.records(), snap);
 
   // ---- Phase I: move back clean_n keys, smallest vs first, among records
   // that occupy routing-table entries (next != hash).
@@ -219,9 +226,10 @@ std::vector<InstanceId> compact_trial(const CompactSpace& space,
     }
   }
 
-  // Estimated balance targets (from discretized loads).
+  // Estimated balance targets (discretized entry loads + exact cold).
   double total_est = 0.0;
   for (const auto& rec : state.records()) total_est += rec.load();
+  for (const Cost c : snap.cold_cost) total_est += c;
   const double avg_est = total_est / static_cast<double>(snap.num_instances);
   const double lmax = (1.0 + config.theta_max) * avg_est;
 
@@ -284,7 +292,7 @@ std::vector<InstanceId> compact_trial(const CompactSpace& space,
   // Safety valve mirroring PlannerConfig::llfd_op_budget_factor.
   std::size_t ops = 0;
   const std::size_t op_budget =
-      1024 + 64 * (state.records().size() + snap.num_keys() / 8);
+      1024 + 64 * (state.records().size() + snap.num_entries() / 8);
 
   const auto place_all = [&](Heap& work) {
   while (!work.empty()) {
@@ -435,7 +443,7 @@ std::vector<InstanceId> compact_trial(const CompactSpace& space,
                  (1.0 - config.theta_max) * avg_est);
   }
   if (est_loads_out != nullptr) *est_loads_out = state.loads();
-  return state.to_assignment(snap.num_keys());
+  return state.to_assignment(snap.num_entries());
 }
 
 }  // namespace
@@ -449,8 +457,10 @@ RebalancePlan CompactMixedPlanner::plan(const PartitionSnapshot& snap,
   last_build_micros_ = build_timer.elapsed_micros();
   last_num_records_ = space.num_records();
 
+  // Cleanable entries only: cold keys holding routing entries are not
+  // the planner's to move back (finalize_plan counts them in table_size).
   std::size_t table_entries = 0;
-  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+  for (std::size_t k = 0; k < snap.num_entries(); ++k) {
     if (snap.current[k] != snap.hash_dest[k]) ++table_entries;
   }
 

@@ -24,7 +24,8 @@ struct CompactRecord {
   InstanceId hash;  // dh  (consistent-hash default)
   double vc;        // discretized per-key computation cost
   double vs;        // discretized per-key windowed state size
-  /// Member keys, sorted by true cost descending. size() is the # field.
+  /// Member entry slots into the planning snapshot (== KeyIds on a dense
+  /// snapshot), zigzag-ordered by true cost. size() is the # field.
   std::vector<KeyId> keys;
 
   [[nodiscard]] std::size_t count() const { return keys.size(); }
@@ -47,6 +48,8 @@ class CompactSpace {
   [[nodiscard]] std::size_t num_records() const { return records_.size(); }
 
   /// Estimated per-instance loads Σ vc·# over records with next == d.
+  /// Entry records only — add the snapshot's cold_cost residuals to
+  /// compare against loads that include the untracked tail.
   [[nodiscard]] std::vector<Cost> estimated_loads(
       InstanceId num_instances) const;
 

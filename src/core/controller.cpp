@@ -22,15 +22,41 @@ SketchStatsWindow* Controller::sketch_stats() {
   return dynamic_cast<SketchStatsWindow*>(stats_.get());
 }
 
+const SketchStatsWindow* Controller::sketch_stats() const {
+  return dynamic_cast<const SketchStatsWindow*>(stats_.get());
+}
+
 PartitionSnapshot Controller::build_snapshot() const {
   PartitionSnapshot snap;
   snap.num_instances = assignment_.num_instances();
-  // Dense per-key view: exact copy in exact mode; heavy-exact plus
-  // normalized cold estimates in sketch mode — either way the planners
-  // consume the same PartitionSnapshot shape.
-  stats_->synthesize_dense(snap.cost, snap.state);
-  snap.hash_dest = assignment_.materialize_hash(stats_->num_keys());
-  snap.current = assignment_.materialize(stats_->num_keys());
+  if (const SketchStatsWindow* sketch = sketch_stats()) {
+    // Compact planning view: the heavy set as entries (exact values) plus
+    // per-instance cold residual aggregates. O(k + N_D) work and memory —
+    // nothing here scales with |K|, which is what lets planning keep up
+    // with million-key domains.
+    sketch->synthesize_compact(snap.num_instances, snap.keys, snap.cost,
+                               snap.state, snap.cold_cost, snap.cold_state);
+    snap.total_keys = stats_->num_keys();
+    const std::size_t n = snap.keys.size();
+    snap.hash_dest.resize(n);
+    snap.current.resize(n);
+    std::size_t entry_table = 0;
+    for (std::size_t e = 0; e < n; ++e) {
+      const KeyId key = snap.keys[e];
+      snap.hash_dest[e] = assignment_.hash_dest(key);
+      snap.current[e] = assignment_(key);
+      if (snap.current[e] != snap.hash_dest[e]) ++entry_table;
+    }
+    // Table entries held by untracked keys: the invariant "entry exists
+    // iff F(k) != h(k)" makes them exactly the non-heavy remainder.
+    snap.cold_table_entries = assignment_.table().size() - entry_table;
+  } else {
+    // Exact mode: the dense per-key view IS the compact view with every
+    // key an entry (keys empty = identity, no cold residuals).
+    stats_->synthesize_dense(snap.cost, snap.state);
+    snap.hash_dest = assignment_.materialize_hash(stats_->num_keys());
+    snap.current = assignment_.materialize(stats_->num_keys());
+  }
   return snap;
 }
 
@@ -46,7 +72,11 @@ std::optional<RebalancePlan> Controller::end_interval() {
   RebalancePlan plan = planner_->plan(last_snapshot_, config_.planner);
   if (plan.moves.empty()) return std::nullopt;
 
-  assignment_.install(plan.assignment);
+  // Sparse install: only moved keys change routing state; cold keys keep
+  // their pins. O(moves), never O(|K|) — equivalent to the old wholesale
+  // install() because the table invariant (entry iff F(k) != h(k)) holds
+  // key-by-key before and after.
+  for (const KeyMove& mv : plan.moves) assignment_.apply(mv.key, mv.to);
   ++rebalance_count_;
   total_generation_micros_ += plan.generation_micros;
   total_migrated_bytes_ += plan.migration_bytes;

@@ -49,10 +49,13 @@ class Controller {
              ControllerConfig config, std::size_t num_keys);
 
   /// Load reporting (step 1 of Fig. 5): the engine records each key's cost
-  /// and state growth as it processes tuples.
+  /// and state growth as it processes tuples. `dest` — the instance the
+  /// key's tuples ran on — feeds the sketch provider's per-instance cold
+  /// residual aggregates (the compact planning view); engines know it at
+  /// routing time and must pass it in sketch mode.
   void record(KeyId key, Cost cost, Bytes state_bytes,
-              std::uint64_t frequency = 1) {
-    stats_->record(key, cost, state_bytes, frequency);
+              std::uint64_t frequency = 1, InstanceId dest = kNilInstance) {
+    stats_->record(key, cost, state_bytes, frequency, dest);
   }
 
   [[nodiscard]] StatsProvider& stats() { return *stats_; }
@@ -64,6 +67,7 @@ class Controller {
   /// boundary (instead of funnelling dense per-key maps through the
   /// shared record() path).
   [[nodiscard]] SketchStatsWindow* sketch_stats();
+  [[nodiscard]] const SketchStatsWindow* sketch_stats() const;
 
   /// Resident bytes of the statistics structures (the exact-vs-sketch
   /// trade-off number).
@@ -84,7 +88,8 @@ class Controller {
   /// Adds one instance (scale-out), pinning current destinations.
   void add_instance();
 
-  /// The snapshot used for the most recent planning decision.
+  /// The snapshot used for the most recent planning decision. Compact in
+  /// sketch mode (heavy entries + cold residuals), dense in exact mode.
   [[nodiscard]] const PartitionSnapshot& last_snapshot() const {
     return last_snapshot_;
   }
@@ -121,7 +126,7 @@ class Controller {
   double last_observed_theta_ = 0.0;
   std::size_t rebalance_count_ = 0;
   Micros total_generation_micros_ = 0;
-  Bytes total_migrated_bytes_ = 0.0;
+  Bytes total_migrated_bytes_ = 0;
 };
 
 }  // namespace skewless

@@ -8,8 +8,9 @@
 //                                the keys whose state is cheapest to
 //                                re-migrate later.
 //
-// A criterion maps a key to a score; selection always takes the highest
-// score first. Ties break on KeyId for determinism.
+// A criterion maps a snapshot entry slot (== KeyId on a dense snapshot)
+// to a score; selection always takes the highest score first. Ties break
+// on slot index for determinism.
 #pragma once
 
 #include <algorithm>

@@ -211,8 +211,9 @@ LlfdOutcome rebalance_two_sided(WorkingAssignment& wa, const Criterion& psi,
 }
 
 std::vector<InstanceId> simple_assign(const PartitionSnapshot& snap) {
-  // Algorithm 5: all keys into C, sort by descending cost, least-load fit.
-  std::vector<KeyId> keys(snap.num_keys());
+  // Algorithm 5: all entries into C, sort by descending cost, least-load
+  // fit. Cold residual mass stays pinned and pre-loads the instances.
+  std::vector<KeyId> keys(snap.num_entries());
   for (std::size_t k = 0; k < keys.size(); ++k) keys[k] = static_cast<KeyId>(k);
   std::sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {
     const Cost ca = snap.cost[static_cast<std::size_t>(a)];
@@ -221,8 +222,9 @@ std::vector<InstanceId> simple_assign(const PartitionSnapshot& snap) {
     return a < b;
   });
 
-  std::vector<InstanceId> assignment(snap.num_keys(), kNilInstance);
+  std::vector<InstanceId> assignment(snap.num_entries(), kNilInstance);
   std::vector<Cost> loads(static_cast<std::size_t>(snap.num_instances), 0.0);
+  snap.seed_cold_loads(loads);
   for (const KeyId k : keys) {
     std::size_t best = 0;
     for (std::size_t d = 1; d < loads.size(); ++d) {

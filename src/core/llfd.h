@@ -1,6 +1,11 @@
 // Least-Load Fit Decreasing (Algorithm 1) and the shared phase helpers of
 // the paper's three-phase rebalance workflow, plus the appendix's Simple
 // algorithm (Algorithm 5) used for the theoretical baseline.
+//
+// All helpers operate over the snapshot's entry slots (the KeyId-typed
+// values are slot indices; slot == key on a dense snapshot). Cold
+// residual mass rides inside the WorkingAssignment/load vectors and is
+// never a candidate — see core/snapshot.h.
 #pragma once
 
 #include <vector>

@@ -7,22 +7,23 @@ namespace skewless {
 RebalancePlan finalize_plan(const PartitionSnapshot& snap,
                             std::vector<InstanceId> assignment,
                             const PlannerConfig& config) {
-  SKW_EXPECTS(assignment.size() == snap.num_keys());
+  SKW_EXPECTS(assignment.size() == snap.num_entries());
   RebalancePlan plan;
   plan.assignment = std::move(assignment);
 
-  for (std::size_t k = 0; k < plan.assignment.size(); ++k) {
-    const InstanceId before = snap.current[k];
-    const InstanceId after = plan.assignment[k];
+  for (std::size_t e = 0; e < plan.assignment.size(); ++e) {
+    const InstanceId before = snap.current[e];
+    const InstanceId after = plan.assignment[e];
     SKW_EXPECTS(after >= 0 && after < snap.num_instances);
     if (before != after) {
       plan.moves.push_back(
-          KeyMove{static_cast<KeyId>(k), before, after, snap.state[k]});
-      plan.migration_bytes += snap.state[k];
+          KeyMove{snap.key_at(e), before, after, snap.state[e]});
+      plan.migration_bytes += snap.state[e];
     }
   }
 
-  plan.table_size = implied_table_size(plan.assignment, snap.hash_dest);
+  plan.table_size = implied_table_size(plan.assignment, snap.hash_dest) +
+                    snap.cold_table_entries;
   const auto loads = snap.loads_under(plan.assignment);
   plan.achieved_theta = PartitionSnapshot::max_theta(loads);
   // A small epsilon absorbs float accumulation when θmax is met exactly.

@@ -22,11 +22,15 @@ struct KeyMove {
 
 /// The outcome of one rebalance decision at an interval boundary.
 struct RebalancePlan {
-  /// F' materialized over the dense key domain.
+  /// F' over the planning snapshot's entry slots (slot-aligned with the
+  /// snapshot it was planned from; the full dense domain in exact mode).
+  /// Untracked cold keys keep their current destinations implicitly.
   std::vector<InstanceId> assignment;
   /// ∆(F, F') with per-key state sizes (the migration plan of Fig. 5).
+  /// KeyMove::key is a real KeyId, not a slot index.
   std::vector<KeyMove> moves;
-  /// N_A' — number of explicit entries implied by `assignment`.
+  /// N_A' — entries implied by `assignment` plus the cold keys that keep
+  /// theirs (PartitionSnapshot::cold_table_entries).
   std::size_t table_size = 0;
   /// M_i(w, F, F') — total bytes of state to migrate.
   Bytes migration_bytes = 0.0;
@@ -56,8 +60,10 @@ struct PlannerConfig {
   double llfd_op_budget_factor = 64.0;
 };
 
-/// Completes a plan given the snapshot and the produced dense assignment:
-/// computes ∆(F, F'), migration bytes, table size and balance indicators.
+/// Completes a plan given the snapshot and the produced entry-aligned
+/// assignment: computes ∆(F, F'), migration bytes, table size and balance
+/// indicators. Loads and θ include the snapshot's cold residuals, so the
+/// balance verdict is exact even when only heavy keys were planned.
 [[nodiscard]] RebalancePlan finalize_plan(const PartitionSnapshot& snap,
                                           std::vector<InstanceId> assignment,
                                           const PlannerConfig& config);

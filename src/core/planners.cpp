@@ -8,11 +8,12 @@
 namespace skewless {
 namespace {
 
-/// Keys with an explicit routing entry (F(k) != h(k)) sorted by the
-/// cleaning criterion η = smallest memory consumption S first.
+/// Entry slots with an explicit routing entry (F(k) != h(k)) sorted by
+/// the cleaning criterion η = smallest memory consumption S first. Cold
+/// keys holding entries are invisible here — plans cannot clean them.
 std::vector<KeyId> table_keys_by_smallest_state(const PartitionSnapshot& snap) {
   std::vector<KeyId> keys;
-  for (std::size_t k = 0; k < snap.num_keys(); ++k) {
+  for (std::size_t k = 0; k < snap.num_entries(); ++k) {
     if (snap.current[k] != snap.hash_dest[k]) keys.push_back(static_cast<KeyId>(k));
   }
   std::sort(keys.begin(), keys.end(), [&](KeyId a, KeyId b) {

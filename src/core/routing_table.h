@@ -30,6 +30,12 @@ class RoutingTable {
   /// key would exceed the bound.
   bool set(KeyId key, InstanceId dest);
 
+  /// Inserts or updates an entry regardless of the bound — the sparse
+  /// equivalent of assign()'s wholesale replacement, used when installing
+  /// a rebalance plan (planners may deliberately exceed Amax when no
+  /// feasible plan exists; the plan's table_fits flag reports it).
+  void set_unchecked(KeyId key, InstanceId dest) { entries_[key] = dest; }
+
   /// Removes the entry for `key` ("move back" in the paper). Returns true
   /// if an entry was removed.
   bool erase(KeyId key) { return entries_.erase(key) > 0; }

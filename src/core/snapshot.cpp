@@ -11,10 +11,15 @@ std::vector<Cost> PartitionSnapshot::loads_under(
     const std::vector<InstanceId>& assignment) const {
   SKW_EXPECTS(assignment.size() == cost.size());
   std::vector<Cost> loads(static_cast<std::size_t>(num_instances), 0.0);
-  for (std::size_t k = 0; k < assignment.size(); ++k) {
-    const InstanceId d = assignment[k];
+  for (std::size_t e = 0; e < assignment.size(); ++e) {
+    const InstanceId d = assignment[e];
     SKW_EXPECTS(d >= 0 && d < num_instances);
-    loads[static_cast<std::size_t>(d)] += cost[k];
+    loads[static_cast<std::size_t>(d)] += cost[e];
+  }
+  // += (not seed-first) so entry accumulation order matches the historic
+  // dense computation bit-for-bit when there are no cold residuals.
+  for (std::size_t d = 0; d < cold_cost.size(); ++d) {
+    loads[d] += cold_cost[d];
   }
   return loads;
 }
@@ -27,6 +32,7 @@ Cost PartitionSnapshot::average_load() const {
   SKW_EXPECTS(num_instances > 0);
   Cost total = 0.0;
   for (Cost c : cost) total += c;
+  for (Cost c : cold_cost) total += c;
   return total / static_cast<Cost>(num_instances);
 }
 
@@ -58,11 +64,31 @@ void PartitionSnapshot::validate() const {
   SKW_EXPECTS(state.size() == cost.size());
   SKW_EXPECTS(hash_dest.size() == cost.size());
   SKW_EXPECTS(current.size() == cost.size());
-  for (std::size_t k = 0; k < cost.size(); ++k) {
-    SKW_EXPECTS(cost[k] >= 0.0);
-    SKW_EXPECTS(state[k] >= 0.0);
-    SKW_EXPECTS(hash_dest[k] >= 0 && hash_dest[k] < num_instances);
-    SKW_EXPECTS(current[k] >= 0 && current[k] < num_instances);
+  for (std::size_t e = 0; e < cost.size(); ++e) {
+    SKW_EXPECTS(cost[e] >= 0.0);
+    SKW_EXPECTS(state[e] >= 0.0);
+    SKW_EXPECTS(hash_dest[e] >= 0 && hash_dest[e] < num_instances);
+    SKW_EXPECTS(current[e] >= 0 && current[e] < num_instances);
+  }
+  if (!keys.empty()) {
+    SKW_EXPECTS(keys.size() == cost.size());
+    for (std::size_t e = 1; e < keys.size(); ++e) {
+      SKW_EXPECTS(keys[e - 1] < keys[e]);
+    }
+  }
+  if (!cold_cost.empty() || !cold_state.empty()) {
+    SKW_EXPECTS(cold_cost.size() == static_cast<std::size_t>(num_instances));
+    SKW_EXPECTS(cold_state.size() == static_cast<std::size_t>(num_instances));
+    for (std::size_t d = 0; d < cold_cost.size(); ++d) {
+      SKW_EXPECTS(cold_cost[d] >= 0.0);
+      SKW_EXPECTS(cold_state[d] >= 0.0);
+    }
+  }
+  if (total_keys != 0) {
+    SKW_EXPECTS(total_keys >= num_entries());
+    if (!keys.empty()) {
+      SKW_EXPECTS(static_cast<std::size_t>(keys.back()) < total_keys);
+    }
   }
 }
 
@@ -70,8 +96,8 @@ std::size_t implied_table_size(const std::vector<InstanceId>& assignment,
                                const std::vector<InstanceId>& hash_dest) {
   SKW_EXPECTS(assignment.size() == hash_dest.size());
   std::size_t n = 0;
-  for (std::size_t k = 0; k < assignment.size(); ++k) {
-    if (assignment[k] != hash_dest[k]) ++n;
+  for (std::size_t e = 0; e < assignment.size(); ++e) {
+    if (assignment[e] != hash_dest[e]) ++n;
   }
   return n;
 }

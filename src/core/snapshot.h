@@ -1,11 +1,25 @@
 // PartitionSnapshot — the frozen per-interval view of one operator that
 // every rebalance algorithm consumes (Section II-A of the paper).
 //
-// For each key k in the dense domain [0, K):
-//   cost[k]       = c_{i-1}(k)   CPU cost of k's tuples last interval
-//   state[k]      = S_{i-1}(k,w) bytes of windowed state bound to k
-//   hash_dest[k]  = h(k)         the consistent-hash default destination
-//   current[k]    = F(k)         destination under the assignment in force
+// The snapshot is a COMPACT representation: a list of entries (the keys
+// the planner may move — all of [0, K) in exact mode, the tracked heavy
+// set in sketch mode) plus per-instance cold residual aggregates for the
+// untracked tail. For each entry slot e:
+//   cost[e]       = c_{i-1}(k_e)   CPU cost of k_e's tuples last interval
+//   state[e]      = S_{i-1}(k_e,w) bytes of windowed state bound to k_e
+//   hash_dest[e]  = h(k_e)         the consistent-hash default destination
+//   current[e]    = F(k_e)         destination under the assignment in force
+// where k_e = keys[e], or simply e when `keys` is empty (the dense
+// identity view: slot == key, the pre-compact representation).
+//
+// Cold residual aggregates: cold_cost[d] / cold_state[d] hold the exact
+// cost/state mass of every untracked key currently pinned to instance d.
+// Untracked keys are never migration candidates (the paper's rebalance
+// algorithms only move high-γ keys, which the heavy set covers), but
+// their mass participates in every load figure, so L(d), the average
+// load L̄, θ(d) and Lmax stay EXACT — only per-key resolution is lost.
+// cold_table_entries counts untracked keys holding explicit routing
+// entries (they keep them; plans cannot clean what they cannot see).
 //
 // Loads, the average load L̄ and the balance indicator θ(d) are derived.
 #pragma once
@@ -19,21 +33,61 @@ namespace skewless {
 
 struct PartitionSnapshot {
   InstanceId num_instances = 0;
+
+  // Entry-aligned vectors (slot -> value).
   std::vector<Cost> cost;
   std::vector<Bytes> state;
   std::vector<InstanceId> hash_dest;
   std::vector<InstanceId> current;
 
-  [[nodiscard]] std::size_t num_keys() const { return cost.size(); }
+  /// Entry slot -> KeyId, strictly ascending. Empty = identity (dense
+  /// view over [0, num_entries())).
+  std::vector<KeyId> keys;
 
-  /// Per-instance load L(d) = Σ_{F(k)=d} c(k) under `assignment`.
+  /// Per-instance cold residual aggregates (see header comment). Empty =
+  /// no cold tail (every key is an entry).
+  std::vector<Cost> cold_cost;
+  std::vector<Bytes> cold_state;
+
+  /// Untracked keys holding explicit routing-table entries.
+  std::size_t cold_table_entries = 0;
+
+  /// |K| — the logical key-domain size. 0 = num_entries() (dense view).
+  std::size_t total_keys = 0;
+
+  /// Number of entry slots the planner iterates.
+  [[nodiscard]] std::size_t num_entries() const { return cost.size(); }
+
+  /// Logical key-domain size |K| (≥ num_entries()).
+  [[nodiscard]] std::size_t num_keys() const {
+    return total_keys != 0 ? total_keys : cost.size();
+  }
+
+  /// The key an entry slot stands for.
+  [[nodiscard]] KeyId key_at(std::size_t slot) const {
+    return keys.empty() ? static_cast<KeyId>(slot) : keys[slot];
+  }
+
+  [[nodiscard]] bool has_cold() const { return !cold_cost.empty(); }
+
+  /// Seeds `loads` (sized num_instances, zeroed) with the cold residual
+  /// cost mass — the shared first step of every planner's load
+  /// accounting, since cold mass stays pinned for the whole planning run.
+  void seed_cold_loads(std::vector<Cost>& loads) const {
+    for (std::size_t d = 0; d < cold_cost.size(); ++d) {
+      loads[d] = cold_cost[d];
+    }
+  }
+
+  /// Per-instance load L(d) = Σ_{F(k_e)=d} c(k_e) + cold_cost[d] under
+  /// the entry-aligned `assignment`.
   [[nodiscard]] std::vector<Cost> loads_under(
       const std::vector<InstanceId>& assignment) const;
 
   /// Loads under the snapshot's own `current` assignment.
   [[nodiscard]] std::vector<Cost> current_loads() const;
 
-  /// Average load L̄ = Σ c(k) / N_D.
+  /// Average load L̄ = (Σ c(k_e) + Σ cold_cost[d]) / N_D.
   [[nodiscard]] Cost average_load() const;
 
   /// Balance indicator θ(d) = |L(d) − L̄| / L̄ for one instance.
@@ -46,13 +100,15 @@ struct PartitionSnapshot {
   /// The paper's overload threshold Lmax = (1 + θmax) · L̄.
   [[nodiscard]] Cost overload_threshold(double theta_max) const;
 
-  /// Internal consistency check (sizes match, destinations in range).
+  /// Internal consistency check (sizes match, destinations in range,
+  /// keys strictly ascending, cold vectors per-instance).
   void validate() const;
 };
 
-/// Builds the vector of routing-table entries implied by an assignment:
-/// every key whose destination differs from its hash destination needs an
-/// explicit entry. Returns the entry count N_A.
+/// Builds the vector of routing-table entries implied by an entry-aligned
+/// assignment: every entry whose destination differs from its hash
+/// destination needs one. Cold keys holding entries are counted by the
+/// caller via PartitionSnapshot::cold_table_entries.
 [[nodiscard]] std::size_t implied_table_size(
     const std::vector<InstanceId>& assignment,
     const std::vector<InstanceId>& hash_dest);

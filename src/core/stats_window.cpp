@@ -19,7 +19,7 @@ StatsWindow::StatsWindow(std::size_t num_keys, int window)
 }
 
 void StatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
-                         std::uint64_t frequency) {
+                         std::uint64_t frequency, InstanceId /*dest*/) {
   const auto k = static_cast<std::size_t>(key);
   SKW_EXPECTS(k < cur_cost_.size());
   SKW_EXPECTS(cost >= 0.0 && state_bytes >= 0.0);

@@ -31,8 +31,11 @@ class StatsWindow final : public StatsProvider {
   /// domain with resize_keys() first; auto-grow is deliberately not done
   /// here because it would hide workload-generator bugs — only the
   /// sketch provider (which allocates nothing per key) auto-grows.
+  /// `dest` is ignored: the exact provider resolves per-instance loads
+  /// from the dense per-key view, not from recorded destinations.
   void record(KeyId key, Cost cost, Bytes state_bytes,
-              std::uint64_t frequency = 1) override;
+              std::uint64_t frequency = 1,
+              InstanceId dest = kNilInstance) override;
 
   /// Closes the current interval: its values become "last interval"
   /// (c_{i-1}, g_{i-1}), enter the window sum, and the oldest interval

@@ -12,10 +12,11 @@ WorkingAssignment::WorkingAssignment(const PartitionSnapshot& snap)
       dest_(snap.current),
       loads_(static_cast<std::size_t>(snap.num_instances), 0.0),
       buckets_(static_cast<std::size_t>(snap.num_instances)),
-      pos_in_bucket_(snap.num_keys(), -1) {
-  for (std::size_t k = 0; k < dest_.size(); ++k) {
-    loads_[static_cast<std::size_t>(dest_[k])] += snap.cost[k];
-    bucket_insert(static_cast<KeyId>(k), dest_[k]);
+      pos_in_bucket_(snap.num_entries(), -1) {
+  snap.seed_cold_loads(loads_);
+  for (std::size_t e = 0; e < dest_.size(); ++e) {
+    loads_[static_cast<std::size_t>(dest_[e])] += snap.cost[e];
+    bucket_insert(static_cast<KeyId>(e), dest_[e]);
   }
 }
 

@@ -1,9 +1,14 @@
 // Mutable scratch assignment used by the planning algorithms.
 //
-// Tracks, per key, its (possibly nil) destination and, per instance, its
-// estimated load L̂(d) and the set of keys currently associated with it —
-// the structure LLFD's Adjust needs to search for exchangeable sets.
-// All mutations are O(1) (swap-remove bucket membership).
+// Operates over the snapshot's ENTRY SLOTS (the KeyId-typed parameters
+// below are slot indices into the snapshot; for a dense snapshot slot ==
+// key). Tracks, per entry, its (possibly nil) destination and, per
+// instance, its estimated load L̂(d) and the set of entries currently
+// associated with it — the structure LLFD's Adjust needs to search for
+// exchangeable sets. Cold residual mass is seeded into the per-instance
+// loads at construction and never moves (untracked keys stay pinned), so
+// every load the planner reads stays exact. All mutations are O(1)
+// (swap-remove bucket membership).
 #pragma once
 
 #include <vector>

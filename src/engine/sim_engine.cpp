@@ -138,9 +138,16 @@ IntervalMetrics SimEngine::step() {
       InstanceId d;
       if (mode_ == RoutingMode::kController) {
         // While a plan is "being generated", tuples still route under the
-        // frozen pre-plan assignment.
-        d = override_remaining_ > 0 ? route_override_[k]
-                                    : controller_->assignment()(key);
+        // frozen pre-plan assignment: the live assignment already has the
+        // plan installed, so moved keys take their pre-plan destination
+        // from the sparse override map.
+        d = controller_->assignment()(key);
+        if (override_remaining_ > 0) {
+          if (const auto it = route_override_.find(key);
+              it != route_override_.end()) {
+            d = it->second;
+          }
+        }
       } else {
         d = hash_router_->route(key);
       }
@@ -151,9 +158,9 @@ IntervalMetrics SimEngine::step() {
       m.instance_work[di] += batch;
       tuples[di] += static_cast<double>(n);
       if (key_paused_[k]) paused_tuples_on[di] += static_cast<double>(n);
-      state_->record(key, batch, delta, n);
+      state_->record(key, batch, delta, n, d);
       if (mode_ == RoutingMode::kController) {
-        controller_->record(key, batch, delta, n);
+        controller_->record(key, batch, delta, n, d);
       }
     }
   }
@@ -273,7 +280,12 @@ IntervalMetrics SimEngine::step() {
       if (delay_intervals > 0) {
         // Routing stays on the pre-plan assignment until generation
         // "completes"; the migration pause is charged at landing time.
-        route_override_ = controller_->last_snapshot().current;
+        // Only the moved keys differ from the installed assignment, so
+        // the override is a sparse key -> old-destination map.
+        route_override_.clear();
+        for (const KeyMove& mv : plan->moves) {
+          route_override_.emplace(mv.key, mv.from);
+        }
         override_remaining_ = delay_intervals;
         pending_pause_ = pause;
         pending_moves_ = plan->moves;

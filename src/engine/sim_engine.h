@@ -23,6 +23,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/router.h"
@@ -145,8 +146,10 @@ class SimEngine {
 
   // Generation-delay bookkeeping: while a plan is being "computed", the
   // engine routes with the frozen pre-plan assignment and the controller
-  // does not re-plan.
-  std::vector<InstanceId> route_override_;
+  // does not re-plan. The frozen assignment differs from the (already
+  // installed) live one only on the plan's moved keys, so a sparse
+  // key -> pre-plan-destination map suffices — no dense O(|K|) copy.
+  std::unordered_map<KeyId, InstanceId> route_override_;
   int override_remaining_ = 0;
   Micros pending_pause_ = 0;
   std::vector<KeyMove> pending_moves_;

@@ -249,7 +249,10 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
       WorkerSketchSlab& slab = *slabs_[w];
       worker_cost[w] = slab.total_cost();
       report.stats_memory_bytes += slab.memory_bytes();
-      sketch_sink_->absorb(slab);
+      // Worker w IS instance w: the whole slab's cold stream ran there,
+      // which is exactly the attribution the compact planning view's
+      // per-instance cold residual aggregates need.
+      sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
       slab.clear();
       continue;
     }
@@ -262,14 +265,15 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
         (drained.bucket_count() + ws.per_key.bucket_count()) * sizeof(void*);
     for (const auto& [key, cb] : drained) {
       worker_cost[w] += cb.cost;
+      const auto dest = static_cast<InstanceId>(w);
       if (controller_) {
-        controller_->record(key, cb.cost, cb.bytes, cb.count);
+        controller_->record(key, cb.cost, cb.bytes, cb.count, dest);
       } else {
         if (monitor_->mode() == StatsMode::kExact &&
             key >= monitor_->num_keys()) {
           monitor_->resize_keys(static_cast<std::size_t>(key) + 1);
         }
-        monitor_->record(key, cb.cost, cb.bytes, cb.count);
+        monitor_->record(key, cb.cost, cb.bytes, cb.count, dest);
       }
     }
     // clear() keeps the bucket array; the next swap hands it back to the

@@ -40,9 +40,19 @@ SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
   heavy_.reserve(config.heavy_capacity);
 }
 
+void SketchStatsWindow::grow_dest(std::size_t slot) {
+  if (slot >= cold_cost_cur_d_.size()) {
+    cold_cost_cur_d_.resize(slot + 1, 0.0);
+    cold_cost_last_d_.resize(slot + 1, 0.0);
+    cold_state_cur_d_.resize(slot + 1, 0.0);
+    cold_state_window_d_.resize(slot + 1, 0.0);
+  }
+}
+
 void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
-                               std::uint64_t frequency) {
+                               std::uint64_t frequency, InstanceId dest) {
   SKW_EXPECTS(cost >= 0.0 && state_bytes >= 0.0);
+  SKW_EXPECTS(dest >= kNilInstance);
   // The sketch allocates nothing per key, so the domain auto-grows
   // (StatsWindow asserts here instead — see its header).
   if (key >= num_keys_) num_keys_ = static_cast<std::size_t>(key) + 1;
@@ -56,13 +66,17 @@ void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
   cost_cur_.add_conservative(key, cost);
   freq_cur_.add_conservative(key, static_cast<double>(frequency));
   state_cur_.add(key, state_bytes);
-  candidates_.add(key, cost);
+  candidates_.add(key, cost, dest);
   cold_cost_cur_ += cost;
   cold_freq_cur_ += frequency;
   cold_state_cur_ += state_bytes;
+  const std::size_t slot = dest_slot(dest);
+  grow_dest(slot);
+  cold_cost_cur_d_[slot] += cost;
+  cold_state_cur_d_[slot] += state_bytes;
 }
 
-void SketchStatsWindow::absorb(const WorkerSketchSlab& slab) {
+void SketchStatsWindow::absorb(const WorkerSketchSlab& slab, InstanceId dest) {
   if (slab.key_bound() > num_keys_) num_keys_ = slab.key_bound();
   // Hot tier: exact accumulation. Iteration order over the slab's map is
   // irrelevant because each key only touches its own heavy entry (and
@@ -70,7 +84,7 @@ void SketchStatsWindow::absorb(const WorkerSketchSlab& slab) {
   // membership, so a stale hot entry (demoted since the slab's snapshot)
   // degrades gracefully to the cold path.
   for (const auto& [key, agg] : slab.hot()) {
-    record(key, agg.cost, agg.state_bytes, agg.frequency);
+    record(key, agg.cost, agg.state_bytes, agg.frequency, dest);
   }
   // Cold tier: unpack the slab's fused (cost, freq, state) cells into
   // the per-quantity sketches cell-wise. Exact merge — the slab writes
@@ -86,11 +100,21 @@ void SketchStatsWindow::absorb(const WorkerSketchSlab& slab) {
                             static_cast<double>(slab.cold_frequency()));
   state_cur_.add_interleaved(&fused->state, kStride, slab.width(),
                              slab.depth(), slab.cold_state());
-  candidates_.merge(slab.candidates().entries_by_count(),
-                    slab.candidates().total_weight());
+  // The slab's whole cold stream was processed on its owning worker:
+  // stamp that destination onto the merged candidates and credit the
+  // per-instance cold aggregates wholesale.
+  std::vector<SpaceSaving::Entry> entries = slab.candidates().entries_by_count();
+  if (dest != kNilInstance) {
+    for (auto& e : entries) e.dest = dest;
+  }
+  candidates_.merge(entries, slab.candidates().total_weight());
   cold_cost_cur_ += slab.cold_cost();
   cold_freq_cur_ += slab.cold_frequency();
   cold_state_cur_ += slab.cold_state();
+  const std::size_t slot = dest_slot(dest);
+  grow_dest(slot);
+  cold_cost_cur_d_[slot] += slab.cold_cost();
+  cold_state_cur_d_[slot] += slab.cold_state();
 }
 
 std::vector<KeyId> SketchStatsWindow::heavy_keys() const {
@@ -131,6 +155,25 @@ void SketchStatsWindow::close_cold_interval() {
     cold_state_window_ =
         std::max(0.0, cold_state_window_ - cold_state_ring_.front());
     cold_state_ring_.pop_front();
+  }
+
+  // Per-destination aggregates roll in lockstep (vectors may have grown
+  // mid-interval, so older ring entries can be shorter — iterate the
+  // common prefix when expiring).
+  cold_cost_last_d_ = cold_cost_cur_d_;
+  std::fill(cold_cost_cur_d_.begin(), cold_cost_cur_d_.end(), 0.0);
+  for (std::size_t i = 0; i < cold_state_cur_d_.size(); ++i) {
+    cold_state_window_d_[i] += cold_state_cur_d_[i];
+  }
+  cold_state_ring_d_.push_back(cold_state_cur_d_);
+  std::fill(cold_state_cur_d_.begin(), cold_state_cur_d_.end(), 0.0);
+  if (cold_state_ring_d_.size() > static_cast<std::size_t>(window_)) {
+    const auto& oldest = cold_state_ring_d_.front();
+    for (std::size_t i = 0; i < oldest.size(); ++i) {
+      cold_state_window_d_[i] =
+          std::max(0.0, cold_state_window_d_[i] - oldest[i]);
+    }
+    cold_state_ring_d_.pop_front();
   }
 }
 
@@ -187,6 +230,26 @@ void SketchStatsWindow::promote_candidates(Cost interval_total_cost) {
     e.ring.assign(1, e.window_state);
     cold_cost_last_ = std::max(0.0, cold_cost_last_ - e.last_cost);
     cold_freq_last_ -= std::min(cold_freq_last_, e.last_freq);
+    {
+      // Per-destination mirror of the debit. The candidate's recorded
+      // destination is where all of its cold mass accrued (a key routes
+      // to one instance per interval), so the whole backfill leaves that
+      // instance's aggregates.
+      const std::size_t slot = dest_slot(cand.dest);
+      grow_dest(slot);
+      cold_cost_last_d_[slot] =
+          std::max(0.0, cold_cost_last_d_[slot] - e.last_cost);
+      Bytes remaining_d = e.window_state;
+      for (auto rit = cold_state_ring_d_.rbegin();
+           rit != cold_state_ring_d_.rend() && remaining_d > 0.0; ++rit) {
+        if (slot >= rit->size()) continue;
+        const Bytes take = std::min((*rit)[slot], remaining_d);
+        (*rit)[slot] -= take;
+        remaining_d -= take;
+      }
+      cold_state_window_d_[slot] = std::max(
+          0.0, cold_state_window_d_[slot] - (e.window_state - remaining_d));
+    }
     // Debit the backfilled window state from the ring entries (newest
     // first) as well as the running window: the expired entries would
     // otherwise re-subtract mass that already moved to the hot tier,
@@ -283,6 +346,47 @@ void SketchStatsWindow::synthesize_dense(std::vector<Cost>& cost,
   }
 }
 
+void SketchStatsWindow::synthesize_compact(InstanceId num_instances,
+                                           std::vector<KeyId>& keys,
+                                           std::vector<Cost>& cost,
+                                           std::vector<Bytes>& state,
+                                           std::vector<Cost>& cold_cost,
+                                           std::vector<Bytes>& cold_state) const {
+  SKW_EXPECTS(num_instances > 0);
+  keys = heavy_keys();
+  cost.resize(keys.size());
+  state.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const HeavyEntry& e = heavy_.find(keys[i])->second;
+    cost[i] = e.last_cost;
+    state[i] = e.window_state;
+  }
+
+  const auto nd = static_cast<std::size_t>(num_instances);
+  cold_cost.assign(nd, 0.0);
+  cold_state.assign(nd, 0.0);
+  for (std::size_t slot = 1; slot < cold_cost_last_d_.size(); ++slot) {
+    const std::size_t d = slot - 1;
+    SKW_EXPECTS(d < nd);
+    cold_cost[d] = cold_cost_last_d_[slot];
+    cold_state[d] = cold_state_window_d_[slot];
+  }
+  // Mass recorded without a destination (slot 0) cannot be attributed to
+  // one instance; spread it evenly so the totals — and with them L̄ and
+  // Lmax — stay exact. Production record paths always attribute, so this
+  // is normally a no-op.
+  if (!cold_cost_last_d_.empty()) {
+    const Cost c_share = cold_cost_last_d_[0] / static_cast<Cost>(nd);
+    const Bytes s_share = cold_state_window_d_[0] / static_cast<Bytes>(nd);
+    if (c_share > 0.0 || s_share > 0.0) {
+      for (std::size_t d = 0; d < nd; ++d) {
+        cold_cost[d] += c_share;
+        cold_state[d] += s_share;
+      }
+    }
+  }
+}
+
 void SketchStatsWindow::resize_keys(std::size_t num_keys) {
   num_keys_ = std::max(num_keys_, num_keys);
 }
@@ -301,9 +405,17 @@ std::size_t SketchStatsWindow::memory_bytes() const {
                              state_cur_.memory_bytes() +
                              state_window_.memory_bytes();
   for (const auto& s : state_ring_) sketch_bytes += s.memory_bytes();
+  std::size_t cold_dest_bytes =
+      (cold_cost_cur_d_.capacity() + cold_cost_last_d_.capacity()) *
+          sizeof(Cost) +
+      (cold_state_cur_d_.capacity() + cold_state_window_d_.capacity()) *
+          sizeof(Bytes);
+  for (const auto& v : cold_state_ring_d_) {
+    cold_dest_bytes += sizeof(v) + v.capacity() * sizeof(Bytes);
+  }
   return sizeof(*this) + heavy_bytes + sketch_bytes +
          candidates_.memory_bytes() +
-         cold_state_ring_.size() * sizeof(Bytes);
+         cold_state_ring_.size() * sizeof(Bytes) + cold_dest_bytes;
 }
 
 }  // namespace skewless

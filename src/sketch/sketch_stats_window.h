@@ -68,8 +68,13 @@ class SketchStatsWindow final : public StatsProvider {
   [[nodiscard]] static CountMinSketch::Params family_params(
       const SketchStatsConfig& config, std::uint64_t salt);
 
+  /// `dest` (the instance the key routed to) feeds the per-instance cold
+  /// residual aggregates that synthesize_compact emits; recording
+  /// without it still keeps every total exact but leaves the mass
+  /// unattributed (spread evenly at compact-synthesis time).
   void record(KeyId key, Cost cost, Bytes state_bytes,
-              std::uint64_t frequency = 1) override;
+              std::uint64_t frequency = 1,
+              InstanceId dest = kNilInstance) override;
   void roll() override;
 
   /// Boundary merge: folds one worker's interval-local slab into the
@@ -80,7 +85,10 @@ class SketchStatsWindow final : public StatsProvider {
   /// update), candidates union into the Space-Saving tracker, and the
   /// exact scalar aggregates add. Absorbing slabs in a fixed order
   /// yields byte-identical state regardless of worker finish order.
-  void absorb(const WorkerSketchSlab& slab);
+  /// `dest` is the worker/instance the slab belongs to (its whole cold
+  /// stream was processed there); it tags the per-instance cold
+  /// aggregates and the merged promotion candidates.
+  void absorb(const WorkerSketchSlab& slab, InstanceId dest = kNilInstance);
 
   /// The current heavy key set, sorted ascending (deterministic) — what
   /// the driver distributes to worker slabs at interval boundaries.
@@ -92,6 +100,32 @@ class SketchStatsWindow final : public StatsProvider {
   [[nodiscard]] Bytes total_windowed_state() const override;
   void synthesize_dense(std::vector<Cost>& cost,
                         std::vector<Bytes>& state) const override;
+
+  /// The compact planner view — the O(k + N_D) alternative to
+  /// synthesize_dense that allocates nothing proportional to |K|:
+  ///   * `keys`/`cost`/`state` — the heavy set, sorted ascending, with
+  ///     its EXACT last-interval cost and windowed state;
+  ///   * `cold_cost`/`cold_state` — per-instance residual aggregates of
+  ///     the untracked tail, sums of the recorded cold mass by
+  ///     destination (recorded scalars, not sketch estimates — no
+  ///     normalization step exists on this path).
+  /// Cold mass recorded without a destination is spread evenly across
+  /// the `num_instances` instances, keeping L̄ and Lmax exact; recorded
+  /// destinations must lie in [0, num_instances).
+  ///
+  /// Exactness caveat (same one the class header documents for the
+  /// scalar aggregates): a promotion debits the candidate's backfilled
+  /// upper-bound count from its recorded destination, clamped at zero.
+  /// When Space-Saving ran eviction-free (capacity ≥ distinct cold keys
+  /// — the equivalence-anchor regime) the backfill is the exact recorded
+  /// mass and the residuals are exact; under evictions the inherited
+  /// error can over-debit one instance by up to the entry's `error`
+  /// for the promotion interval, after which fresh intervals are exact
+  /// again.
+  void synthesize_compact(InstanceId num_instances, std::vector<KeyId>& keys,
+                          std::vector<Cost>& cost, std::vector<Bytes>& state,
+                          std::vector<Cost>& cold_cost,
+                          std::vector<Bytes>& cold_state) const;
 
   [[nodiscard]] std::size_t num_keys() const override { return num_keys_; }
   void resize_keys(std::size_t num_keys) override;
@@ -146,6 +180,19 @@ class SketchStatsWindow final : public StatsProvider {
   Bytes cold_state_cur_ = 0.0;
   Bytes cold_state_window_ = 0.0;
   std::deque<Bytes> cold_state_ring_;
+
+  // Exact per-destination cold aggregates (the compact planning view's
+  // residuals), rolled in lockstep with the scalars above. Index is
+  // dest + 1: slot 0 holds mass recorded without a destination. The
+  // vectors grow on demand to the largest destination seen, so they stay
+  // O(N_D) regardless of |K|.
+  [[nodiscard]] static std::size_t dest_slot(InstanceId dest) {
+    return static_cast<std::size_t>(dest + 1);
+  }
+  void grow_dest(std::size_t slot);
+  std::vector<Cost> cold_cost_cur_d_, cold_cost_last_d_;
+  std::vector<Bytes> cold_state_cur_d_, cold_state_window_d_;
+  std::deque<std::vector<Bytes>> cold_state_ring_d_;
 };
 
 }  // namespace skewless

@@ -28,14 +28,15 @@ void SpaceSaving::compact_heap() {
   std::make_heap(heap_.begin(), heap_.end(), heap_after);
 }
 
-void SpaceSaving::add(KeyId key, double weight) {
+void SpaceSaving::add(KeyId key, double weight, InstanceId dest) {
   SKW_EXPECTS(weight >= 0.0);
   total_ += weight;
   if (auto it = map_.find(key); it != map_.end()) {
     it->second.count += weight;
+    if (dest != kNilInstance) it->second.dest = dest;
     push_heap_item(key, it->second.count);
   } else if (map_.size() < capacity_) {
-    map_.emplace(key, Entry{key, weight, 0.0});
+    map_.emplace(key, Entry{key, weight, 0.0, dest});
     push_heap_item(key, weight);
   } else {
     // Evict the minimum live (count, key): pop stale snapshots until the
@@ -52,7 +53,7 @@ void SpaceSaving::add(KeyId key, double weight) {
     std::pop_heap(heap_.begin(), heap_.end(), heap_after);
     heap_.pop_back();
     map_.erase(victim.key);
-    map_.emplace(key, Entry{key, victim.count + weight, victim.count});
+    map_.emplace(key, Entry{key, victim.count + weight, victim.count, dest});
     push_heap_item(key, victim.count + weight);
   }
   if (heap_.size() > 8 * capacity_) compact_heap();
@@ -72,6 +73,7 @@ void SpaceSaving::merge(const std::vector<Entry>& entries,
     if (auto it = map_.find(e.key); it != map_.end()) {
       it->second.count += e.count;
       it->second.error += e.error;
+      if (e.dest != kNilInstance) it->second.dest = e.dest;
     } else {
       map_.emplace(e.key, e);
     }

@@ -26,12 +26,18 @@ class SpaceSaving {
     KeyId key = 0;
     double count = 0.0;  // overestimate of the key's true weight
     double error = 0.0;  // count inherited from the evicted predecessor
+    /// Last observed routing destination of the key (kNilInstance when
+    /// never supplied). A key routes to exactly one instance within an
+    /// interval, so "last" is also "only" — the sketch stats window uses
+    /// it to debit the right per-instance cold aggregate on promotion.
+    InstanceId dest = kNilInstance;
   };
 
   explicit SpaceSaving(std::size_t capacity);
 
-  /// Observes `weight` more mass on `key`.
-  void add(KeyId key, double weight = 1.0);
+  /// Observes `weight` more mass on `key`, optionally tagging the
+  /// instance the key currently routes to.
+  void add(KeyId key, double weight = 1.0, InstanceId dest = kNilInstance);
 
   /// Unions another tracker into this one (shared-nothing aggregation:
   /// per-worker trackers merged at an interval boundary). For keys

@@ -50,8 +50,16 @@ class StatsProvider {
   virtual ~StatsProvider() = default;
 
   /// Accumulates one observation for the current (open) interval.
+  /// `dest` is the instance the key's tuples were processed on (F(key)
+  /// during the interval). The exact provider ignores it; the sketch
+  /// provider uses it to keep EXACT per-instance cold residual
+  /// aggregates for synthesize_compact — callers on the planning path
+  /// (engines, controller drains) must supply it. kNilInstance marks
+  /// the destination unknown (tests, non-planning monitors); such mass
+  /// is spread evenly across instances at compact-synthesis time.
   virtual void record(KeyId key, Cost cost, Bytes state_bytes,
-                      std::uint64_t frequency) = 0;
+                      std::uint64_t frequency = 1,
+                      InstanceId dest = kNilInstance) = 0;
 
   /// Convenience: single-tuple observation.
   void record_one(KeyId key, Cost cost, Bytes state_bytes) {

@@ -97,6 +97,111 @@ INSTANTIATE_TEST_SUITE_P(AllPlanners, PlannerDeterminism,
                                            "mixedbf", "noadjust", "compact",
                                            "dkg", "readj"));
 
+// The compact planning path's correctness anchor: on a domain where every
+// key is heavy (heavy_capacity >= |K|), the compact snapshot (heavy
+// entries + cold residuals, here all-zero) must drive every planner to
+// the SAME plan, byte for byte, as the dense snapshot — whether the dense
+// view comes from the exact provider or from the sketch provider's
+// synthesize_dense. All statistics are integer-valued so every
+// accumulation below is exact in floating point.
+class CompactDenseEquivalence : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(CompactDenseEquivalence, FullCoverageCompactPlansAreByteIdentical) {
+  constexpr std::size_t kKeys = 500;
+  constexpr InstanceId kNd = 6;
+  const ConsistentHashRing ring(kNd, 128, 0x5eed);
+
+  // Seeded routing perturbation: every 9th key carries an explicit table
+  // entry, so the cleaning/move-back phases have real work to disagree
+  // on if the representations were not equivalent.
+  std::vector<InstanceId> hash(kKeys), current(kKeys);
+  std::vector<Cost> cost(kKeys);
+  std::vector<Bytes> state(kKeys);
+  std::vector<std::uint64_t> freq(kKeys);
+  const ZipfDistribution zipf(kKeys, 1.0, true, 11);
+  const auto counts = zipf.expected_counts(kKeys * 20);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    hash[k] = ring.owner(static_cast<KeyId>(k));
+    current[k] = (k % 9 == 0) ? static_cast<InstanceId>((hash[k] + 1) % kNd)
+                              : hash[k];
+    freq[k] = counts[k] + 1;  // every key active: full promotion
+    cost[k] = static_cast<Cost>(freq[k]);
+    state[k] = 4.0 * static_cast<Bytes>(freq[k]);
+  }
+
+  StatsWindow exact(kKeys, 1);
+  SketchStatsConfig scfg;
+  scfg.heavy_capacity = 1024;     // >= |K|: Space-Saving is exact
+  scfg.promote_fraction = 0.0;    // every active key promotes
+  SketchStatsWindow sketch(kKeys, 1, scfg);
+  // Interval 1 nominates (and exactly backfills) the heavy set; interval
+  // 2 rolls the backfilled window slot out, leaving every heavy value
+  // exactly equal to the dense provider's.
+  for (int interval = 0; interval < 2; ++interval) {
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      const auto key = static_cast<KeyId>(k);
+      exact.record(key, cost[k], state[k], freq[k], current[k]);
+      sketch.record(key, cost[k], state[k], freq[k], current[k]);
+    }
+    exact.roll();
+    sketch.roll();
+  }
+  ASSERT_EQ(sketch.heavy_count(), kKeys);
+
+  const auto finish_dense = [&](PartitionSnapshot& snap) {
+    snap.num_instances = kNd;
+    snap.hash_dest = hash;
+    snap.current = current;
+  };
+  PartitionSnapshot dense_e;
+  exact.synthesize_dense(dense_e.cost, dense_e.state);
+  finish_dense(dense_e);
+  PartitionSnapshot dense_s;
+  sketch.synthesize_dense(dense_s.cost, dense_s.state);
+  finish_dense(dense_s);
+  // With full coverage the two dense views must agree exactly — this is
+  // what makes the three-way plan comparison below meaningful.
+  ASSERT_EQ(dense_e.cost, dense_s.cost);
+  ASSERT_EQ(dense_e.state, dense_s.state);
+
+  PartitionSnapshot compact;
+  compact.num_instances = kNd;
+  sketch.synthesize_compact(kNd, compact.keys, compact.cost, compact.state,
+                            compact.cold_cost, compact.cold_state);
+  compact.total_keys = kKeys;
+  ASSERT_EQ(compact.keys.size(), kKeys);
+  compact.hash_dest.resize(kKeys);
+  compact.current.resize(kKeys);
+  for (std::size_t e = 0; e < kKeys; ++e) {
+    compact.hash_dest[e] = hash[static_cast<std::size_t>(compact.keys[e])];
+    compact.current[e] = current[static_cast<std::size_t>(compact.keys[e])];
+  }
+  compact.validate();
+  for (const Cost c : compact.cold_cost) ASSERT_EQ(c, 0.0);
+  for (const Bytes b : compact.cold_state) ASSERT_EQ(b, 0.0);
+
+  PlannerConfig config;
+  config.theta_max = 0.08;
+  config.max_table_entries = 150;
+  auto p_dense_e = make_planner(GetParam());
+  auto p_dense_s = make_planner(GetParam());
+  auto p_compact = make_planner(GetParam());
+  ASSERT_NE(p_compact, nullptr);
+  const auto bytes_e = plan_bytes(p_dense_e->plan(dense_e, config));
+  const auto bytes_s = plan_bytes(p_dense_s->plan(dense_s, config));
+  const auto bytes_c = plan_bytes(p_compact->plan(compact, config));
+  EXPECT_EQ(bytes_e, bytes_s)
+      << p_compact->name() << ": sketch dense view diverged from exact";
+  EXPECT_EQ(bytes_e, bytes_c)
+      << p_compact->name() << ": compact path diverged from dense path";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlanners, CompactDenseEquivalence,
+                         ::testing::Values("mintable", "minmig", "mixed",
+                                           "mixedbf", "noadjust", "compact",
+                                           "dkg", "readj"));
+
 TEST(Determinism, SeededXoshiroStreamsAreIdentical) {
   Xoshiro256 a(12345);
   Xoshiro256 b(12345);
