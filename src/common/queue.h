@@ -40,6 +40,24 @@ class BoundedMpmcQueue {
     return true;
   }
 
+  /// Enqueues regardless of the capacity bound; returns false only when
+  /// the queue is closed. For CONTROL-PLANE messages (the threaded
+  /// engine's interval seals): the capacity bound exists to backpressure
+  /// the data path, and a boundary message that blocked behind a full
+  /// data queue would stall exactly the ingestion the asynchronous
+  /// boundary merge exists to keep flowing. At most O(1) such messages
+  /// are in flight per queue per interval, so the bound is exceeded by a
+  /// constant.
+  bool force_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T item) {
     {

@@ -33,7 +33,12 @@ PartitionSnapshot Controller::build_snapshot() const {
     // Compact planning view: the heavy set as entries (exact values) plus
     // per-instance cold residual aggregates. O(k + N_D) work and memory —
     // nothing here scales with |K|, which is what lets planning keep up
-    // with million-key domains.
+    // with million-key domains. Under the threaded engine's asynchronous
+    // boundary merge this runs strictly after every sealed worker slab of
+    // the closing epoch has been absorbed (end_interval is only reached
+    // once the merge thread hands the epoch back), so the snapshot is a
+    // pure function of the merged epoch — identical across schedulings
+    // and buffer modes.
     sketch->synthesize_compact(snap.num_instances, snap.keys, snap.cost,
                                snap.state, snap.cold_cost, snap.cold_state);
     snap.total_keys = stats_->num_keys();

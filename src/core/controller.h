@@ -115,6 +115,18 @@ class Controller {
     return total_migrated_bytes_;
   }
 
+  /// Boundary accounting fed by the engine after each interval: time
+  /// spent absorbing worker statistics into the provider (merge) and
+  /// time tuple ingestion was blocked at the boundary (stall — the
+  /// number the asynchronous slab merge exists to shrink). Purely
+  /// observability; skewless_sim surfaces the totals in its summary.
+  void note_boundary(double merge_ms, double stall_ms) {
+    total_merge_ms_ += merge_ms;
+    total_stall_ms_ += stall_ms;
+  }
+  [[nodiscard]] double total_merge_ms() const { return total_merge_ms_; }
+  [[nodiscard]] double total_stall_ms() const { return total_stall_ms_; }
+
  private:
   [[nodiscard]] PartitionSnapshot build_snapshot() const;
 
@@ -127,6 +139,8 @@ class Controller {
   std::size_t rebalance_count_ = 0;
   Micros total_generation_micros_ = 0;
   Bytes total_migrated_bytes_ = 0;
+  double total_merge_ms_ = 0.0;
+  double total_stall_ms_ = 0.0;
 };
 
 }  // namespace skewless

@@ -8,6 +8,12 @@
 #include "common/log.h"
 #include "common/rng.h"
 
+#if defined(__linux__) && defined(_GNU_SOURCE)
+#include <pthread.h>
+#include <sched.h>
+#define SKEWLESS_HAS_THREAD_AFFINITY 1
+#endif
+
 namespace skewless {
 namespace {
 
@@ -30,6 +36,36 @@ class CountingCollector final : public Collector {
  private:
   std::atomic<std::uint64_t>& counter_;
 };
+
+/// Pins `thread` to `core` (modulo the hardware concurrency) where the
+/// platform supports it. Returns whether the pin took effect.
+bool pin_thread_to_core(std::thread& thread, unsigned core) {
+#if defined(SKEWLESS_HAS_THREAD_AFFINITY)
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % n, &set);
+  return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)thread;
+  (void)core;
+  return false;
+#endif
+}
+
+/// Realized imbalance max|c_d - avg|/avg over the per-worker costs.
+double max_theta_of(const std::vector<double>& worker_cost) {
+  double total = 0.0;
+  for (const double c : worker_cost) total += c;
+  if (total <= 0.0) return 0.0;
+  const double avg = total / static_cast<double>(worker_cost.size());
+  double worst = 0.0;
+  for (const double c : worker_cost) {
+    worst = std::max(worst, std::abs(c - avg) / avg);
+  }
+  return worst;
+}
 
 }  // namespace
 
@@ -86,18 +122,33 @@ void ThreadedEngine::start_workers() {
     drain_scratch_[i].reserve(256);
   }
   if (sketch_sink_ != nullptr) {
-    // Sketch mode: one thread-local slab per worker, built against the
+    // Sketch mode: thread-local slabs per worker, built against the
     // sink's own config so the Count-Min families match cell-for-cell.
+    // The second buffer of each pair exists only under the asynchronous
+    // merge — the inline path never seals, so it never swaps.
     slabs_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      slabs_.push_back(
-          std::make_unique<WorkerSketchSlab>(sketch_sink_->config()));
+      auto pair = std::make_unique<SlabPair>();
+      pair->bufs[0] =
+          std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+      if (config_.async_merge) {
+        pair->bufs[1] =
+            std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+      }
+      slabs_.push_back(std::move(pair));
     }
   }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back(
         [this, i] { worker_loop(static_cast<InstanceId>(i)); });
+    if (config_.pin_workers &&
+        pin_thread_to_core(workers_.back(), static_cast<unsigned>(i))) {
+      ++pinned_workers_;
+    }
+  }
+  if (async_merge_on()) {
+    merge_thread_ = std::thread([this] { merge_loop(); });
   }
 }
 
@@ -105,8 +156,10 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   const auto idx = static_cast<std::size_t>(id);
   StateStore& store = *stores_[idx];
   WorkerStats& stats = *stats_[idx];
+  // Sketch mode: the worker starts on buffer 0 of its pair and (async
+  // merge only) alternates at every seal.
   WorkerSketchSlab* slab =
-      slabs_.empty() ? nullptr : slabs_[idx].get();  // sketch mode
+      slabs_.empty() ? nullptr : slabs_[idx]->bufs[0].get();
   CountingCollector collector(total_outputs_);
   // Per-batch aggregation buffer, reused across batches (clear() keeps
   // the bucket array, so steady state allocates nothing per batch).
@@ -128,7 +181,8 @@ void ThreadedEngine::worker_loop(InstanceId id) {
       const Micros now = steady_now_us();
       double latency_acc = 0.0;
       std::uint64_t latency_n = 0;
-      // Per-key aggregation outside the shared lock.
+      // Per-key aggregation outside any shared structure: each distinct
+      // key pays ONE slab/map update per batch, not one per tuple.
       local.clear();
       for (const Tuple& t : batch->tuples) {
         KeyState& state =
@@ -138,8 +192,8 @@ void ThreadedEngine::worker_loop(InstanceId id) {
         const Bytes delta = std::max(0.0, state.bytes() - before);
         auto& entry = local[t.key];
         entry.cost += cost;
-        entry.bytes += delta;
-        ++entry.count;
+        entry.state_bytes += delta;
+        ++entry.frequency;
         latency_acc +=
             static_cast<double>(now - engine_epoch_us_ - t.emit_micros);
         ++latency_n;
@@ -148,15 +202,15 @@ void ThreadedEngine::worker_loop(InstanceId id) {
                                  std::memory_order_relaxed);
       if (slab != nullptr) {
         // Sketch mode: fold the batch into this worker's thread-local
-        // slab — no lock, no shared per-key map. The driver reads the
-        // slab only after the quiescence wait at the interval boundary.
-        for (const auto& [key, cb] : local) {
-          slab->add(key, cb.cost, cb.bytes, cb.count);
-        }
-        std::lock_guard lock(stats.mu);
-        stats.processed += batch->tuples.size();
-        stats.latency_sum_us += latency_acc;
-        stats.latency_samples += latency_n;
+        // slab — no lock anywhere, scalars included (they ride the slab
+        // and are published by the seal / quiescence protocol). The
+        // batched fold computes one probe per distinct cold key and
+        // prefetches one scratch entry ahead (see add_batch).
+        slab->add_batch(local);
+        WorkerSketchSlab::IntervalScalars& sc = slab->scalars();
+        sc.processed += batch->tuples.size();
+        sc.latency_sum_us += latency_acc;
+        sc.latency_samples += latency_n;
       } else {
         // Exact mode — one lock per batch: the merge and every counter
         // update share a single critical section.
@@ -164,8 +218,8 @@ void ThreadedEngine::worker_loop(InstanceId id) {
         for (const auto& [key, cb] : local) {
           auto& entry = stats.per_key[key];
           entry.cost += cb.cost;
-          entry.bytes += cb.bytes;
-          entry.count += cb.count;
+          entry.state_bytes += cb.state_bytes;
+          entry.frequency += cb.frequency;
         }
         stats.processed += batch->tuples.size();
         stats.latency_sum_us += latency_acc;
@@ -186,6 +240,39 @@ void ThreadedEngine::worker_loop(InstanceId id) {
       }
     } else if (auto* expire = std::get_if<ExpireMsg>(&*msg)) {
       store.expire_before(expire->watermark);
+    } else if (auto* seal = std::get_if<SealMsg>(&*msg)) {
+      // Epoch boundary (async merge): stamp + release-publish the active
+      // buffer, swap onto the peer (cleared by the merge path before the
+      // previous epoch's heavy set was published, which we waited for),
+      // and install the closing epoch's post-roll heavy set before any
+      // next-epoch batch — the acquire on heavy_epoch_ pairs with the
+      // publisher's release, ordering the merge path's writes (peer
+      // clear, heavy_published_) before ours.
+      SKW_ASSERT(slab != nullptr);
+      SlabPair& pair = *slabs_[idx];
+      slab->set_epoch(seal->epoch);
+      pair.sealed_epoch.store(seal->epoch, std::memory_order_release);
+      {
+        // Pair the store with the merge thread's wait: the empty
+        // critical section makes the notify visible to a waiter that
+        // checked the predicate just before the store.
+        std::lock_guard lock(seal_mu_);
+      }
+      seal_cv_.notify_all();
+      slab = pair.bufs[seal->epoch & 1].get();
+      if (heavy_epoch_.load(std::memory_order_acquire) < seal->epoch) {
+        // Sleep (never spin — the merge path needs the cycles) until the
+        // closing epoch's roll publishes the new heavy set.
+        std::unique_lock lock(heavy_mu_);
+        heavy_cv_.wait(lock, [&] {
+          return heavy_epoch_.load(std::memory_order_acquire) >=
+                     seal->epoch ||
+                 stopping_.load(std::memory_order_acquire);
+        });
+      }
+      if (heavy_epoch_.load(std::memory_order_acquire) >= seal->epoch) {
+        slab->set_heavy_keys(heavy_published_);
+      }
     } else {
       SKW_ASSERT(std::holds_alternative<StopMsg>(*msg));
       return;
@@ -227,34 +314,40 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
   std::vector<double> worker_cost(stats_.size(), 0.0);
   for (std::size_t w = 0; w < stats_.size(); ++w) {
     WorkerStats& ws = *stats_[w];
+    if (sketch_sink_ != nullptr) {
+      // Inline boundary merge, in worker-index order — a fixed order, so
+      // the merged sketch state is byte-identical regardless of which
+      // worker finished first. The quiescence wait in finish_boundary
+      // ordered all slab writes before this read; no lock is needed (the
+      // scalars ride the slab too).
+      WorkerSketchSlab& slab = *slabs_[w]->bufs[0];
+      report.processed += slab.scalars().processed;
+      latency_sum += slab.scalars().latency_sum_us;
+      latency_n += slab.scalars().latency_samples;
+      worker_cost[w] = slab.total_cost();
+      report.stats_memory_bytes += slab.memory_bytes();
+      // Worker w IS instance w: the whole slab's cold stream ran there,
+      // which is exactly the attribution the compact planning view's
+      // per-instance cold residual aggregates need.
+      WallTimer merge_timer;
+      sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
+      report.merge_ms += merge_timer.elapsed_millis();
+      slab.clear();
+      continue;
+    }
     auto& drained = drain_scratch_[w];
     {
       // Single short critical section per worker: grab every scalar
-      // counter (and, in exact mode, swap out the per-key map, handing
-      // back last interval's cleared, pre-bucketed map).
+      // counter and swap out the per-key map, handing back last
+      // interval's cleared, pre-bucketed map.
       std::lock_guard lock(ws.mu);
-      if (sketch_sink_ == nullptr) drained.swap(ws.per_key);
+      drained.swap(ws.per_key);
       report.processed += ws.processed;
       ws.processed = 0;
       latency_sum += ws.latency_sum_us;
       latency_n += ws.latency_samples;
       ws.latency_sum_us = 0.0;
       ws.latency_samples = 0;
-    }
-    if (sketch_sink_ != nullptr) {
-      // Boundary merge, in worker-index order — a fixed order, so the
-      // merged sketch state is byte-identical regardless of which worker
-      // finished first. The quiescence wait in run_interval ordered all
-      // slab writes before this read; no lock is needed.
-      WorkerSketchSlab& slab = *slabs_[w];
-      worker_cost[w] = slab.total_cost();
-      report.stats_memory_bytes += slab.memory_bytes();
-      // Worker w IS instance w: the whole slab's cold stream ran there,
-      // which is exactly the attribution the compact planning view's
-      // per-instance cold residual aggregates need.
-      sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
-      slab.clear();
-      continue;
     }
     // Exact mode: account the worker-side map at its fullest (nodes are
     // freed by the clear below), then replay it into the provider.
@@ -263,19 +356,21 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
         drained.size() *
             (sizeof(std::pair<const KeyId, PerKeyStat>) + kNodeOverhead) +
         (drained.bucket_count() + ws.per_key.bucket_count()) * sizeof(void*);
+    WallTimer merge_timer;
     for (const auto& [key, cb] : drained) {
       worker_cost[w] += cb.cost;
       const auto dest = static_cast<InstanceId>(w);
       if (controller_) {
-        controller_->record(key, cb.cost, cb.bytes, cb.count, dest);
+        controller_->record(key, cb.cost, cb.state_bytes, cb.frequency, dest);
       } else {
         if (monitor_->mode() == StatsMode::kExact &&
             key >= monitor_->num_keys()) {
           monitor_->resize_keys(static_cast<std::size_t>(key) + 1);
         }
-        monitor_->record(key, cb.cost, cb.bytes, cb.count, dest);
+        monitor_->record(key, cb.cost, cb.state_bytes, cb.frequency, dest);
       }
     }
+    report.merge_ms += merge_timer.elapsed_millis();
     // clear() keeps the bucket array; the next swap hands it back to the
     // worker so steady-state intervals do no hash-table allocation.
     drained.clear();
@@ -286,22 +381,93 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
   // Imbalance from the realized per-worker work (works in every mode; in
   // controller mode end_interval() recomputes the same value from the
   // recorded statistics).
-  double total = 0.0;
-  for (const double c : worker_cost) total += c;
-  if (total > 0.0) {
-    const double avg = total / static_cast<double>(worker_cost.size());
-    double worst = 0.0;
-    for (const double c : worker_cost) {
-      worst = std::max(worst, std::abs(c - avg) / avg);
+  report.max_theta = max_theta_of(worker_cost);
+}
+
+void ThreadedEngine::merge_sealed_slabs(std::uint64_t epoch,
+                                        BoundaryResult& result) {
+  std::vector<double> worker_cost(slabs_.size(), 0.0);
+  for (std::size_t w = 0; w < slabs_.size(); ++w) {
+    SlabPair& pair = *slabs_[w];
+    // The seal is the last message of the epoch in worker w's FIFO, so
+    // sealed_epoch reaching `epoch` (acquire, pairing with the worker's
+    // release) is per-worker quiescence: every batch of the epoch is
+    // folded into the sealed buffer before this read. Sleep on the seal
+    // signal rather than spinning — on a busy machine the spin would
+    // steal exactly the cycles the straggler worker needs to drain.
+    if (pair.sealed_epoch.load(std::memory_order_acquire) < epoch) {
+      std::unique_lock lock(seal_mu_);
+      seal_cv_.wait(lock, [&] {
+        return pair.sealed_epoch.load(std::memory_order_acquire) >= epoch ||
+               stopping_.load(std::memory_order_acquire);
+      });
     }
-    report.max_theta = worst;
+    if (pair.sealed_epoch.load(std::memory_order_acquire) < epoch) return;
+    WorkerSketchSlab& slab = *pair.bufs[(epoch - 1) & 1];
+    SKW_ASSERT(slab.epoch() == epoch);
+    result.processed += slab.scalars().processed;
+    result.latency_sum_us += slab.scalars().latency_sum_us;
+    result.latency_samples += slab.scalars().latency_samples;
+    worker_cost[w] = slab.total_cost();
+    result.slab_memory_bytes += slab.memory_bytes();
+    // Worker-index order keeps the merged window byte-identical across
+    // schedulings; `w` is the slab's owning instance (cold-residual
+    // attribution, as in the inline path).
+    WallTimer merge_timer;
+    sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
+    result.merge_ms += merge_timer.elapsed_millis();
+    slab.clear();
+    // The worker's active peer cannot be measured while it accumulates;
+    // the just-cleared buffer (same capacities, empty contents) stands
+    // in for it so the double-buffer footprint is still accounted.
+    result.slab_memory_bytes += slab.memory_bytes();
+  }
+  result.max_theta = max_theta_of(worker_cost);
+}
+
+void ThreadedEngine::merge_loop() {
+  std::uint64_t epoch = 1;
+  while (true) {
+    {
+      std::unique_lock lock(merge_mu_);
+      merge_cv_.wait(lock,
+                     [&] { return merge_requested_ >= epoch || merge_stop_; });
+      if (merge_requested_ < epoch) return;  // stopping, nothing pending
+    }
+    BoundaryResult result;
+    merge_sealed_slabs(epoch, result);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (!controller_) {
+      // Hash-only mode: the merge thread owns the monitor's roll and the
+      // heavy-set publication — the sealed workers resume as soon as the
+      // roll lands, with no driver involvement at all.
+      monitor_->roll();
+      result.provider_memory_bytes = monitor_->memory_bytes();
+      publish_heavy_set(epoch);
+    }
+    {
+      std::lock_guard lock(merge_mu_);
+      boundary_result_ = result;
+      merge_completed_ = epoch;
+    }
+    merge_cv_.notify_all();
+    ++epoch;
   }
 }
 
 void ThreadedEngine::refresh_worker_heavy_sets() {
   if (sketch_sink_ == nullptr) return;
   const std::vector<KeyId> keys = sketch_sink_->heavy_keys();
-  for (auto& slab : slabs_) slab->set_heavy_keys(keys);
+  for (auto& pair : slabs_) pair->bufs[0]->set_heavy_keys(keys);
+}
+
+void ThreadedEngine::publish_heavy_set(std::uint64_t epoch) {
+  heavy_published_ = sketch_sink_->heavy_keys();
+  heavy_epoch_.store(epoch, std::memory_order_release);
+  {
+    std::lock_guard lock(heavy_mu_);
+  }
+  heavy_cv_.notify_all();
 }
 
 Bytes ThreadedEngine::execute_migration(const RebalancePlan& plan) {
@@ -371,13 +537,12 @@ Bytes ThreadedEngine::execute_migration(const RebalancePlan& plan) {
   return wire_bytes;
 }
 
-ThreadedIntervalReport ThreadedEngine::run_interval(
-    const std::vector<Tuple>& tuples) {
+ThreadedIntervalReport ThreadedEngine::ingest(const std::vector<Tuple>& tuples) {
   SKW_EXPECTS(!stopped_);
+  SKW_EXPECTS(open_boundary_epoch_ == 0);  // previous boundary finished
   ThreadedIntervalReport report;
   report.interval = interval_;
   WallTimer timer;
-
   for (Tuple t : tuples) {
     t.emit_micros = steady_now_us() - engine_epoch_us_;
     route_tuple(t);
@@ -385,61 +550,148 @@ ThreadedIntervalReport ThreadedEngine::run_interval(
   }
   flush_batches();
   total_emitted_ += report.emitted;
+  report.wall_ms = timer.elapsed_millis();
+  return report;
+}
 
-  // Interval boundary: wait for every pushed message to be fully
-  // processed so the interval's statistics are complete before planning.
-  // (A production engine plans on slightly stale stats instead; draining
-  // makes tests deterministic.) Counting completions instead of polling
-  // queue emptiness is what makes this gap-free: a message a worker has
-  // popped but not finished keeps done_msgs behind pushed_msgs_.
-  for (InstanceId d = 0; d < num_workers_; ++d) {
-    const auto di = static_cast<std::size_t>(d);
-    while (stats_[di]->done_msgs.load(std::memory_order_acquire) !=
-           pushed_msgs_[di]) {
-      std::this_thread::yield();
+void ThreadedEngine::begin_boundary(ThreadedIntervalReport& report) {
+  WallTimer timer;
+  if (async_merge_on()) {
+    // Seal the epoch: one lightweight message per worker (FIFO puts it
+    // behind every batch of the closing interval), then hand the epoch
+    // to the merge thread. Ingestion is free to continue immediately —
+    // next-interval batches queue behind the seals and land in the
+    // workers' swapped-in buffers.
+    const auto epoch = static_cast<std::uint64_t>(interval_) + 1;
+    open_boundary_epoch_ = epoch;
+    for (InstanceId d = 0; d < num_workers_; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      // force_push: the seal is a control message — blocking behind a
+      // full data queue here would BE the boundary stall this protocol
+      // removes (the driver runs ahead of the workers, so the queues are
+      // routinely at capacity when the interval closes).
+      const bool ok = queues_[di]->force_push(WorkerMsg(SealMsg{epoch}));
+      SKW_ASSERT(ok);
+      ++pushed_msgs_[di];
     }
+    {
+      std::lock_guard lock(merge_mu_);
+      merge_requested_ = epoch;
+    }
+    merge_cv_.notify_all();
   }
+  const double seg = timer.elapsed_millis();
+  open_boundary_stall_ms_ = seg;
+  report.wall_ms += seg;
+}
 
-  drain_worker_stats(report);  // also accounts worker-side stats memory
-  if (monitor_) monitor_->roll();
-  report.stats_memory_bytes += controller_ ? controller_->stats_memory_bytes()
-                                           : monitor_->memory_bytes();
-  if (controller_) {
-    if (auto plan = controller_->end_interval()) {
-      report.migrated = true;
-      report.moves = plan->moves.size();
-      report.migration_bytes = plan->migration_bytes;
-      report.generation_micros = plan->generation_micros;
-      report.migration_wire_bytes = execute_migration(*plan);
+void ThreadedEngine::finish_boundary(ThreadedIntervalReport& report) {
+  WallTimer timer;
+  if (async_merge_on()) {
+    const std::uint64_t epoch =
+        open_boundary_epoch_ != 0
+            ? open_boundary_epoch_
+            : static_cast<std::uint64_t>(interval_) + 1;
+    BoundaryResult r;
+    {
+      std::unique_lock lock(merge_mu_);
+      merge_cv_.wait(lock, [&] { return merge_completed_ >= epoch; });
+      r = boundary_result_;
     }
-    report.max_theta = controller_->last_observed_theta();
-    if (config_.expire_lag_intervals > 0) {
-      const Micros watermark =
-          (interval_ + 1 - config_.expire_lag_intervals) * 1'000'000;
-      for (InstanceId d = 0; d < num_workers_; ++d) {
-        ExpireMsg msg{watermark};
-        const bool ok =
-            queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(msg));
-        // A dropped-but-counted message would deadlock the quiescence
-        // wait; push only fails after close(), which cannot happen here.
-        SKW_ASSERT(ok);
-        ++pushed_msgs_[static_cast<std::size_t>(d)];
+    report.processed += r.processed;
+    report.avg_latency_ms =
+        r.latency_samples > 0
+            ? r.latency_sum_us / static_cast<double>(r.latency_samples) /
+                  1000.0
+            : 0.0;
+    report.max_theta = r.max_theta;
+    report.merge_ms = r.merge_ms;
+    report.stats_memory_bytes += r.slab_memory_bytes;
+    if (controller_) {
+      // The controller rolls and plans over the fully-merged epoch; the
+      // heavy set is published (unblocking the sealed workers) before
+      // any migration messages need processing.
+      if (auto plan = controller_->end_interval()) {
+        report.migrated = true;
+        report.moves = plan->moves.size();
+        report.migration_bytes = plan->migration_bytes;
+        report.generation_micros = plan->generation_micros;
+        publish_heavy_set(epoch);
+        report.migration_wire_bytes = execute_migration(*plan);
+      } else {
+        publish_heavy_set(epoch);
+      }
+      report.max_theta = controller_->last_observed_theta();
+      report.stats_memory_bytes += controller_->stats_memory_bytes();
+    } else {
+      report.stats_memory_bytes += r.provider_memory_bytes;
+    }
+  } else {
+    // Inline boundary: wait for every pushed message to be fully
+    // processed so the interval's statistics are complete before
+    // planning. Counting completions instead of polling queue emptiness
+    // is what makes this gap-free: a message a worker has popped but not
+    // finished keeps done_msgs behind pushed_msgs_.
+    for (InstanceId d = 0; d < num_workers_; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      while (stats_[di]->done_msgs.load(std::memory_order_acquire) !=
+             pushed_msgs_[di]) {
+        std::this_thread::yield();
       }
     }
+    drain_worker_stats(report);  // also accounts worker-side stats memory
+    if (monitor_) monitor_->roll();
+    report.stats_memory_bytes += controller_
+                                     ? controller_->stats_memory_bytes()
+                                     : monitor_->memory_bytes();
+    if (controller_) {
+      if (auto plan = controller_->end_interval()) {
+        report.migrated = true;
+        report.moves = plan->moves.size();
+        report.migration_bytes = plan->migration_bytes;
+        report.generation_micros = plan->generation_micros;
+        report.migration_wire_bytes = execute_migration(*plan);
+      }
+      report.max_theta = controller_->last_observed_theta();
+    }
+    // The roll just promoted/demoted: re-broadcast the heavy set so next
+    // interval's hot keys accumulate exactly in the worker slabs.
+    // Workers only read the heavy set while processing a Batch message,
+    // and the next batch is pushed (queue-synchronized) after this
+    // write.
+    refresh_worker_heavy_sets();
   }
-
-  // The roll just promoted/demoted: re-broadcast the heavy set so next
-  // interval's hot keys accumulate exactly in the worker slabs. Workers
-  // only read the heavy set while processing a Batch message, and the
-  // next batch is pushed (queue-synchronized) after this write.
-  refresh_worker_heavy_sets();
-
-  report.wall_ms = timer.elapsed_millis();
+  if (controller_ && config_.expire_lag_intervals > 0) {
+    const Micros watermark =
+        (interval_ + 1 - config_.expire_lag_intervals) * 1'000'000;
+    for (InstanceId d = 0; d < num_workers_; ++d) {
+      ExpireMsg msg{watermark};
+      const bool ok =
+          queues_[static_cast<std::size_t>(d)]->push(WorkerMsg(msg));
+      // A dropped-but-counted message would deadlock the quiescence
+      // wait; push only fails after close(), which cannot happen here.
+      SKW_ASSERT(ok);
+      ++pushed_msgs_[static_cast<std::size_t>(d)];
+    }
+  }
+  const double seg = timer.elapsed_millis();
+  report.stall_ms = open_boundary_stall_ms_ + seg;
+  report.wall_ms += seg;
   report.throughput_tps = report.wall_ms > 0.0
                               ? static_cast<double>(report.processed) /
                                     (report.wall_ms / 1000.0)
                               : 0.0;
+  if (controller_) controller_->note_boundary(report.merge_ms, report.stall_ms);
+  open_boundary_epoch_ = 0;
+  open_boundary_stall_ms_ = 0.0;
   ++interval_;
+}
+
+ThreadedIntervalReport ThreadedEngine::run_interval(
+    const std::vector<Tuple>& tuples) {
+  ThreadedIntervalReport report = ingest(tuples);
+  begin_boundary(report);
+  finish_boundary(report);
   return report;
 }
 
@@ -450,9 +702,9 @@ std::vector<ThreadedIntervalReport> ThreadedEngine::run(WorkloadSource& source,
   reports.reserve(static_cast<std::size_t>(intervals));
   Xoshiro256 rng(seed);
 
-  for (int i = 0; i < intervals; ++i) {
+  const auto expand = [&](std::vector<Tuple>& tuples) {
     const IntervalWorkload load = source.next_interval();
-    std::vector<Tuple> tuples;
+    tuples.clear();
     tuples.reserve(static_cast<std::size_t>(load.total()));
     for (std::size_t k = 0; k < load.counts.size(); ++k) {
       for (std::uint64_t c = 0; c < load.counts[k]; ++c) {
@@ -466,7 +718,26 @@ std::vector<ThreadedIntervalReport> ThreadedEngine::run(WorkloadSource& source,
     for (std::size_t j = tuples.size(); j > 1; --j) {
       std::swap(tuples[j - 1], tuples[rng.next_below(j)]);
     }
-    reports.push_back(run_interval(tuples));
+  };
+
+  std::vector<Tuple> tuples;
+  std::vector<Tuple> next;
+  if (intervals > 0) expand(tuples);
+  for (int i = 0; i < intervals; ++i) {
+    ThreadedIntervalReport report = ingest(tuples);
+    begin_boundary(report);
+    // Overlap window: generate (expand + shuffle) the NEXT interval's
+    // tuples while the merge thread absorbs this interval's sealed
+    // slabs. The tuple source keeps flowing through the boundary — the
+    // wall/stall accounting in begin/finish deliberately excludes this
+    // segment, because the driver is doing next-interval source work,
+    // not waiting. Without the async merge this is a plain sequential
+    // expansion (begin_boundary was a no-op).
+    if (i + 1 < intervals) expand(next);
+    finish_boundary(report);
+    reports.push_back(report);
+    std::swap(tuples, next);
+    next.clear();
   }
   return reports;
 }
@@ -474,11 +745,32 @@ std::vector<ThreadedIntervalReport> ThreadedEngine::run(WorkloadSource& source,
 void ThreadedEngine::shutdown() {
   if (stopped_) return;
   stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  // Wake any worker parked at the heavy-set barrier (a worker that
+  // checks the predicate later sees stopping_ already set).
+  {
+    std::lock_guard lock(heavy_mu_);
+  }
+  heavy_cv_.notify_all();
   flush_batches();
   for (auto& q : queues_) q->push(WorkerMsg(StopMsg{}));
   for (auto& q : queues_) q->close();
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
+  }
+  if (merge_thread_.joinable()) {
+    // Workers are gone; release the merge thread from any seal wait and
+    // from its epoch wait.
+    {
+      std::lock_guard lock(seal_mu_);
+    }
+    seal_cv_.notify_all();
+    {
+      std::lock_guard lock(merge_mu_);
+      merge_stop_ = true;
+    }
+    merge_cv_.notify_all();
+    merge_thread_.join();
   }
 }
 

@@ -24,17 +24,38 @@
 //     it into a mutex-guarded shared map, and the driver swaps those out
 //     at interval boundaries and replays them into the provider. O(|K|)
 //     hash traffic crosses threads each interval.
-//   * sketch mode — each worker owns a thread-local WorkerSketchSlab
-//     (Count-Min sketches + Space-Saving candidates + exact hot-key map
-//     for the current heavy set). The driver merges the slabs into the
-//     SketchStatsWindow at the interval boundary (cell-wise add_sketch,
-//     candidate union, one promotion pass in roll) in worker-index
-//     order, so results are byte-identical regardless of worker finish
-//     order. No per-key hash traffic crosses threads on the data path.
+//   * sketch mode — each worker owns thread-local WorkerSketchSlabs
+//     (Count-Min sketches + Misra-Gries candidates + exact hot-key map
+//     for the current heavy set) that are merged into the
+//     SketchStatsWindow at the interval boundary in worker-index order,
+//     so results are byte-identical regardless of worker finish order.
+//     No per-key hash traffic crosses threads on the data path.
+//
+// Seal protocol (sketch mode, ThreadedConfig::async_merge — the
+// asynchronous boundary merge): each worker owns a PAIR of slabs. At the
+// boundary the driver pushes one lightweight SealMsg per worker and
+// immediately returns to ingesting — the stall shrinks from the full
+// quiesce-and-merge to the seal pushes. Each worker, on reaching its
+// SealMsg (FIFO: after every batch of the closing epoch), stamps the
+// active slab with the epoch, release-publishes it through
+// SlabPair::sealed_epoch, swaps onto the other buffer, and then waits for
+// the NEW heavy set (epoch-stamped, published after the merge path rolls
+// the window) before touching the next epoch's batches — which is what
+// keeps double-buffered runs byte-identical to the inline merge: every
+// slab accumulates under exactly the heavy set the inline schedule would
+// have installed. A driver-side merge thread absorbs the sealed slabs in
+// worker-index order while the next interval's tuples are generated and
+// queued; the merge input is exactly the sealed epoch regardless of
+// scheduling, so the merged window state is schedule-independent too.
+// With async_merge off the PR-3 inline protocol (gap-free quiescence
+// wait + driver-side absorb) runs unchanged and is the determinism
+// baseline the double-buffer path is tested against.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -74,6 +95,19 @@ struct ThreadedConfig {
   StatsMode stats_mode = StatsMode::kExact;
   /// Tuning for stats_mode == kSketch.
   SketchStatsConfig sketch = {};
+  /// Sketch mode only: double-buffer each worker's slab and absorb the
+  /// sealed buffers on a merge thread that overlaps the next interval's
+  /// tuple flow (see the seal protocol in the header comment). Off =
+  /// the inline boundary merge (full quiescence wait + driver-side
+  /// absorb), kept as the byte-identical determinism baseline and the
+  /// stall_ms A/B reference. Exact mode ignores this flag.
+  bool async_merge = true;
+  /// Pin worker w to core (w mod hardware_concurrency) where the
+  /// platform supports it (pthread_setaffinity_np), so each worker's
+  /// slab pair stays resident in its owner's private L2 instead of
+  /// migrating between cores with the thread. No-op elsewhere; see
+  /// ThreadedEngine::pinned_workers() for how many pins took effect.
+  bool pin_workers = false;
 };
 
 struct ThreadedIntervalReport {
@@ -93,11 +127,25 @@ struct ThreadedIntervalReport {
   Micros generation_micros = 0;
   /// Resident bytes of ALL statistics structures on the engine: the
   /// provider (controller's in controller mode, the engine monitor in
-  /// hash-only mode) plus the per-worker accumulators — sketch slabs in
-  /// sketch mode, the shared per-key maps and drain scratch in exact
-  /// mode. This is the end-to-end number the exact-vs-sketch memory
-  /// trade-off is about.
+  /// hash-only mode) plus the per-worker accumulators — sketch slabs
+  /// (both buffers of each pair in double-buffered mode) in sketch mode,
+  /// the shared per-key maps and drain scratch in exact mode. This is
+  /// the end-to-end number the exact-vs-sketch memory trade-off is
+  /// about.
   std::size_t stats_memory_bytes = 0;
+  /// Time the driver's tuple ingestion was blocked by this interval's
+  /// boundary: everything between the last tuple of this interval and
+  /// being ready to route the next one, minus any overlap window run()
+  /// spends generating the next interval's tuples. Inline merge: the
+  /// whole quiesce + absorb + roll + plan sequence. Async merge: the
+  /// seal pushes plus whatever merge/plan work had not finished by
+  /// harvest time.
+  double stall_ms = 0.0;
+  /// Time spent absorbing worker statistics into the provider — slab
+  /// absorbs on the merge path in sketch mode, the per-key replay under
+  /// the drain locks in exact mode — so exact mode's per-drain cost is
+  /// visible in the same place.
+  double merge_ms = 0.0;
 };
 
 class ThreadedEngine {
@@ -118,12 +166,18 @@ class ThreadedEngine {
   ThreadedEngine& operator=(const ThreadedEngine&) = delete;
 
   /// Processes `intervals` intervals from `source` (counts are expanded
-  /// into a deterministic shuffled tuple sequence with `seed`).
+  /// into a deterministic shuffled tuple sequence with `seed`). With the
+  /// asynchronous boundary merge enabled, the next interval's tuple
+  /// expansion overlaps the previous boundary's slab merge — the
+  /// pipelining run_interval's one-shot API cannot express.
   std::vector<ThreadedIntervalReport> run(WorkloadSource& source,
                                           int intervals,
                                           std::uint64_t seed = 1);
 
-  /// Processes an explicit tuple sequence as one interval.
+  /// Processes an explicit tuple sequence as one interval. Uses the same
+  /// seal/merge protocol as run() but completes the boundary before
+  /// returning (no overlap window), so the merged statistics are fully
+  /// visible to the caller — and byte-identical to the inline merge.
   ThreadedIntervalReport run_interval(const std::vector<Tuple>& tuples);
 
   /// Stops and joins the workers; further run() calls are invalid.
@@ -145,6 +199,10 @@ class ThreadedEngine {
   [[nodiscard]] const StatsProvider& state_tracker() const {
     return controller_ ? controller_->stats() : *monitor_;
   }
+
+  /// Number of workers whose core pin (ThreadedConfig::pin_workers) took
+  /// effect — 0 when pinning is off or unsupported on this platform.
+  [[nodiscard]] InstanceId pinned_workers() const { return pinned_workers_; }
 
   [[nodiscard]] std::uint64_t total_emitted() const {
     return total_emitted_;
@@ -169,9 +227,17 @@ class ThreadedEngine {
   struct ExpireMsg {
     Micros watermark;
   };
+  /// Interval-boundary seal (sketch mode, async_merge): the worker
+  /// stamps + publishes its active slab as `epoch`'s sealed buffer,
+  /// swaps onto the other one, and installs the epoch's new heavy set
+  /// before processing anything that follows. FIFO ordering guarantees
+  /// every batch of the closing epoch is ahead of the seal.
+  struct SealMsg {
+    std::uint64_t epoch;
+  };
   struct StopMsg {};
-  using WorkerMsg =
-      std::variant<BatchMsg, ExtractMsg, InstallMsg, ExpireMsg, StopMsg>;
+  using WorkerMsg = std::variant<BatchMsg, ExtractMsg, InstallMsg, ExpireMsg,
+                                 SealMsg, StopMsg>;
 
   struct ExtractedState {
     KeyId key = 0;
@@ -179,27 +245,27 @@ class ThreadedEngine {
     std::unique_ptr<KeyState> state;  // nullptr if the key had no state yet
   };
 
-  /// Per-key accumulation for one interval on one worker.
-  struct PerKeyStat {
-    double cost = 0.0;
-    double bytes = 0.0;
-    std::uint64_t count = 0;
-  };
+  /// Per-key accumulation for one batch/interval on one worker — the
+  /// slab's exact-aggregation struct, reused so a batch's scratch map
+  /// can be handed to WorkerSketchSlab::add_batch wholesale.
+  using PerKeyStat = WorkerSketchSlab::KeyAgg;
 
-  /// Per-worker statistics shared with the driver. Scalars are
-  /// mutex-guarded (one uncontended lock per batch). The per-key channel
-  /// depends on the stats mode:
+  /// Per-worker statistics shared with the driver. The channel depends
+  /// on the stats mode:
   ///
-  ///  * EXACT — the per_key map, merged under the mutex per batch and
-  ///    swapped out by the driver at interval boundaries against a
-  ///    cleared scratch map that keeps its buckets, so steady-state
-  ///    intervals do no hash-table allocation on the hot path.
-  ///  * SKETCH — the worker writes its WorkerSketchSlab (see slabs_)
-  ///    with NO lock at all: the driver only reads a slab after the
-  ///    quiescence wait in run_interval (done_msgs observed equal, with
-  ///    acquire ordering, to the driver's own push count), which orders
-  ///    every worker write before the driver's boundary merge. No
-  ///    per-key hash traffic crosses threads.
+  ///  * EXACT — the per_key map AND the scalar counters, merged under
+  ///    the mutex per batch (one uncontended lock) and swapped out by
+  ///    the driver at interval boundaries against a cleared scratch map
+  ///    that keeps its buckets, so steady-state intervals do no
+  ///    hash-table allocation on the hot path.
+  ///  * SKETCH — the worker writes its WorkerSketchSlab (per-key AND
+  ///    scalar counters — see WorkerSketchSlab::IntervalScalars) with NO
+  ///    lock at all: the merge path only reads a slab after it was
+  ///    published — by the quiescence wait (inline merge: done_msgs
+  ///    observed equal, with acquire ordering, to the driver's push
+  ///    count) or by the seal (async merge: sealed_epoch acquired) —
+  ///    which orders every worker write before the read. No per-key
+  ///    hash traffic and no lock on the data path.
   struct WorkerStats {
     std::mutex mu;
     std::unordered_map<KeyId, PerKeyStat> per_key;
@@ -216,18 +282,65 @@ class ThreadedEngine {
     std::atomic<std::uint64_t> done_msgs{0};
   };
 
+  /// Double-buffered slab pair (sketch mode). The worker writes the
+  /// active buffer exclusively; sealed_epoch release-publishes the other
+  /// one to the merge path. Which buffer is sealed at epoch e is a pure
+  /// function of e (buffer (e-1)&1 — the worker starts on buffer 0 and
+  /// alternates), so neither side needs to share an index. With
+  /// async_merge off only buffer 0 exists and is never sealed.
+  struct SlabPair {
+    std::unique_ptr<WorkerSketchSlab> bufs[2];
+    std::atomic<std::uint64_t> sealed_epoch{0};
+  };
+
+  /// Everything the merge path harvests for one sealed epoch; handed to
+  /// the driver under merge_mu_ when the epoch completes.
+  struct BoundaryResult {
+    std::uint64_t processed = 0;
+    double latency_sum_us = 0.0;
+    std::uint64_t latency_samples = 0;
+    double max_theta = 0.0;
+    double merge_ms = 0.0;
+    std::size_t slab_memory_bytes = 0;
+    std::size_t provider_memory_bytes = 0;  // hash-only mode: post-roll
+  };
+
   void start_workers();
   void worker_loop(InstanceId id);
+  void merge_loop();
   void route_tuple(Tuple tuple);
   void flush_batches();
   void flush_batch(InstanceId d);
   /// Returns the serialized payload size (0 when serialization is off).
   Bytes execute_migration(const RebalancePlan& plan);
   void drain_worker_stats(ThreadedIntervalReport& report);
+  /// Absorbs every worker's sealed slab for `epoch` in worker-index
+  /// order (waiting for stragglers to seal), filling `result`. Runs on
+  /// the merge thread.
+  void merge_sealed_slabs(std::uint64_t epoch, BoundaryResult& result);
   /// Pushes the sketch window's post-roll heavy set into every worker
-  /// slab (sketch mode only; workers must be quiescent).
+  /// slab (inline merge only; workers must be quiescent).
   void refresh_worker_heavy_sets();
+  /// Epoch-stamped release-publish of the post-roll heavy set; sealed
+  /// workers waiting at their SealMsg barrier install it and resume.
+  void publish_heavy_set(std::uint64_t epoch);
+  /// Routes `tuples` as the open interval's stream (wall_ms accumulates
+  /// the routing segment only).
+  ThreadedIntervalReport ingest(const std::vector<Tuple>& tuples);
+  /// Starts the interval boundary: async merge pushes the seals and
+  /// hands the epoch to the merge thread; inline/exact modes do nothing
+  /// yet. Between begin and finish the caller may overlap driver-side
+  /// work (run() expands the next interval's tuples there) — but must
+  /// not route tuples or touch statistics.
+  void begin_boundary(ThreadedIntervalReport& report);
+  /// Completes the boundary: harvests the merge (waiting if it has not
+  /// caught up), rolls/plans/migrates, publishes the heavy set, and
+  /// finalizes the report's wall/stall/throughput numbers.
+  void finish_boundary(ThreadedIntervalReport& report);
   [[nodiscard]] InstanceId route_of(KeyId key) const;
+  [[nodiscard]] bool async_merge_on() const {
+    return sketch_sink_ != nullptr && config_.async_merge;
+  }
 
   ThreadedConfig config_;
   std::shared_ptr<OperatorLogic> logic_;
@@ -251,12 +364,47 @@ class ThreadedEngine {
   /// mode. Non-null switches the worker↔driver statistics contract to
   /// thread-local slabs + boundary merge.
   SketchStatsWindow* sketch_sink_ = nullptr;
-  /// One thread-local slab per worker (sketch mode only, else empty).
-  std::vector<std::unique_ptr<WorkerSketchSlab>> slabs_;
+  /// One slab pair per worker (sketch mode only, else empty). Inline
+  /// merge uses buffer 0 only.
+  std::vector<std::unique_ptr<SlabPair>> slabs_;
   BoundedMpmcQueue<ExtractedState> migration_mailbox_;
   std::vector<std::thread> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;
 
+  // --- Seal/merge protocol state (sketch mode + async_merge only) ---
+  /// The post-roll heavy set of epoch heavy_epoch_. Written by whoever
+  /// completes the roll (merge thread in hash-only mode, driver in
+  /// controller mode) BEFORE the release-store of heavy_epoch_; workers
+  /// read it after their acquire-load, so the handoff is race-free.
+  /// Both barrier waits below use condition variables, NOT yield spins:
+  /// on a loaded (or single-core) machine a spinning waiter keeps
+  /// burning scheduler slices the merge path needs, which is exactly the
+  /// overlap this protocol exists to create.
+  std::vector<KeyId> heavy_published_;
+  std::atomic<std::uint64_t> heavy_epoch_{0};
+  std::mutex heavy_mu_;
+  std::condition_variable heavy_cv_;
+  /// Signalled by workers after each seal publication; the merge thread
+  /// sleeps here until the next sealed slab is available.
+  std::mutex seal_mu_;
+  std::condition_variable seal_cv_;
+  /// Set once at shutdown; breaks workers out of the heavy-set barrier
+  /// and the merge thread out of its seal waits.
+  std::atomic<bool> stopping_{false};
+  std::thread merge_thread_;
+  std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  std::uint64_t merge_requested_ = 0;  // guarded by merge_mu_
+  std::uint64_t merge_completed_ = 0;  // guarded by merge_mu_
+  bool merge_stop_ = false;            // guarded by merge_mu_
+  BoundaryResult boundary_result_;     // guarded by merge_mu_
+  /// Boundary-in-flight epoch between begin_boundary and
+  /// finish_boundary (driver-only).
+  std::uint64_t open_boundary_epoch_ = 0;
+  /// Driver-side stall accumulator for the open boundary.
+  double open_boundary_stall_ms_ = 0.0;
+
+  InstanceId pinned_workers_ = 0;
   std::atomic<std::uint64_t> total_processed_{0};
   std::atomic<std::uint64_t> total_outputs_{0};
   std::uint64_t total_emitted_ = 0;

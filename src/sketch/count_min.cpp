@@ -27,17 +27,23 @@ CountMinSketch::CountMinSketch(Params params) : seed_(params.seed) {
 }
 
 void CountMinSketch::add(KeyId key, double amount) {
+  add(amount, probe(key));
+}
+
+void CountMinSketch::add_conservative(KeyId key, double amount) {
+  add_conservative(amount, probe(key));
+}
+
+void CountMinSketch::add(double amount, const KeyProbe& p) {
   SKW_EXPECTS(amount >= 0.0);
-  const KeyProbe p = probe(key);
   for (std::size_t row = 0; row < depth_; ++row) {
     cells_[row * width_ + cell_index(p, row)] += amount;
   }
   total_ += amount;
 }
 
-void CountMinSketch::add_conservative(KeyId key, double amount) {
+void CountMinSketch::add_conservative(double amount, const KeyProbe& p) {
   SKW_EXPECTS(amount >= 0.0);
-  const KeyProbe p = probe(key);
   double est = cells_[cell_index(p, 0)];
   for (std::size_t row = 1; row < depth_; ++row) {
     est = std::min(est, cells_[row * width_ + cell_index(p, row)]);
@@ -70,8 +76,12 @@ void CountMinSketch::add_interleaved(const double* cells, std::size_t stride,
                                      std::size_t width, std::size_t depth,
                                      double total) {
   SKW_EXPECTS(width == width_ && depth == depth_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i] += cells[i * stride];
+  // Walk the interleaved buffer with a strided pointer instead of an
+  // index multiply — this is the boundary-merge inner loop, run once per
+  // quantity per sealed slab.
+  const double* src = cells;
+  for (std::size_t i = 0; i < cells_.size(); ++i, src += stride) {
+    cells_[i] += *src;
   }
   total_ += total;
 }

@@ -92,6 +92,36 @@ class CountMinSketch {
     return static_cast<std::size_t>(p.h1 + row * p.h2) & width_mask;
   }
 
+  /// Probe-reusing update variants: same semantics as the KeyId forms,
+  /// with a caller-supplied probe, so a hot path updating SEVERAL
+  /// same-family sketches for one key (the window's
+  /// cost/frequency/state triple — see
+  /// SketchStatsWindow::kSharedFamilySalt) hashes the key once instead
+  /// of once per sketch. `probe` must come from make_probe(key, seed()).
+  void add(double amount, const KeyProbe& probe);
+  void add_conservative(double amount, const KeyProbe& probe);
+
+  /// Portable software-prefetch hint for one cell (no-op where the
+  /// intrinsic is unavailable). Public for the same reason as
+  /// make_probe/probe_index: external accumulators that share a sketch's
+  /// placement (WorkerSketchSlab's fused cells) warm the same lines.
+  static void prefetch_cell(const double* cell) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(cell, /*rw=*/1, /*locality=*/1);
+#else
+    (void)cell;
+#endif
+  }
+
+  /// Prefetches every row cell `probe` touches in THIS sketch, so a
+  /// caller can overlap the cache misses of an upcoming update with
+  /// other work (sibling-sketch updates, the next scratch entry).
+  void prefetch(const KeyProbe& probe) const {
+    for (std::size_t row = 0; row < depth_; ++row) {
+      prefetch_cell(&cells_[row * width_ + cell_index(probe, row)]);
+    }
+  }
+
  private:
   [[nodiscard]] KeyProbe probe(KeyId key) const {
     return make_probe(key, seed_);

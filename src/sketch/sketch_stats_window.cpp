@@ -63,9 +63,15 @@ void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
     it->second.cur_state += state_bytes;
     return;
   }
-  cost_cur_.add_conservative(key, cost);
-  freq_cur_.add_conservative(key, static_cast<double>(frequency));
-  state_cur_.add(key, state_bytes);
+  // The three sketches share one hash family, so one probe serves all
+  // sibling updates — hashed once, with the later two sketches' rows
+  // prefetched while the first one's misses are outstanding.
+  const auto probe = CountMinSketch::make_probe(key, cost_cur_.seed());
+  freq_cur_.prefetch(probe);
+  state_cur_.prefetch(probe);
+  cost_cur_.add_conservative(cost, probe);
+  freq_cur_.add_conservative(static_cast<double>(frequency), probe);
+  state_cur_.add(state_bytes, probe);
   candidates_.add(key, cost, dest);
   cold_cost_cur_ += cost;
   cold_freq_cur_ += frequency;
@@ -102,8 +108,11 @@ void SketchStatsWindow::absorb(const WorkerSketchSlab& slab, InstanceId dest) {
                              slab.depth(), slab.cold_state());
   // The slab's whole cold stream was processed on its owning worker:
   // stamp that destination onto the merged candidates and credit the
-  // per-instance cold aggregates wholesale.
-  std::vector<SpaceSaving::Entry> entries = slab.candidates().entries_by_count();
+  // per-instance cold aggregates wholesale. Unsorted summary: the union
+  // accumulates per key, so entry order is unobservable — and skipping
+  // the O(n log n) sort is the dominant saving on the boundary-merge
+  // path (the promotion pass sorts the merged tracker once instead).
+  std::vector<SpaceSaving::Entry> entries = slab.candidates().entries_unsorted();
   if (dest != kNilInstance) {
     for (auto& e : entries) e.dest = dest;
   }
@@ -208,13 +217,20 @@ void SketchStatsWindow::roll_heavy_entries(Cost& heavy_cost_closed) {
 
 void SketchStatsWindow::promote_candidates(Cost interval_total_cost) {
   const Cost threshold = config_.promote_fraction * interval_total_cost;
-  for (const SpaceSaving::Entry& cand : candidates_.entries_by_count()) {
+  // Filter to the promotion threshold BEFORE sorting: the sorted scan
+  // below would stop at the first below-threshold candidate anyway, so
+  // the promoted set is identical — but after non-truncating worker-slab
+  // unions the tracker can hold tens of thousands of entries, and
+  // sorting only the eligible few keeps this pass (on the boundary-merge
+  // critical path) proportional to what can actually promote.
+  for (const SpaceSaving::Entry& cand :
+       candidates_.entries_by_count_at_least(threshold)) {
     if (heavy_.size() >= config_.heavy_capacity) break;
     // Sorted descending, so the first miss ends the scan. Zero-cost
     // candidates never promote (threshold is 0 in cost-free streams,
     // e.g. shuffle mode, and promoting them would pin arbitrary keys in
     // the bounded hot tier forever).
-    if (cand.count < threshold || cand.count <= 0.0) break;
+    if (cand.count <= 0.0) break;
     if (heavy_.find(cand.key) != heavy_.end()) continue;
     HeavyEntry e;
     // Backfill the closed interval from the cold-tier estimates (upper

@@ -84,7 +84,10 @@ class SketchStatsWindow final : public StatsProvider {
   /// open Count-Min sketches (exact, since slabs use the classic
   /// update), candidates union into the Space-Saving tracker, and the
   /// exact scalar aggregates add. Absorbing slabs in a fixed order
-  /// yields byte-identical state regardless of worker finish order.
+  /// yields byte-identical state regardless of worker finish order —
+  /// and regardless of WHERE the absorb runs (the driver's inline drain
+  /// or the asynchronous merge thread absorbing sealed buffers): the
+  /// input is exactly the sealed epoch either way.
   /// `dest` is the worker/instance the slab belongs to (its whole cold
   /// stream was processed there); it tags the per-instance cold
   /// aggregates and the merged promotion candidates.

@@ -97,6 +97,19 @@ std::vector<SpaceSaving::Entry> SpaceSaving::entries_by_count() const {
   return out;
 }
 
+std::vector<SpaceSaving::Entry> SpaceSaving::entries_by_count_at_least(
+    double min_count) const {
+  std::vector<Entry> out;
+  for (const auto& [key, entry] : map_) {
+    if (entry.count >= min_count) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
 std::vector<SpaceSaving::Entry> SpaceSaving::guaranteed(
     double threshold) const {
   std::vector<Entry> out;
@@ -172,6 +185,13 @@ std::vector<SpaceSaving::Entry> MisraGries::entries_by_count() const {
               if (a.count != b.count) return a.count > b.count;
               return a.key < b.key;
             });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> MisraGries::entries_unsorted() const {
+  std::vector<SpaceSaving::Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [key, entry] : map_) out.push_back(entry);
   return out;
 }
 

@@ -76,6 +76,16 @@ class SpaceSaving {
   /// ties) — deterministic.
   [[nodiscard]] std::vector<Entry> entries_by_count() const;
 
+  /// The entries with count ≥ min_count, sorted exactly like
+  /// entries_by_count(). Equivalent to filtering that list — but a
+  /// consumer that would stop scanning at the first entry below
+  /// min_count (the promotion pass) gets the same prefix while sorting
+  /// only the filtered few instead of the whole tracker, which after
+  /// non-truncating worker-slab unions can hold tens of thousands of
+  /// entries.
+  [[nodiscard]] std::vector<Entry> entries_by_count_at_least(
+      double min_count) const;
+
   /// Entries whose guaranteed lower bound (count − error) is ≥ threshold.
   /// Since count − error never exceeds the true weight, every returned
   /// key provably carries ≥ threshold of true weight.
@@ -144,6 +154,13 @@ class MisraGries {
   /// All tracked entries, sorted by count descending (key ascending on
   /// ties) — deterministic.
   [[nodiscard]] std::vector<SpaceSaving::Entry> entries_by_count() const;
+
+  /// All tracked entries in map-iteration order — NOT sorted. For
+  /// consumers whose results are order-independent (SpaceSaving::merge
+  /// accumulates per key and every observable output of the union is
+  /// defined by a total order), skipping the sort removes the dominant
+  /// cost of summarizing a full tracker on the boundary-merge path.
+  [[nodiscard]] std::vector<SpaceSaving::Entry> entries_unsorted() const;
 
   [[nodiscard]] double total_weight() const { return total_; }
   /// Upper bound on any untracked key's true weight.

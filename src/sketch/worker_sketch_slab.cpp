@@ -22,34 +22,94 @@ WorkerSketchSlab::WorkerSketchSlab(const SketchStatsConfig& config)
   hot_.reserve(config.heavy_capacity);
 }
 
+void WorkerSketchSlab::add_hot(KeyId key, const KeyAgg& agg) {
+  KeyAgg& hot = hot_[key];
+  hot.cost += agg.cost;
+  hot.state_bytes += agg.state_bytes;
+  hot.frequency += agg.frequency;
+  hot_cost_ += agg.cost;
+}
+
+void WorkerSketchSlab::add_cold(KeyId key, const KeyAgg& agg,
+                                const CountMinSketch::KeyProbe& probe) {
+  // One probe, `depth_` fused cells: all three quantities ride the same
+  // cache lines (the point of the fused layout).
+  const std::size_t mask = width_ - 1;
+  const double freq = static_cast<double>(agg.frequency);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    FusedCell& cell =
+        cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)];
+    cell.cost += agg.cost;
+    cell.freq += freq;
+    cell.state += agg.state_bytes;
+  }
+  candidates_.add(key, agg.cost);
+  cold_cost_ += agg.cost;
+  cold_freq_ += agg.frequency;
+  cold_state_ += agg.state_bytes;
+}
+
 void WorkerSketchSlab::add(KeyId key, Cost cost, Bytes state_bytes,
                            std::uint64_t frequency) {
   SKW_EXPECTS(cost >= 0.0 && state_bytes >= 0.0);
   key_bound_ = std::max(key_bound_, static_cast<std::size_t>(key) + 1);
+  const KeyAgg agg{cost, state_bytes, frequency};
   if (heavy_.find(key) != heavy_.end()) {
-    KeyAgg& agg = hot_[key];
-    agg.cost += cost;
-    agg.state_bytes += state_bytes;
-    agg.frequency += frequency;
-    hot_cost_ += cost;
+    add_hot(key, agg);
     return;
   }
-  // One probe, `depth_` fused cells: all three quantities ride the same
-  // cache lines (the point of the fused layout).
-  const auto probe = CountMinSketch::make_probe(key, seed_);
-  const std::size_t mask = width_ - 1;
-  const double freq = static_cast<double>(frequency);
-  for (std::size_t row = 0; row < depth_; ++row) {
-    FusedCell& cell =
-        cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)];
-    cell.cost += cost;
-    cell.freq += freq;
-    cell.state += state_bytes;
+  add_cold(key, agg, CountMinSketch::make_probe(key, seed_));
+}
+
+void WorkerSketchSlab::add_batch(
+    const std::unordered_map<KeyId, KeyAgg>& batch) {
+  // Classify + probe + prefetch run one entry AHEAD of the flush, so
+  // each cold key's fused cell rows are already in flight when its
+  // update executes — and each key's probe is computed exactly once
+  // (hot keys never pay one at all).
+  const auto classify = [&](KeyId key, CountMinSketch::KeyProbe& probe) {
+    if (heavy_.find(key) != heavy_.end()) return false;
+    probe = CountMinSketch::make_probe(key, seed_);
+    const std::size_t mask = width_ - 1;
+    for (std::size_t row = 0; row < depth_; ++row) {
+      CountMinSketch::prefetch_cell(
+          &cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)]
+               .cost);
+    }
+    return true;
+  };
+
+  auto it = batch.begin();
+  if (it == batch.end()) return;
+  KeyId key = it->first;
+  const KeyAgg* agg = &it->second;
+  CountMinSketch::KeyProbe probe{};
+  bool cold = classify(key, probe);
+  while (true) {
+    ++it;
+    const bool more = it != batch.end();
+    KeyId next_key = 0;
+    const KeyAgg* next_agg = nullptr;
+    CountMinSketch::KeyProbe next_probe{};
+    bool next_cold = false;
+    if (more) {
+      next_key = it->first;
+      next_agg = &it->second;
+      next_cold = classify(next_key, next_probe);
+    }
+    SKW_EXPECTS(agg->cost >= 0.0 && agg->state_bytes >= 0.0);
+    key_bound_ = std::max(key_bound_, static_cast<std::size_t>(key) + 1);
+    if (cold) {
+      add_cold(key, *agg, probe);
+    } else {
+      add_hot(key, *agg);
+    }
+    if (!more) break;
+    key = next_key;
+    agg = next_agg;
+    probe = next_probe;
+    cold = next_cold;
   }
-  candidates_.add(key, cost);
-  cold_cost_ += cost;
-  cold_freq_ += frequency;
-  cold_state_ += state_bytes;
 }
 
 void WorkerSketchSlab::set_heavy_keys(const std::vector<KeyId>& keys) {
@@ -65,6 +125,7 @@ void WorkerSketchSlab::clear() {
   hot_cost_ = 0.0;
   cold_freq_ = 0;
   cold_state_ = 0.0;
+  scalars_ = IntervalScalars{};
 }
 
 std::size_t WorkerSketchSlab::memory_bytes() const {

@@ -27,10 +27,19 @@
 //    nominates promotion candidates and exact scalars keep the cold
 //    aggregates truthful.
 //
-// At the interval boundary the driver calls SketchStatsWindow::absorb on
-// each slab in worker-index order — a fixed order, so the merged result
+// At the interval boundary the merge path calls SketchStatsWindow::absorb
+// on each slab in worker-index order — a fixed order, so the merged result
 // is byte-identical regardless of which worker finished first — and then
 // clear()s the slab for the next interval (allocations are retained).
+//
+// Double-buffered operation (ThreadedConfig::async_merge): each worker
+// owns a PAIR of slabs. A SealMsg at the interval boundary stamps the
+// active slab with the closing epoch, release-publishes it to the
+// driver-side merge thread, and swaps the worker onto the other buffer —
+// tuples keep flowing through the merge. The sealed slab also carries the
+// interval's scalar counters (IntervalScalars), so the merge path reads a
+// complete epoch without any lock: the seal publication orders every
+// worker write before the merge thread's reads.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +72,17 @@ class WorkerSketchSlab {
     double pad = 0.0;
   };
 
+  /// Per-interval scalar counters the owning worker accumulates next to
+  /// the per-key statistics and seals together with them. In
+  /// double-buffered mode the merge path reads these from the sealed
+  /// slab with no lock at all — the seal publication is the only
+  /// synchronization an epoch needs.
+  struct IntervalScalars {
+    std::uint64_t processed = 0;
+    double latency_sum_us = 0.0;
+    std::uint64_t latency_samples = 0;
+  };
+
   /// `config` must be the SketchStatsConfig of the SketchStatsWindow the
   /// slab will be absorbed into: the fused cells replicate the geometry
   /// and probe placement of the window's shared Count-Min family
@@ -72,6 +92,15 @@ class WorkerSketchSlab {
   /// Accumulates one observation. Hot keys (current heavy set) go to the
   /// exact map; everything else to the fused cells + candidate tracker.
   void add(KeyId key, Cost cost, Bytes state_bytes, std::uint64_t frequency);
+
+  /// Folds one batch's per-key aggregation in a single pass: each
+  /// distinct key pays ONE heavy-set lookup and (cold keys only) ONE
+  /// Kirsch–Mitzenmacher probe, computed one scratch entry ahead of its
+  /// use together with a software prefetch of the fused cell rows — the
+  /// next entry's cache misses overlap the current entry's update
+  /// instead of serializing behind it. Equivalent to add() per entry in
+  /// iteration order.
+  void add_batch(const std::unordered_map<KeyId, KeyAgg>& batch);
 
   /// Replaces the hot-key set. Called by the driver at interval
   /// boundaries (after SketchStatsWindow::roll has promoted/demoted),
@@ -102,9 +131,25 @@ class WorkerSketchSlab {
   /// domain bound the window grows to on absorb).
   [[nodiscard]] std::size_t key_bound() const { return key_bound_; }
 
+  /// The interval's scalar counters (worker-written, sealed with the
+  /// slab; cleared by clear()).
+  [[nodiscard]] IntervalScalars& scalars() { return scalars_; }
+  [[nodiscard]] const IntervalScalars& scalars() const { return scalars_; }
+
+  /// Epoch stamp: the 1-based interval boundary this slab was sealed at
+  /// (0 = never sealed). Set by the worker's SealMsg handler right
+  /// before the release-publish; the merge path asserts it matches the
+  /// epoch it is absorbing.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
+  void add_hot(KeyId key, const KeyAgg& agg);
+  void add_cold(KeyId key, const KeyAgg& agg,
+                const CountMinSketch::KeyProbe& probe);
+
   std::unordered_set<KeyId> heavy_;
   std::unordered_map<KeyId, KeyAgg> hot_;
   std::size_t width_ = 0;  // power of two, mirrors the window's family
@@ -117,6 +162,8 @@ class WorkerSketchSlab {
   std::uint64_t cold_freq_ = 0;
   Bytes cold_state_ = 0.0;
   std::size_t key_bound_ = 0;
+  IntervalScalars scalars_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace skewless

@@ -350,6 +350,71 @@ TEST(Determinism, ThreadedSketchStatsAreByteIdenticalAcrossRuns) {
                            state_a.size() * sizeof(Bytes)));
 }
 
+// The asynchronous boundary merge must be invisible in the statistics:
+// double-buffered runs (SealMsg swap + merge-thread absorb overlapping
+// the next interval) must synthesize BYTE-IDENTICAL dense views, heavy
+// sets and totals to the inline quiesce-and-merge baseline. Small batch
+// sizes multiply the seal/merge interleavings the OS can produce (many
+// in-flight messages per boundary), and several worker counts vary the
+// slab/merge fan-in; every combination must collapse to the same bytes
+// because the merge input is exactly the sealed epoch, absorbed in
+// worker-index order, and workers install each epoch's heavy set at the
+// same stream position the inline schedule would.
+TEST(Determinism, DoubleBufferedMergeMatchesInlineBaseline) {
+  const auto run = [](bool async_merge, InstanceId workers,
+                      std::size_t batch, std::vector<Cost>& cost,
+                      std::vector<Bytes>& state, std::vector<KeyId>& heavy,
+                      Bytes& total_state) {
+    ZipfFluctuatingSource::Options opts;
+    opts.num_keys = 10'000;
+    opts.skew = 1.1;
+    opts.tuples_per_interval = 30'000;
+    opts.fluctuation = 0.5;
+    opts.seed = 41;
+    ZipfFluctuatingSource source(opts);
+
+    ThreadedConfig cfg;
+    cfg.stats_mode = StatsMode::kSketch;
+    cfg.sketch.heavy_capacity = 128;
+    cfg.batch_size = batch;
+    cfg.async_merge = async_merge;
+    ThreadedEngine engine(cfg, std::make_shared<WordCountLogic>(), workers,
+                          /*ring_seed=*/3);
+    engine.run(source, 3, /*seed=*/9);
+    const auto* sketch =
+        dynamic_cast<const SketchStatsWindow*>(&engine.state_tracker());
+    ASSERT_NE(sketch, nullptr);
+    sketch->synthesize_dense(cost, state);
+    heavy = sketch->heavy_keys();
+    total_state = sketch->total_windowed_state();
+    engine.shutdown();
+  };
+
+  for (const InstanceId workers : {2, 3, 4}) {
+    for (const std::size_t batch : {16ul, 256ul}) {
+      std::vector<Cost> cost_inline, cost_async;
+      std::vector<Bytes> state_inline, state_async;
+      std::vector<KeyId> heavy_inline, heavy_async;
+      Bytes total_inline = 0.0, total_async = 0.0;
+      run(false, workers, batch, cost_inline, state_inline, heavy_inline,
+          total_inline);
+      run(true, workers, batch, cost_async, state_async, heavy_async,
+          total_async);
+      ASSERT_GT(heavy_inline.size(), 0u);
+      EXPECT_EQ(heavy_inline, heavy_async)
+          << "workers=" << workers << " batch=" << batch;
+      ASSERT_EQ(cost_inline.size(), cost_async.size());
+      EXPECT_EQ(0, std::memcmp(cost_inline.data(), cost_async.data(),
+                               cost_inline.size() * sizeof(Cost)))
+          << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(0, std::memcmp(state_inline.data(), state_async.data(),
+                               state_inline.size() * sizeof(Bytes)))
+          << "workers=" << workers << " batch=" << batch;
+      EXPECT_EQ(total_inline, total_async);
+    }
+  }
+}
+
 TEST(Determinism, SeededZipfSamplesAreIdentical) {
   const ZipfDistribution zipf_a(500, 0.9, true, 7);
   const ZipfDistribution zipf_b(500, 0.9, true, 7);

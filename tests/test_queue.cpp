@@ -29,6 +29,23 @@ TEST(BoundedMpmcQueue, TryPushFailsWhenFull) {
   EXPECT_TRUE(q.try_push(3));
 }
 
+TEST(BoundedMpmcQueue, ForcePushBypassesCapacityButNotClose) {
+  // Control-plane semantics (the threaded engine's interval seals): a
+  // force_push succeeds on a FULL queue without blocking, keeps FIFO
+  // order, and still fails once the queue is closed.
+  BoundedMpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_TRUE(q.force_push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  q.close();
+  EXPECT_FALSE(q.force_push(4));
+}
+
 TEST(BoundedMpmcQueue, CloseDrainsThenReturnsNullopt) {
   BoundedMpmcQueue<int> q(4);
   q.try_push(1);

@@ -51,6 +51,13 @@ struct Args {
   /// threads (one per instance) over bounded queues.
   std::string engine = "sim";
   std::size_t batch = 256;
+  /// Threaded engine only: pin worker w to core w mod hw_concurrency
+  /// (pthread_setaffinity_np where available) so each worker's slab
+  /// pair stays resident in its owner's private L2.
+  bool pin = false;
+  /// Threaded sketch mode: double-buffered slabs + asynchronous
+  /// boundary merge (default) vs the inline quiesce-and-merge baseline.
+  bool async_merge = true;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +69,8 @@ struct Args {
       "          [--amax N] [--window W] [--tuples N] [--cost US]\n"
       "          [--seed N] [--stats exact|sketch] [--sketch-eps X]\n"
       "          [--sketch-delta X] [--heavy N]\n"
-      "          [--engine sim|threaded] [--batch N]\n"
+      "          [--engine sim|threaded] [--batch N] [--pin]\n"
+      "          [--inline-merge]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
       "          hash shuffle pkg (shuffle/pkg: sim engine only)\n",
       argv0);
@@ -129,6 +137,10 @@ Args parse(int argc, char** argv) {
       }
     } else if (flag == "--batch") {
       args.batch = std::strtoull(need_value(), nullptr, 10);
+    } else if (flag == "--pin") {
+      args.pin = true;
+    } else if (flag == "--inline-merge") {
+      args.async_merge = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -203,6 +215,8 @@ int run_threaded(const Args& args, char* argv0) {
   tcfg.batch_size = args.batch;
   tcfg.stats_mode = args.stats_mode;
   tcfg.sketch = args.sketch;
+  tcfg.pin_workers = args.pin;
+  tcfg.async_merge = args.async_merge;
 
   // WordCount state with the requested per-tuple cost, so --cost means
   // the same thing it does on the sim engine.
@@ -235,29 +249,46 @@ int run_threaded(const Args& args, char* argv0) {
   }
 
   const auto reports = engine->run(*source, args.intervals, args.seed);
+  // `pinned` is the number of workers whose core pin took effect (0 with
+  // --pin absent or on platforms without affinity support) — constant
+  // per run, carried per-row so downstream CSV tooling keeps one schema.
   std::printf(
       "interval,throughput_tps,latency_ms,max_theta,migrated,moves,"
-      "migration_bytes,gen_ms,stats_memory_bytes\n");
+      "migration_bytes,gen_ms,stall_ms,merge_ms,stats_memory_bytes,pinned\n");
   for (const auto& r : reports) {
-    std::printf("%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%zu\n",
+    std::printf("%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,%d\n",
                 static_cast<long long>(r.interval), r.throughput_tps,
                 r.avg_latency_ms, r.max_theta, r.migrated ? 1 : 0, r.moves,
                 r.migration_bytes,
                 static_cast<double>(r.generation_micros) / 1000.0,
-                r.stats_memory_bytes);
+                r.stall_ms, r.merge_ms, r.stats_memory_bytes,
+                static_cast<int>(engine->pinned_workers()));
   }
   const auto* ctrl = engine->controller();
+  double stall_total = 0.0;
+  double merge_total = 0.0;
+  for (const auto& r : reports) {
+    stall_total += r.stall_ms;
+    merge_total += r.merge_ms;
+  }
   engine->shutdown();
-  std::fprintf(stderr, "# engine=threaded stats=%s stats_memory_bytes=%zu\n",
+  std::fprintf(stderr,
+               "# engine=threaded stats=%s merge=%s stats_memory_bytes=%zu "
+               "pinned=%d total_stall_ms=%.3f total_merge_ms=%.3f\n",
                args.stats_mode == StatsMode::kSketch ? "sketch" : "exact",
-               reports.empty() ? 0 : reports.back().stats_memory_bytes);
+               args.async_merge ? "async" : "inline",
+               reports.empty() ? 0 : reports.back().stats_memory_bytes,
+               static_cast<int>(engine->pinned_workers()), stall_total,
+               merge_total);
   if (ctrl != nullptr) {
     std::fprintf(stderr,
                  "# rebalances=%zu total_generation_micros=%lld "
-                 "total_migrated_bytes=%.0f\n",
+                 "total_migrated_bytes=%.0f controller_merge_ms=%.3f "
+                 "controller_stall_ms=%.3f\n",
                  ctrl->rebalance_count(),
                  static_cast<long long>(ctrl->total_generation_micros()),
-                 ctrl->total_migrated_bytes());
+                 ctrl->total_migrated_bytes(), ctrl->total_merge_ms(),
+                 ctrl->total_stall_ms());
   }
   return 0;
 }
