@@ -12,6 +12,8 @@ DriverResult drive_planner(WorkloadSource& source, PlannerPtr planner,
   cfg.planner.max_table_entries = opts.max_table_entries;
   cfg.planner.beta = opts.beta;
   cfg.window = opts.window;
+  cfg.stats_mode = opts.stats_mode;
+  cfg.sketch = opts.sketch;
   Controller controller(
       AssignmentFunction(
           ConsistentHashRing(opts.num_instances, 128, opts.ring_seed),
@@ -31,11 +33,17 @@ DriverResult drive_planner(WorkloadSource& source, PlannerPtr planner,
             0x1.0p-53;
         per_tuple_bytes *= 1.0 + opts.state_heterogeneity * u;
       }
+      // Destination-attributed, like the engines' record paths: sketch
+      // mode needs it for exact per-instance cold residuals (the compact
+      // planning view); the exact provider ignores it.
       controller.record(static_cast<KeyId>(k), opts.cost_per_tuple * n,
-                        per_tuple_bytes * n);
+                        per_tuple_bytes * n, 1,
+                        controller.assignment()(static_cast<KeyId>(k)));
     }
     const auto plan = controller.end_interval();
     result.theta_before.add(controller.last_observed_theta());
+    result.theta_trajectory.push_back(controller.last_observed_theta());
+    result.rebalanced_at.push_back(plan.has_value() ? 1 : 0);
     ++result.intervals;
     if (plan.has_value()) {
       ++result.rebalances;
@@ -49,6 +57,9 @@ DriverResult drive_planner(WorkloadSource& source, PlannerPtr planner,
       result.theta_after.add(plan->achieved_theta);
     }
   }
+  result.promotions = controller.heavy_promotions();
+  result.demotions = controller.heavy_demotions();
+  result.stats_memory_bytes = controller.stats_memory_bytes();
   return result;
 }
 

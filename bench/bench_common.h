@@ -39,6 +39,10 @@ struct DriverOptions {
   /// the γ = c^β / S criterion trades off.
   double state_heterogeneity = 0.0;
   std::uint64_t ring_seed = 21;
+  /// Statistics storage for the driven controller: exact (default) or
+  /// the sketch provider — the knob the sketch-mode bench columns flip.
+  StatsMode stats_mode = StatsMode::kExact;
+  SketchStatsConfig sketch = {};
 };
 
 struct DriverResult {
@@ -50,6 +54,17 @@ struct DriverResult {
   Welford theta_after;      // plan's achieved balance
   std::size_t rebalances = 0;
   std::size_t intervals = 0;
+  /// Heavy-set churn over the run (sketch mode; zeros in exact mode).
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  /// Statistics memory after the final interval.
+  std::size_t stats_memory_bytes = 0;
+  /// Per-interval observed θ and whether that boundary rebalanced —
+  /// theta_trajectory[i+1] is the REALIZED imbalance of the assignment
+  /// installed at boundary i (the number a plan should be judged by,
+  /// rather than its own predicted achieved θ).
+  std::vector<double> theta_trajectory;
+  std::vector<char> rebalanced_at;
 };
 
 /// Runs `planner` against `source` through a Controller for

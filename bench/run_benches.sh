@@ -22,6 +22,11 @@
 #       compact planning path at 1M keys / 4096 heavy: snapshot + plan
 #       generation >= 20x faster than the dense path, no O(|K|)
 #       structures on the planning path.
+#   bench_micro_churn    -> BENCH_churn.json
+#       adversarial workloads: under the rotating-hot-set attack the
+#       decayed tracker's heavy-set churn rate is >= 2x lower than the
+#       --no-decay baseline, and its realized post-rebalance theta stays
+#       within the sketch-vs-exact tolerance.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +36,7 @@ BENCHES=(
   bench_micro_sketch:BENCH_sketch.json
   bench_micro_threaded:BENCH_threaded.json
   bench_micro_plan:BENCH_plan.json
+  bench_micro_churn:BENCH_churn.json
 )
 
 status=0

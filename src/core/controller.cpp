@@ -26,6 +26,16 @@ const SketchStatsWindow* Controller::sketch_stats() const {
   return dynamic_cast<const SketchStatsWindow*>(stats_.get());
 }
 
+std::uint64_t Controller::heavy_promotions() const {
+  const SketchStatsWindow* sketch = sketch_stats();
+  return sketch ? sketch->total_promotions() : 0;
+}
+
+std::uint64_t Controller::heavy_demotions() const {
+  const SketchStatsWindow* sketch = sketch_stats();
+  return sketch ? sketch->total_demotions() : 0;
+}
+
 PartitionSnapshot Controller::build_snapshot() const {
   PartitionSnapshot snap;
   snap.num_instances = assignment_.num_instances();

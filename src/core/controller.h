@@ -75,6 +75,13 @@ class Controller {
     return stats_->memory_bytes();
   }
 
+  /// Cumulative heavy-set churn (sketch mode; zeros in exact mode, where
+  /// every key is tracked exactly and nothing promotes or demotes). The
+  /// churn-rate metric the adversarial benches gate on is
+  /// (promotions + demotions) / (intervals · heavy_capacity).
+  [[nodiscard]] std::uint64_t heavy_promotions() const;
+  [[nodiscard]] std::uint64_t heavy_demotions() const;
+
   /// Interval boundary: closes the stats interval, checks the trigger and
   /// plans + installs a new assignment if needed. Returns the plan when a
   /// migration was decided, nullopt otherwise.

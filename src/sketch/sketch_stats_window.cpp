@@ -8,6 +8,15 @@
 
 namespace skewless {
 
+namespace {
+
+/// A candidate displaces a full heavy tier's weakest incumbent only when
+/// its guaranteed decayed weight clears the incumbent's by this factor —
+/// hysteresis against flapping between near-equal keys.
+constexpr Cost kDisplaceMargin = 2.0;
+
+}  // namespace
+
 CountMinSketch::Params SketchStatsWindow::family_params(
     const SketchStatsConfig& config, std::uint64_t salt) {
   CountMinSketch::Params p;
@@ -28,6 +37,7 @@ SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
       window_(window),
       num_keys_(num_keys),
       candidates_(config.heavy_capacity),
+      decayed_(config.heavy_capacity),
       // One shared family across quantities — see kSharedFamilySalt.
       cost_cur_(cms_params(kSharedFamilySalt)),
       cost_last_(cms_params(kSharedFamilySalt)),
@@ -37,6 +47,9 @@ SketchStatsWindow::SketchStatsWindow(std::size_t num_keys, int window,
       state_window_(cms_params(kSharedFamilySalt)) {
   SKW_EXPECTS(window >= 1);
   SKW_EXPECTS(config.heavy_capacity >= 1);
+  SKW_EXPECTS(!config.decay ||
+              (config.decay_beta > 0.0 && config.decay_beta < 1.0));
+  SKW_EXPECTS(config.demote_fraction >= 0.0 && config.demote_fraction < 1.0);
   heavy_.reserve(config.heavy_capacity);
 }
 
@@ -61,6 +74,10 @@ void SketchStatsWindow::record(KeyId key, Cost cost, Bytes state_bytes,
     it->second.cur_cost += cost;
     it->second.cur_freq += frequency;
     it->second.cur_state += state_bytes;
+    // A key routes to one instance per interval, so "last seen" is also
+    // "current" — kept fresh so a later demotion credits the right
+    // per-instance cold aggregate.
+    if (dest != kNilInstance) it->second.dest = dest;
     return;
   }
   // The three sketches share one hash family, so one probe serves all
@@ -201,13 +218,20 @@ void SketchStatsWindow::roll_heavy_entries(Cost& heavy_cost_closed) {
     }
     e.idle_intervals =
         (e.cur_cost == 0.0 && e.cur_freq == 0) ? e.idle_intervals + 1 : 0;
+    e.decayed_cost = config_.decay_beta * e.decayed_cost + e.cur_cost;
     e.cur_cost = 0.0;
     e.cur_freq = 0;
     e.cur_state = 0.0;
-    // Demote keys that have been silent for a full window and hold no
-    // windowed state: their stats are all-zero, so nothing is lost and
-    // the slot frees up for a new heavy hitter.
-    if (e.idle_intervals >= std::max(window_, 2) && e.window_state <= 0.0) {
+    // Without decay, demote keys that have been silent for a full window
+    // and hold no windowed state: their stats are all-zero, so nothing is
+    // lost and the slot frees up for a new heavy hitter. With decay
+    // enabled demotion is handled by demote_decayed() instead — the
+    // decayed criterion keeps a rotating hot key's slot warm across its
+    // idle phase, which is exactly what the idle rule would thrash.
+    if (!config_.decay && e.idle_intervals >= std::max(window_, 2) &&
+        e.window_state <= 0.0) {
+      ++last_demotions_;
+      ++total_demotions_;
       it = heavy_.erase(it);
     } else {
       ++it;
@@ -279,16 +303,260 @@ void SketchStatsWindow::promote_candidates(Cost interval_total_cost) {
     }
     cold_state_window_ =
         std::max(0.0, cold_state_window_ - (e.window_state - remaining));
+    e.decayed_cost = cand.count;
+    e.dest = cand.dest;
+    ++last_promotions_;
+    ++total_promotions_;
     heavy_.emplace(cand.key, std::move(e));
   }
   candidates_.clear();
 }
 
+void SketchStatsWindow::decay_candidates(Cost interval_total_cost) {
+  decayed_total_ = config_.decay_beta * decayed_total_ + interval_total_cost;
+  // Rebuild the decayed union: β-scale the previous history, truncate it
+  // back to capacity (the history list is sorted, so the drop is a
+  // deterministic suffix), filter keys promoted since, then merge the
+  // just-closed interval's candidates in. Rebuilding — instead of
+  // scaling in place — is what keeps the tracker bounded even though
+  // SpaceSaving's union never truncates.
+  std::vector<SpaceSaving::Entry> history = decayed_.entries_by_count();
+  std::vector<SpaceSaving::Entry> kept;
+  kept.reserve(std::min(history.size(), config_.heavy_capacity));
+  double kept_weight = 0.0;
+  for (const SpaceSaving::Entry& e : history) {
+    if (kept.size() >= config_.heavy_capacity) break;
+    if (e.count <= 0.0) break;  // sorted descending
+    if (heavy_.find(e.key) != heavy_.end()) continue;
+    SpaceSaving::Entry scaled = e;
+    scaled.count *= config_.decay_beta;
+    scaled.error *= config_.decay_beta;
+    kept.push_back(scaled);
+    kept_weight += scaled.count;
+  }
+  decayed_ = SpaceSaving(config_.heavy_capacity);
+  decayed_.merge(kept, kept_weight);
+  decayed_.merge(candidates_);
+}
+
+void SketchStatsWindow::truncate_decayed() {
+  // Between rolls the decayed union is only ever read again through the
+  // next decay_candidates() rebuild, which keeps the top heavy_capacity
+  // NON-heavy entries and filters the rest (a stale entry for a heavy
+  // key is unreadable in between: demotion can only hit a key whose
+  // stale entry the rebuild already filtered out). Dropping everything
+  // else now is therefore byte-equivalent — and necessary, because the
+  // candidates union merged in at the roll is non-truncating and in
+  // threaded runs holds many times capacity; without this the tracker
+  // would carry that whole union until the next boundary.
+  if (decayed_.size() <= config_.heavy_capacity) return;
+  std::vector<SpaceSaving::Entry> kept;
+  kept.reserve(config_.heavy_capacity);
+  double kept_weight = 0.0;
+  for (const SpaceSaving::Entry& e : decayed_.entries_by_count()) {
+    if (kept.size() >= config_.heavy_capacity) break;
+    if (e.count <= 0.0) break;  // sorted descending
+    if (heavy_.find(e.key) != heavy_.end()) continue;
+    kept.push_back(e);
+    kept_weight += e.count;
+  }
+  decayed_ = SpaceSaving(config_.heavy_capacity);
+  decayed_.merge(kept, kept_weight);
+}
+
+void SketchStatsWindow::demote_entry(KeyId key) {
+  const auto it = heavy_.find(key);
+  SKW_EXPECTS(it != heavy_.end());
+  HeavyEntry& e = it->second;
+  // The entry's residual mass returns to the cold tier EXACTLY: the
+  // scalar aggregates, the per-instance aggregates and the subtractable
+  // state ring all receive what the hot tier was carrying, so every
+  // total the planners consume is unchanged by the demotion itself and a
+  // later window expiry subtracts the credited slots on the schedule the
+  // mass originally accrued on.
+  const auto probe = CountMinSketch::make_probe(key, cost_last_.seed());
+  if (e.last_cost > 0.0) cost_last_.add(e.last_cost, probe);
+  if (e.last_freq > 0) {
+    freq_last_.add(static_cast<double>(e.last_freq), probe);
+  }
+  cold_cost_last_ += e.last_cost;
+  cold_freq_last_ += e.last_freq;
+  const std::size_t slot = dest_slot(e.dest);
+  grow_dest(slot);
+  cold_cost_last_d_[slot] += e.last_cost;
+  cold_state_window_ += e.window_state;
+  cold_state_window_d_[slot] += e.window_state;
+  // Ring credit, newest at back on both sides. The entry ring is never
+  // longer than the cold rings (both grow one slot per roll, and the
+  // entry started at one slot when the cold rings already had one), so
+  // every slot of entry state lands in a matching cold slot. The
+  // windowed-sum sketch receives the identical per-slot adds so it stays
+  // cell-wise equal to the sum of the ring sketches.
+  auto ring_it = state_ring_.rbegin();
+  auto cold_ring_it = cold_state_ring_.rbegin();
+  auto cold_ring_d_it = cold_state_ring_d_.rbegin();
+  for (auto entry_it = e.ring.rbegin(); entry_it != e.ring.rend();
+       ++entry_it) {
+    const Bytes amount = *entry_it;
+    if (amount > 0.0) {
+      if (ring_it != state_ring_.rend()) ring_it->add(amount, probe);
+      state_window_.add(amount, probe);
+      if (cold_ring_it != cold_state_ring_.rend()) *cold_ring_it += amount;
+      if (cold_ring_d_it != cold_state_ring_d_.rend()) {
+        if (slot >= cold_ring_d_it->size()) {
+          cold_ring_d_it->resize(slot + 1, 0.0);
+        }
+        (*cold_ring_d_it)[slot] += amount;
+      }
+    }
+    if (ring_it != state_ring_.rend()) ++ring_it;
+    if (cold_ring_it != cold_state_ring_.rend()) ++cold_ring_it;
+    if (cold_ring_d_it != cold_state_ring_d_.rend()) ++cold_ring_d_it;
+  }
+  // Hand the key's decayed standing back to the candidate pool: a
+  // returning key re-promotes from real history instead of from scratch,
+  // and a key demoted in error climbs back quickly. count == count −
+  // error here is a true lower bound (it is a decayed sum of exactly
+  // tracked costs).
+  if (e.decayed_cost > 0.0) {
+    SpaceSaving::Entry back;
+    back.key = key;
+    back.count = e.decayed_cost;
+    back.error = 0.0;
+    back.dest = e.dest;
+    decayed_.merge_entry(back, 0.0);
+  }
+  heavy_.erase(it);
+}
+
+void SketchStatsWindow::demote_decayed() {
+  // Hysteresis: a heavy key is demoted once its decayed cost falls below
+  // demote_fraction of the promotion bar — well under what would promote
+  // it, so a key oscillating near the threshold does not flap. Both
+  // sides decay at β per interval, so the comparison is
+  // timescale-consistent.
+  const Cost threshold =
+      config_.demote_fraction * config_.promote_fraction * decayed_total_;
+  if (threshold <= 0.0) return;
+  std::vector<KeyId> victims;
+  for (const auto& [key, e] : heavy_) {
+    if (e.decayed_cost < threshold) victims.push_back(key);
+  }
+  // The credits below do floating-point updates on shared aggregates:
+  // a sorted victim order keeps rolls byte-identical regardless of hash
+  // map iteration order.
+  std::sort(victims.begin(), victims.end());
+  for (const KeyId key : victims) demote_entry(key);
+  last_demotions_ += victims.size();
+  total_demotions_ += victims.size();
+}
+
+void SketchStatsWindow::promote_decayed() {
+  const Cost threshold = config_.promote_fraction * decayed_total_;
+  // Weakest-first view of the incumbents for displacement, ordered by
+  // (decayed_cost, key) so eviction order is deterministic. Without
+  // displacement a full heavy tier would freeze on its first occupants
+  // and every later hot set would be stranded in the cold tier, where
+  // the planner cannot move individual keys — a rotating workload would
+  // then run permanently imbalanced.
+  std::vector<std::pair<Cost, KeyId>> weakest;
+  weakest.reserve(heavy_.size());
+  for (const auto& [key, e] : heavy_) {
+    weakest.emplace_back(e.decayed_cost, key);
+  }
+  std::sort(weakest.begin(), weakest.end());
+  std::size_t weak_idx = 0;
+  for (const SpaceSaving::Entry& cand :
+       decayed_.entries_by_count_at_least(threshold)) {
+    if (cand.count <= 0.0) break;
+    if (heavy_.find(cand.key) != heavy_.end()) continue;
+    if (heavy_.size() >= config_.heavy_capacity) {
+      if (weak_idx >= weakest.size()) break;
+      // Displace only when the candidate's GUARANTEED decayed weight
+      // (count − error: what it provably carried) clears the incumbent's
+      // exactly-tracked decayed cost by kDisplaceMargin — the same
+      // hysteresis idea as demotion, so two statistically
+      // indistinguishable keys never flap across the boundary. Guaranteed
+      // weight is not monotone in the candidate order (error varies), so
+      // a failed test skips this candidate rather than ending the scan.
+      const Cost guaranteed = std::max(0.0, cand.count - cand.error);
+      if (guaranteed <= kDisplaceMargin * weakest[weak_idx].first) continue;
+      demote_entry(weakest[weak_idx].second);
+      ++weak_idx;
+      ++last_demotions_;
+      ++total_demotions_;
+    }
+    HeavyEntry e;
+    // Backfill the just-closed interval from the GUARANTEED portion of
+    // its real observation (count − error ≤ the key's recorded cold
+    // mass), not the upper bound: the debit below can then never remove
+    // more than the key actually contributed, closing the over-debit
+    // caveat the no-decay path documents. A key promoted purely on
+    // standing (no observation this interval) backfills zero cost and
+    // turns exact from the next interval on.
+    const SpaceSaving::Entry* obs = candidates_.find(cand.key);
+    const Cost observed = obs ? std::max(0.0, obs->count - obs->error) : 0.0;
+    e.last_cost = observed;
+    e.last_freq = obs ? static_cast<std::uint64_t>(std::llround(
+                            freq_last_.estimate(cand.key)))
+                      : 0;
+    e.window_state = state_window_.estimate(cand.key);
+    e.ring.assign(1, e.window_state);
+    e.decayed_cost = cand.count;
+    e.dest = (obs && obs->dest != kNilInstance) ? obs->dest : cand.dest;
+    cold_cost_last_ = std::max(0.0, cold_cost_last_ - e.last_cost);
+    cold_freq_last_ -= std::min(cold_freq_last_, e.last_freq);
+    {
+      const std::size_t slot = dest_slot(e.dest);
+      grow_dest(slot);
+      cold_cost_last_d_[slot] =
+          std::max(0.0, cold_cost_last_d_[slot] - e.last_cost);
+      Bytes remaining_d = e.window_state;
+      for (auto rit = cold_state_ring_d_.rbegin();
+           rit != cold_state_ring_d_.rend() && remaining_d > 0.0; ++rit) {
+        if (slot >= rit->size()) continue;
+        const Bytes take = std::min((*rit)[slot], remaining_d);
+        (*rit)[slot] -= take;
+        remaining_d -= take;
+      }
+      cold_state_window_d_[slot] = std::max(
+          0.0, cold_state_window_d_[slot] - (e.window_state - remaining_d));
+    }
+    Bytes remaining = e.window_state;
+    for (auto rit = cold_state_ring_.rbegin();
+         rit != cold_state_ring_.rend() && remaining > 0.0; ++rit) {
+      const Bytes take = std::min(*rit, remaining);
+      *rit -= take;
+      remaining -= take;
+    }
+    cold_state_window_ =
+        std::max(0.0, cold_state_window_ - (e.window_state - remaining));
+    ++last_promotions_;
+    ++total_promotions_;
+    heavy_.emplace(cand.key, std::move(e));
+  }
+}
+
 void SketchStatsWindow::roll() {
   close_cold_interval();
   Cost heavy_cost_closed = 0.0;
+  last_promotions_ = 0;
+  last_demotions_ = 0;
   roll_heavy_entries(heavy_cost_closed);
-  promote_candidates(cold_cost_last_ + heavy_cost_closed);
+  if (config_.decay) {
+    // Decayed tracking: fold the closed interval's candidates into the
+    // β-decayed union, demote heavy keys whose decayed standing has
+    // collapsed (freeing capacity first), then promote against the
+    // decayed threshold. candidates_ stays alive through promotion so
+    // the backfill can read the closed interval's real observations.
+    decay_candidates(cold_cost_last_ + heavy_cost_closed);
+    demote_decayed();
+    promote_decayed();
+    candidates_.clear();
+    truncate_decayed();
+  } else {
+    promote_candidates(cold_cost_last_ + heavy_cost_closed);
+  }
   ++closed_;
 }
 
@@ -430,7 +698,7 @@ std::size_t SketchStatsWindow::memory_bytes() const {
     cold_dest_bytes += sizeof(v) + v.capacity() * sizeof(Bytes);
   }
   return sizeof(*this) + heavy_bytes + sketch_bytes +
-         candidates_.memory_bytes() +
+         candidates_.memory_bytes() + decayed_.memory_bytes() +
          cold_state_ring_.size() * sizeof(Bytes) + cold_dest_bytes;
 }
 

@@ -21,10 +21,21 @@
 // heavy keys and scales the cold keys' upper-bound estimates so they sum
 // to the exactly-known cold aggregate.
 //
+// Promotion nomination runs in one of two modes (SketchStatsConfig::
+// decay, default on): the DECAYED mode keeps a β-decayed union of the
+// per-interval Space-Saving candidates, promotes against a decayed
+// threshold, backfills the first interval from the closed interval's
+// guaranteed (count − error) observation, and demotes heavy keys whose
+// decayed standing collapses — crediting their residual mass back to the
+// cold tier exactly. The legacy single-interval mode (decay = false)
+// nominates from the last interval alone, backfills upper bounds and
+// demotes only fully-idle keys.
+//
 // Approximation caveats (all bounded, none affect aggregate totals):
 //  * a key promoted at interval i was sketched during interval i, so its
-//    first "exact" values are backfilled upper-bound estimates (the
-//    matching mass is removed from the cold aggregate, clamped at 0);
+//    first "exact" values are backfilled estimates (upper bounds without
+//    decay, guaranteed lower bounds with it; the matching mass is
+//    removed from the cold aggregate, clamped at 0);
 //  * per-key accessors (last_cost_of, ...) return unnormalized
 //    upper-bound estimates for cold keys; only synthesize_dense
 //    normalizes (it needs the full domain to compute the scale);
@@ -146,6 +157,24 @@ class SketchStatsWindow final : public StatsProvider {
   }
   [[nodiscard]] const SketchStatsConfig& config() const { return config_; }
 
+  /// Heavy-set churn accounting: cumulative promotions/demotions since
+  /// construction, and the counts from the most recent roll(). The
+  /// bench's churn rate is (promotions + demotions per interval) /
+  /// heavy_capacity.
+  [[nodiscard]] std::uint64_t total_promotions() const {
+    return total_promotions_;
+  }
+  [[nodiscard]] std::uint64_t total_demotions() const {
+    return total_demotions_;
+  }
+  [[nodiscard]] std::size_t last_promotions() const {
+    return last_promotions_;
+  }
+  [[nodiscard]] std::size_t last_demotions() const { return last_demotions_; }
+  /// Exponentially decayed total cost Σ β^age · (interval total). Zero
+  /// when decay is disabled.
+  [[nodiscard]] Cost decayed_total_cost() const { return decayed_total_; }
+
  private:
   struct HeavyEntry {
     Cost cur_cost = 0.0;
@@ -156,12 +185,31 @@ class SketchStatsWindow final : public StatsProvider {
     Bytes window_state = 0.0;
     std::deque<Bytes> ring;  // per closed interval, newest at back
     int idle_intervals = 0;
+    /// Decayed cost history Σ β^age · (interval cost), maintained while
+    /// heavy (seeded from the promoting candidate's decayed count). The
+    /// decayed-demotion criterion compares it against the demote
+    /// threshold on the same timescale as decayed_total_.
+    Cost decayed_cost = 0.0;
+    /// Last known routing destination (kNilInstance when never
+    /// attributed) — where a demotion credits the per-instance cold
+    /// aggregates back.
+    InstanceId dest = kNilInstance;
   };
 
   [[nodiscard]] CountMinSketch::Params cms_params(std::uint64_t salt) const;
   void close_cold_interval();
   void roll_heavy_entries(Cost& heavy_cost_closed);
   void promote_candidates(Cost interval_total_cost);
+  void decay_candidates(Cost interval_total_cost);
+  void promote_decayed();
+  void demote_decayed();
+  /// Drops the decayed union back to the top heavy_capacity non-heavy
+  /// entries at the end of a roll — behavior-identical (the next
+  /// rebuild keeps exactly that set) but bounds steady-state memory,
+  /// which the non-truncating candidates union would otherwise blow
+  /// past in threaded runs.
+  void truncate_decayed();
+  void demote_entry(KeyId key);
 
   SketchStatsConfig config_;
   int window_;
@@ -170,6 +218,19 @@ class SketchStatsWindow final : public StatsProvider {
 
   std::unordered_map<KeyId, HeavyEntry> heavy_;
   SpaceSaving candidates_;  // cold stream of the open interval, weight=cost
+  /// Decayed union of per-interval candidate trackers (decay mode only):
+  /// at each roll the previous history is scaled by β, truncated back to
+  /// capacity, filtered of currently-heavy keys, and the just-closed
+  /// interval's candidates_ are merged in. Promotion reads this tracker
+  /// instead of the single-interval one, so a key hot across intervals
+  /// accumulates standing while a one-interval spike decays away.
+  SpaceSaving decayed_;
+  Cost decayed_total_ = 0.0;  // Σ β^age · interval total cost
+
+  std::uint64_t total_promotions_ = 0;
+  std::uint64_t total_demotions_ = 0;
+  std::size_t last_promotions_ = 0;
+  std::size_t last_demotions_ = 0;
 
   CountMinSketch cost_cur_, cost_last_;    // conservative update
   CountMinSketch freq_cur_, freq_last_;    // conservative update

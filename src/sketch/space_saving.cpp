@@ -81,6 +81,18 @@ void SpaceSaving::merge(const std::vector<Entry>& entries,
   compact_heap();
 }
 
+void SpaceSaving::merge_entry(const Entry& entry, double total_weight) {
+  total_ += total_weight;
+  if (auto it = map_.find(entry.key); it != map_.end()) {
+    it->second.count += entry.count;
+    it->second.error += entry.error;
+    if (entry.dest != kNilInstance) it->second.dest = entry.dest;
+  } else {
+    map_.emplace(entry.key, entry);
+  }
+  compact_heap();
+}
+
 const SpaceSaving::Entry* SpaceSaving::find(KeyId key) const {
   const auto it = map_.find(key);
   return it == map_.end() ? nullptr : &it->second;

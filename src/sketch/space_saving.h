@@ -55,8 +55,12 @@ class SpaceSaving {
   /// ≥ m, over the combined stream of weight W:
   ///   * sum of all counts == W (each source preserves it; addition
   ///     preserves it);
-  ///   * count(k) ≥ true weight(k) and count(k) − error(k) ≤ true
-  ///     weight(k), both inherited per key by summation;
+  ///   * count(k) − error(k) ≤ true weight(k), inherited per key by
+  ///     summation (sources where k went untracked only add true mass);
+  ///   * count(k) ≥ true weight(k) holds for keys tracked by EVERY
+  ///     source that observed them — a key evicted in one source
+  ///     contributes nothing from that stream, so the union's count can
+  ///     undershoot such a key (its guaranteed bound still never lies);
   ///   * every key with true combined weight > W / m is tracked: such a
   ///     key must carry > W_s / m in at least one source stream s (the
   ///     weights sum), so that source tracked it, and the union drops
@@ -68,6 +72,11 @@ class SpaceSaving {
   /// `total_weight`, in deterministic order. This is how a MisraGries
   /// worker summary folds into a Space-Saving union.
   void merge(const std::vector<Entry>& entries, double total_weight);
+
+  /// Single-entry union, same invariants as the vector overload without
+  /// the container — how a demoted heavy key's decayed standing returns
+  /// to the sketch window's decayed tracker.
+  void merge_entry(const Entry& entry, double total_weight);
 
   /// The tracked entry for `key`, or nullptr if untracked.
   [[nodiscard]] const Entry* find(KeyId key) const;

@@ -39,10 +39,38 @@ struct SketchStatsConfig {
   /// heavy-map bound).
   std::size_t heavy_capacity = 4096;
   /// A key is promoted to exact tracking when its estimated interval cost
-  /// is ≥ promote_fraction · (interval total cost).
+  /// is ≥ promote_fraction · (interval total cost). With decay enabled
+  /// both sides of the comparison are exponentially decayed sums over
+  /// intervals instead of single-interval values.
   double promote_fraction = 1e-4;
   /// Seed for the sketch hash functions (determinism knob).
   std::uint64_t seed = 0x5eedc0de;
+  /// Decayed heavy-hitter tracking. When true (default), Space-Saving
+  /// candidates are tracked per interval and merged across intervals with
+  /// exponential decay: promotion compares each key's decayed cost
+  /// history against promote_fraction · (decayed total cost), the first
+  /// post-promotion interval is backfilled from the closed interval's
+  /// GUARANTEED observation (count − error, never an over-debit of the
+  /// cold aggregates), and demotion fires when a heavy key's decayed cost
+  /// falls below demote_fraction of the promotion threshold (hysteresis)
+  /// — with its residual mass credited back to the cold tier exactly.
+  /// A full heavy tier does not freeze: a candidate whose guaranteed
+  /// decayed weight (count − error) clearly outweighs the weakest
+  /// incumbent's displaces it, so a shifted hot set migrates into exact
+  /// tracking instead of being stranded in the cold tier.
+  /// When false, the original single-interval behavior is reproduced
+  /// bit-for-bit: upper-bound first-interval backfill, idle-only
+  /// demotion.
+  bool decay = true;
+  /// β — per-interval multiplier applied to the decayed candidate counts
+  /// and the decayed total (0 < β < 1). Matches the window's spirit of
+  /// forgetting: with β = 0.5 an interval's weight halves every boundary.
+  double decay_beta = 0.5;
+  /// Hysteresis for decayed demotion: a heavy key is demoted when its
+  /// decayed cost < demote_fraction · promote_fraction · (decayed total).
+  /// Must be < 1 so a key needs to fall well below the promotion bar
+  /// before it is evicted (no promote/demote flapping at the boundary).
+  double demote_fraction = 0.1;
 };
 
 class StatsProvider {

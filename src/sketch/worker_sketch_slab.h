@@ -25,7 +25,10 @@
 //    family. A MisraGries tracker (amortized O(1) per add — SpaceSaving's
 //    per-add heap maintenance measurably dominated the fold cost)
 //    nominates promotion candidates and exact scalars keep the cold
-//    aggregates truthful.
+//    aggregates truthful. The tracker is interval-local by construction
+//    (clear()ed after every absorb), which is precisely the granularity
+//    the window's decayed promotion needs: each interval's merged
+//    candidates enter the β-decayed union once, at that interval's roll.
 //
 // At the interval boundary the merge path calls SketchStatsWindow::absorb
 // on each slab in worker-index order — a fixed order, so the merged result

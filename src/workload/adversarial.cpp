@@ -1,0 +1,266 @@
+#include "workload/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "sketch/count_min.h"
+#include "sketch/sketch_stats_window.h"
+
+namespace skewless {
+
+namespace {
+
+struct AttackNames {
+  AttackKind kind;
+  const char* name;
+};
+
+constexpr AttackNames kAttackNames[] = {
+    {AttackKind::kRotatingHotSet, "rotating"},
+    {AttackKind::kSkewFlip, "skew-flip"},
+    {AttackKind::kParetoTail, "pareto"},
+    {AttackKind::kKeyChurnFlood, "churn"},
+    {AttackKind::kHashCollision, "collision"},
+};
+
+/// counts scaled by `keep` (floor — the emitted interval never exceeds
+/// the nominal budget).
+std::vector<std::uint64_t> scale_counts(const std::vector<std::uint64_t>& in,
+                                        double keep) {
+  std::vector<std::uint64_t> out(in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    out[k] = static_cast<std::uint64_t>(static_cast<double>(in[k]) * keep);
+  }
+  return out;
+}
+
+/// Spreads `budget` tuples uniformly over `n` slots: base everywhere,
+/// the remainder on the first slots (deterministic).
+std::uint64_t uniform_share(std::uint64_t budget, std::uint64_t n,
+                            std::uint64_t slot) {
+  const std::uint64_t base = budget / n;
+  return base + (slot < budget % n ? 1 : 0);
+}
+
+}  // namespace
+
+std::optional<AttackKind> parse_attack(std::string_view name) {
+  for (const auto& a : kAttackNames) {
+    if (name == a.name) return a.kind;
+  }
+  return std::nullopt;
+}
+
+const char* attack_name(AttackKind kind) {
+  for (const auto& a : kAttackNames) {
+    if (a.kind == kind) return a.name;
+  }
+  return "?";
+}
+
+const std::vector<AttackKind>& all_attacks() {
+  static const std::vector<AttackKind> kAll = {
+      AttackKind::kRotatingHotSet, AttackKind::kSkewFlip,
+      AttackKind::kParetoTail, AttackKind::kKeyChurnFlood,
+      AttackKind::kHashCollision};
+  return kAll;
+}
+
+AdversarialSource::AdversarialSource(Options options)
+    : options_(options),
+      background_(options.num_keys, options.background_skew,
+                  /*permute_ranks=*/true, options.seed),
+      // Same permutation seed as the background: the flip phases share
+      // one ranking, so flipping moves mass between head and tail
+      // without reshuffling which keys are which.
+      flip_high_(options.num_keys, options.skew_high, /*permute_ranks=*/true,
+                 options.seed) {
+  SKW_EXPECTS(options.num_keys > 0);
+  SKW_EXPECTS(options.tuples_per_interval > 0);
+  SKW_EXPECTS(options.hot_mass >= 0.0 && options.hot_mass < 1.0);
+  SKW_EXPECTS(options.churn_mass >= 0.0 && options.churn_mass < 1.0);
+  SKW_EXPECTS(options.collision_mass >= 0.0 && options.collision_mass < 1.0);
+  background_counts_ = background_.expected_counts(options.tuples_per_interval);
+  switch (options_.attack) {
+    case AttackKind::kRotatingHotSet:
+      SKW_EXPECTS(options.rotation_period >= 1 && options.hot_groups >= 1);
+      SKW_EXPECTS(options.hot_keys_per_group >= 1);
+      SKW_EXPECTS(static_cast<std::uint64_t>(options.hot_groups) *
+                      options.hot_keys_per_group <=
+                  options.num_keys);
+      // The rotation only punishes memory-less promotion if a rotated-out
+      // group goes COMPLETELY idle: zero the background on the reserved
+      // hot ranges (a sliver of the permuted Zipf tail) so idleness is
+      // real, not diluted by residual tail mass.
+      for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(
+                                        options.hot_groups) *
+                                        options.hot_keys_per_group;
+           ++k) {
+        background_counts_[static_cast<std::size_t>(k)] = 0;
+      }
+      break;
+    case AttackKind::kSkewFlip:
+      SKW_EXPECTS(options.flip_period >= 1);
+      flip_high_counts_ =
+          flip_high_.expected_counts(options.tuples_per_interval);
+      flip_low_counts_ = background_counts_;
+      break;
+    case AttackKind::kParetoTail: {
+      SKW_EXPECTS(options.pareto_alpha > 0.0);
+      // Deterministic Pareto(α) weights via per-key hashed uniforms,
+      // turned into counts with cumulative rounding so they sum to
+      // exactly tuples_per_interval.
+      const std::size_t n = static_cast<std::size_t>(options.num_keys);
+      std::vector<double> weight(n);
+      double total = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double u =
+            static_cast<double>(hash64(static_cast<KeyId>(k),
+                                       options.seed ^ 0xabba5eedULL) >>
+                                11) *
+            0x1.0p-53;
+        weight[k] = std::pow(1.0 - u, -1.0 / options.pareto_alpha);
+        total += weight[k];
+      }
+      pareto_counts_.resize(n);
+      const double budget =
+          static_cast<double>(options.tuples_per_interval);
+      double cum = 0.0;
+      std::uint64_t emitted = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        cum += weight[k];
+        const auto upto =
+            static_cast<std::uint64_t>(std::floor(budget * cum / total));
+        const std::uint64_t c = std::min(
+            upto > emitted ? upto - emitted : 0, options.tuples_per_interval);
+        pareto_counts_[k] = c;
+        emitted += c;
+      }
+      if (emitted < options.tuples_per_interval) {
+        pareto_counts_[n - 1] += options.tuples_per_interval - emitted;
+      }
+      break;
+    }
+    case AttackKind::kKeyChurnFlood:
+      SKW_EXPECTS(options.churn_active >= 1 &&
+                  options.churn_active <= options.num_keys);
+      SKW_EXPECTS(options.churn_shift >= 1);
+      break;
+    case AttackKind::kHashCollision:
+      find_collisions();
+      break;
+  }
+}
+
+void AdversarialSource::find_collisions() {
+  // Two keys collide in EVERY row of a Kirsch–Mitzenmacher sketch of
+  // width 2^b iff their (h1 mod 2^b, h2 mod 2^b) pairs match: row i
+  // probes (h1 + i·h2) mod 2^b. Scan the domain bucketing keys by that
+  // masked pair and take the fullest bucket. With the default ε the
+  // width makes full-family collisions astronomically rare — the attack
+  // is meant for coarse sketches (bench uses ε ≈ 2e-2 → width 256,
+  // where a modest scan yields dozens of colliding keys); against a
+  // fine sketch the scan degrades gracefully to whatever it finds.
+  const CountMinSketch::Params params = SketchStatsWindow::family_params(
+      options_.sketch, SketchStatsWindow::kSharedFamilySalt);
+  const CountMinSketch probe_geometry(params);
+  const std::uint64_t mask = probe_geometry.width() - 1;
+  const std::uint64_t scan =
+      std::min(options_.num_keys, options_.collision_scan);
+  std::unordered_map<std::uint64_t, std::uint32_t> bucket_count;
+  std::uint64_t best_bucket = 0;
+  std::uint32_t best_size = 0;
+  for (std::uint64_t k = 0; k < scan; ++k) {
+    const auto probe = CountMinSketch::make_probe(k, params.seed);
+    const std::uint64_t bucket = ((probe.h1 & mask) << 32) | (probe.h2 & mask);
+    const std::uint32_t size = ++bucket_count[bucket];
+    // Ties keep the first-seen bucket — deterministic.
+    if (size > best_size) {
+      best_size = size;
+      best_bucket = bucket;
+    }
+  }
+  colliding_.reserve(std::min<std::uint64_t>(best_size,
+                                             options_.collision_keys));
+  for (std::uint64_t k = 0;
+       k < scan && colliding_.size() <
+                       static_cast<std::size_t>(options_.collision_keys);
+       ++k) {
+    const auto probe = CountMinSketch::make_probe(k, params.seed);
+    const std::uint64_t bucket = ((probe.h1 & mask) << 32) | (probe.h2 & mask);
+    if (bucket == best_bucket) colliding_.push_back(static_cast<KeyId>(k));
+  }
+}
+
+int AdversarialSource::rotating_group_at(std::int64_t interval) const {
+  return static_cast<int>((interval / options_.rotation_period) %
+                          options_.hot_groups);
+}
+
+IntervalWorkload AdversarialSource::counts_for(std::int64_t interval) const {
+  SKW_EXPECTS(interval >= 0);
+  IntervalWorkload load;
+  const std::uint64_t budget = options_.tuples_per_interval;
+  switch (options_.attack) {
+    case AttackKind::kRotatingHotSet: {
+      load.counts = scale_counts(background_counts_, 1.0 - options_.hot_mass);
+      const auto hot_budget = static_cast<std::uint64_t>(
+          static_cast<double>(budget) * options_.hot_mass);
+      const auto group =
+          static_cast<std::uint64_t>(rotating_group_at(interval));
+      const std::uint64_t first = group * options_.hot_keys_per_group;
+      for (std::uint64_t j = 0; j < options_.hot_keys_per_group; ++j) {
+        load.counts[static_cast<std::size_t>(first + j)] +=
+            uniform_share(hot_budget, options_.hot_keys_per_group, j);
+      }
+      break;
+    }
+    case AttackKind::kSkewFlip:
+      load.counts = ((interval / options_.flip_period) % 2 == 0)
+                        ? flip_high_counts_
+                        : flip_low_counts_;
+      break;
+    case AttackKind::kParetoTail:
+      load.counts = pareto_counts_;
+      break;
+    case AttackKind::kKeyChurnFlood: {
+      load.counts =
+          scale_counts(background_counts_, 1.0 - options_.churn_mass);
+      const auto flood_budget = static_cast<std::uint64_t>(
+          static_cast<double>(budget) * options_.churn_mass);
+      const std::uint64_t start =
+          (static_cast<std::uint64_t>(interval) * options_.churn_shift) %
+          options_.num_keys;
+      for (std::uint64_t j = 0; j < options_.churn_active; ++j) {
+        const std::uint64_t key = (start + j) % options_.num_keys;
+        load.counts[static_cast<std::size_t>(key)] +=
+            uniform_share(flood_budget, options_.churn_active, j);
+      }
+      break;
+    }
+    case AttackKind::kHashCollision: {
+      load.counts =
+          scale_counts(background_counts_, 1.0 - options_.collision_mass);
+      if (!colliding_.empty()) {
+        const auto attack_budget = static_cast<std::uint64_t>(
+            static_cast<double>(budget) * options_.collision_mass);
+        const auto n = static_cast<std::uint64_t>(colliding_.size());
+        for (std::uint64_t j = 0; j < n; ++j) {
+          load.counts[static_cast<std::size_t>(colliding_[j])] +=
+              uniform_share(attack_budget, n, j);
+        }
+      }
+      break;
+    }
+  }
+  return load;
+}
+
+IntervalWorkload AdversarialSource::next_interval() {
+  return counts_for(next_++);
+}
+
+}  // namespace skewless

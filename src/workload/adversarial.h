@@ -1,0 +1,150 @@
+// Adversarial workload generator — per-interval count snapshots engineered
+// to stress exactly the mechanisms the sketch statistics path relies on.
+// The paper evaluates mostly static Zipf skew; production hot sets move,
+// and each attack here isolates one way they move (or one way the sketch
+// itself can be gamed):
+//
+//  * rotating   — the hot set jumps wholesale between disjoint key groups
+//                 every `rotation_period` intervals. Punishes promotion
+//                 policies with no memory: a rotated-out group goes fully
+//                 idle, then returns, so a single-interval tracker demotes
+//                 and re-promotes the whole group each cycle (heavy-set
+//                 churn), while a decayed tracker keeps its standing warm.
+//  * skew-flip  — the Zipf skew parameter flips between a high and a low
+//                 value every `flip_period` intervals, moving mass between
+//                 the head and the tail without moving the ranking.
+//  * pareto     — a static heavy Pareto(α) tail: many mid-weight keys just
+//                 below any promotion threshold, maximizing sensitivity to
+//                 where the threshold sits.
+//  * churn      — key-churn flood: a sliding window of `churn_active` keys
+//                 carries most of the mass and shifts by `churn_shift`
+//                 fresh keys every interval, so yesterday's heavy keys are
+//                 gone for good and the promotion pipeline runs at its
+//                 structural maximum.
+//  * collision  — hash-collision-heavy domain: the generator scans the key
+//                 space for keys whose Kirsch–Mitzenmacher probes land in
+//                 identical cells in EVERY row of the shared sketch family
+//                 (same (h1, h2) modulo the width), then concentrates mass
+//                 on that colliding bucket. Because all quantity sketches
+//                 share one family (SketchStatsWindow::kSharedFamilySalt),
+//                 these keys are indistinguishable to every Count-Min
+//                 estimate at once — the worst case the normalization and
+//                 the guaranteed (count − error) backfill must survive.
+//
+// Every attack is a pure function of (options, interval index): no hidden
+// generator state, so two sources with equal options emit byte-identical
+// streams — the property the determinism suite leans on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/zipf.h"
+#include "engine/workload_source.h"
+#include "sketch/stats_provider.h"
+
+namespace skewless {
+
+enum class AttackKind {
+  kRotatingHotSet,
+  kSkewFlip,
+  kParetoTail,
+  kKeyChurnFlood,
+  kHashCollision,
+};
+
+/// Parses a CLI attack name ("rotating", "skew-flip", "pareto", "churn",
+/// "collision"); nullopt on anything else.
+[[nodiscard]] std::optional<AttackKind> parse_attack(std::string_view name);
+[[nodiscard]] const char* attack_name(AttackKind kind);
+/// All attacks, in a fixed order (bench iteration).
+[[nodiscard]] const std::vector<AttackKind>& all_attacks();
+
+class AdversarialSource final : public WorkloadSource {
+ public:
+  struct Options {
+    AttackKind attack = AttackKind::kRotatingHotSet;
+    std::uint64_t num_keys = 100'000;
+    std::uint64_t tuples_per_interval = 100'000;
+    std::uint64_t seed = 7;
+    /// Zipf skew of the background tail under every attack (and the
+    /// "low" phase of skew-flip).
+    double background_skew = 0.5;
+
+    // -- rotating hot set --
+    /// Intervals a hot group stays hot before the next group takes over.
+    int rotation_period = 3;
+    /// Number of disjoint hot groups in the rotation (a group is idle
+    /// for (hot_groups − 1) · rotation_period intervals per cycle).
+    int hot_groups = 4;
+    std::uint64_t hot_keys_per_group = 64;
+    /// Fraction of the interval's tuples carried by the hot group.
+    double hot_mass = 0.6;
+
+    // -- skew flip --
+    int flip_period = 2;
+    double skew_high = 1.2;
+
+    // -- pareto tail --
+    double pareto_alpha = 1.1;
+
+    // -- key-churn flood --
+    std::uint64_t churn_active = 4096;
+    std::uint64_t churn_shift = 2048;
+    double churn_mass = 0.7;
+
+    // -- hash collision --
+    /// The sketch family the colliding keys are engineered against; must
+    /// match the run's SketchStatsConfig for the attack to bite.
+    SketchStatsConfig sketch = {};
+    /// Keys to place in the colliding bucket (capped by what a bounded
+    /// scan of the domain actually finds — see colliding_keys()).
+    std::uint64_t collision_keys = 32;
+    /// How many keys of the domain to scan for full-family collisions.
+    std::uint64_t collision_scan = 2'000'000;
+    double collision_mass = 0.5;
+  };
+
+  explicit AdversarialSource(Options options);
+
+  [[nodiscard]] std::size_t num_keys() const override {
+    return static_cast<std::size_t>(options_.num_keys);
+  }
+
+  [[nodiscard]] IntervalWorkload next_interval() override;
+
+  /// The counts attack `interval` (0-based) emits — next_interval()
+  /// returns exactly counts_for(0), counts_for(1), ... Public so tests
+  /// can check phase structure without consuming the source.
+  [[nodiscard]] IntervalWorkload counts_for(std::int64_t interval) const;
+
+  /// Hash-collision attack only: the engineered bucket, sorted ascending
+  /// (empty for other attacks). All returned keys share every Count-Min
+  /// cell in the run's shared sketch family.
+  [[nodiscard]] const std::vector<KeyId>& colliding_keys() const {
+    return colliding_;
+  }
+
+  /// The hot group active at `interval` under the rotating attack.
+  [[nodiscard]] int rotating_group_at(std::int64_t interval) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void find_collisions();
+
+  Options options_;
+  ZipfDistribution background_;        // tail for rotating/churn/collision
+  ZipfDistribution flip_high_;         // skew-flip phases (shared ranking)
+  std::vector<std::uint64_t> background_counts_;
+  std::vector<std::uint64_t> flip_high_counts_;
+  std::vector<std::uint64_t> flip_low_counts_;
+  std::vector<std::uint64_t> pareto_counts_;
+  std::vector<KeyId> colliding_;
+  std::int64_t next_ = 0;
+};
+
+}  // namespace skewless

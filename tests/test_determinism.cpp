@@ -20,6 +20,7 @@
 #include "sketch/sketch_stats_window.h"
 #include "sketch/worker_sketch_slab.h"
 #include "test_util.h"
+#include "workload/adversarial.h"
 #include "workload/operators.h"
 #include "workload/synthetic.h"
 
@@ -412,6 +413,171 @@ TEST(Determinism, DoubleBufferedMergeMatchesInlineBaseline) {
           << "workers=" << workers << " batch=" << batch;
       EXPECT_EQ(total_inline, total_async);
     }
+  }
+}
+
+// Every adversarial attack is documented as a pure function of
+// (options, interval index): equal options must emit byte-identical
+// streams, and counts_for must be exactly what next_interval replays.
+TEST(Determinism, AdversarialSourcesArePureFunctions) {
+  for (const AttackKind attack : all_attacks()) {
+    AdversarialSource::Options opts;
+    opts.attack = attack;
+    opts.num_keys = 2'000;
+    opts.tuples_per_interval = 20'000;
+    opts.seed = 23;
+    opts.rotation_period = 2;
+    opts.hot_keys_per_group = 16;
+    opts.churn_active = 256;  // defaults assume a larger domain
+    opts.churn_shift = 128;
+    opts.sketch.epsilon = 0.05;  // coarse family: collisions exist
+    AdversarialSource a(opts);
+    AdversarialSource b(opts);
+    for (std::int64_t i = 0; i < 6; ++i) {
+      const auto counts = a.counts_for(i);
+      EXPECT_EQ(counts.counts, b.counts_for(i).counts)
+          << attack_name(attack) << " interval " << i;
+      EXPECT_EQ(counts.counts, a.next_interval().counts)
+          << attack_name(attack) << " interval " << i;
+    }
+    EXPECT_EQ(a.colliding_keys(), b.colliding_keys());
+  }
+}
+
+// The decayed tracker must be schedule-independent: feeding a rotating
+// adversarial stream through the driver's direct record path (what the
+// sim engine does) and through per-worker slabs absorbed in worker-index
+// order (what the threaded engine does) must leave byte-identical
+// windows. Run in the eviction-free regime (heavy capacity ≥ |K|), where
+// the SpaceSaving and MisraGries candidate trackers are both exact, so
+// any divergence is a real scheduling leak — promotion, displacement and
+// decayed demotion all run driver-side and must not care where the
+// stream was aggregated.
+TEST(Determinism, AdversarialDirectRecordMatchesSlabAbsorbWithDecay) {
+  constexpr int kWorkers = 3;
+  AdversarialSource::Options aopts;
+  aopts.attack = AttackKind::kRotatingHotSet;
+  aopts.num_keys = 512;
+  aopts.tuples_per_interval = 20'000;
+  aopts.seed = 5;
+  aopts.rotation_period = 2;
+  aopts.hot_groups = 4;
+  aopts.hot_keys_per_group = 16;
+  AdversarialSource source(aopts);
+
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 600;  // ≥ |K|: candidate trackers are exact
+  cfg.decay = true;
+  cfg.decay_beta = 0.8;
+
+  SketchStatsWindow direct(aopts.num_keys, 2, cfg);
+  SketchStatsWindow merged(aopts.num_keys, 2, cfg);
+  std::vector<std::unique_ptr<WorkerSketchSlab>> slabs;
+  for (int w = 0; w < kWorkers; ++w) {
+    slabs.push_back(std::make_unique<WorkerSketchSlab>(cfg));
+  }
+
+  for (std::int64_t interval = 0; interval < 8; ++interval) {
+    const auto load = source.counts_for(interval);
+    for (std::size_t k = 0; k < load.counts.size(); ++k) {
+      if (load.counts[k] == 0) continue;
+      const auto key = static_cast<KeyId>(k);
+      const auto n = static_cast<double>(load.counts[k]);
+      const int w = static_cast<int>(k % kWorkers);
+      direct.record(key, n, 4.0 * n, load.counts[k],
+                    static_cast<InstanceId>(w));
+      slabs[static_cast<std::size_t>(w)]->add(key, n, 4.0 * n,
+                                              load.counts[k]);
+    }
+    for (int w = 0; w < kWorkers; ++w) {
+      merged.absorb(*slabs[static_cast<std::size_t>(w)],
+                    static_cast<InstanceId>(w));
+      slabs[static_cast<std::size_t>(w)]->clear();
+    }
+    direct.roll();
+    merged.roll();
+    const auto heavy = merged.heavy_keys();
+    ASSERT_EQ(direct.heavy_keys(), heavy) << "interval " << interval;
+    for (auto& slab : slabs) slab->set_heavy_keys(heavy);
+
+    std::vector<Cost> cost_d, cost_m;
+    std::vector<Bytes> state_d, state_m;
+    direct.synthesize_dense(cost_d, state_d);
+    merged.synthesize_dense(cost_m, state_m);
+    ASSERT_EQ(cost_d.size(), cost_m.size());
+    EXPECT_EQ(0, std::memcmp(cost_d.data(), cost_m.data(),
+                             cost_d.size() * sizeof(Cost)))
+        << "interval " << interval;
+    EXPECT_EQ(0, std::memcmp(state_d.data(), state_m.data(),
+                             state_d.size() * sizeof(Bytes)))
+        << "interval " << interval;
+    EXPECT_EQ(direct.total_windowed_state(), merged.total_windowed_state());
+    EXPECT_EQ(direct.total_promotions(), merged.total_promotions());
+    EXPECT_EQ(direct.total_demotions(), merged.total_demotions());
+  }
+}
+
+// Real threads under adversarial load, decay enabled: the inline
+// quiesce-and-merge schedule, the asynchronous double-buffered merge,
+// and a repeat of the async run must all synthesize byte-identical
+// statistics — hot-set jumps at interval boundaries (promotion bursts,
+// displacement, demotion) are exactly where a schedule-dependent merge
+// would first diverge.
+TEST(Determinism, AdversarialThreadedRunsAreByteIdentical) {
+  const auto run = [](AttackKind attack, bool async_merge,
+                      std::vector<Cost>& cost, std::vector<Bytes>& state,
+                      std::vector<KeyId>& heavy) {
+    AdversarialSource::Options opts;
+    opts.attack = attack;
+    opts.num_keys = 4'000;
+    opts.tuples_per_interval = 15'000;
+    opts.seed = 31;
+    opts.rotation_period = 1;  // a jump at every boundary
+    opts.hot_keys_per_group = 32;
+    AdversarialSource source(opts);
+
+    ThreadedConfig cfg;
+    cfg.stats_mode = StatsMode::kSketch;
+    cfg.sketch.heavy_capacity = 128;
+    cfg.sketch.decay = true;
+    cfg.sketch.decay_beta = 0.8;
+    cfg.batch_size = 32;
+    cfg.async_merge = async_merge;
+    ThreadedEngine engine(cfg, std::make_shared<WordCountLogic>(),
+                          /*num_workers_for_ring=*/3, /*ring_seed=*/3);
+    engine.run(source, 4, /*seed=*/9);
+    const auto* sketch =
+        dynamic_cast<const SketchStatsWindow*>(&engine.state_tracker());
+    ASSERT_NE(sketch, nullptr);
+    sketch->synthesize_dense(cost, state);
+    heavy = sketch->heavy_keys();
+    engine.shutdown();
+  };
+
+  for (const AttackKind attack :
+       {AttackKind::kRotatingHotSet, AttackKind::kSkewFlip}) {
+    std::vector<Cost> cost_inline, cost_async, cost_again;
+    std::vector<Bytes> state_inline, state_async, state_again;
+    std::vector<KeyId> heavy_inline, heavy_async, heavy_again;
+    run(attack, false, cost_inline, state_inline, heavy_inline);
+    run(attack, true, cost_async, state_async, heavy_async);
+    run(attack, true, cost_again, state_again, heavy_again);
+    ASSERT_GT(heavy_inline.size(), 0u);
+    EXPECT_EQ(heavy_inline, heavy_async) << attack_name(attack);
+    EXPECT_EQ(heavy_async, heavy_again) << attack_name(attack);
+    ASSERT_EQ(cost_inline.size(), cost_async.size());
+    EXPECT_EQ(0, std::memcmp(cost_inline.data(), cost_async.data(),
+                             cost_inline.size() * sizeof(Cost)))
+        << attack_name(attack);
+    EXPECT_EQ(0, std::memcmp(cost_async.data(), cost_again.data(),
+                             cost_async.size() * sizeof(Cost)))
+        << attack_name(attack);
+    EXPECT_EQ(0, std::memcmp(state_inline.data(), state_async.data(),
+                             state_inline.size() * sizeof(Bytes)))
+        << attack_name(attack);
+    EXPECT_EQ(0, std::memcmp(state_async.data(), state_again.data(),
+                             state_async.size() * sizeof(Bytes)))
+        << attack_name(attack);
   }
 }
 

@@ -204,8 +204,13 @@ TEST(SketchStatsWindow, DefaultConfigAtLeastTenTimesSmallerThanExactAt1M) {
   EXPECT_GE(exact.memory_bytes(), 10 * sketch.memory_bytes());
 }
 
+// Idle demotion is the LEGACY policy (decay = false): under decayed
+// tracking a briefly idle key keeps its standing on purpose — that
+// retention is what stops a rotating hot set from thrashing the tier.
 TEST(SketchStatsWindow, IdleHeavyKeysAreDemoted) {
-  SketchStatsWindow w(100, 1, tiny_config(16, 0.0));
+  SketchStatsConfig cfg = tiny_config(16, 0.0);
+  cfg.decay = false;
+  SketchStatsWindow w(100, 1, cfg);
   w.record(7, 10.0, 4.0);
   w.roll();
   ASSERT_TRUE(w.is_heavy(7));
@@ -213,6 +218,19 @@ TEST(SketchStatsWindow, IdleHeavyKeysAreDemoted) {
   for (int i = 0; i < 4; ++i) w.roll();
   EXPECT_FALSE(w.is_heavy(7));
   EXPECT_EQ(w.heavy_count(), 0u);
+}
+
+// The decay-mode counterpart: the same idle key survives those few
+// intervals (its decayed standing has not collapsed), so the heavy tier
+// keeps the key's exact history across the gap.
+TEST(SketchStatsWindow, DecayedIdleHeavyKeyKeepsStanding) {
+  SketchStatsWindow w(100, 1, tiny_config(16, 0.0));
+  w.record(7, 10.0, 4.0);
+  w.roll();
+  ASSERT_TRUE(w.is_heavy(7));
+  for (int i = 0; i < 4; ++i) w.roll();
+  EXPECT_TRUE(w.is_heavy(7));
+  EXPECT_EQ(w.heavy_count(), 1u);
 }
 
 // End-to-end: a controller in sketch mode must detect the imbalance and
@@ -329,6 +347,194 @@ TEST(SketchStatsWindow, AbsorbWithStaleHeavySnapshotKeepsMass) {
   window.synthesize_dense(cost, state);
   EXPECT_NEAR(std::accumulate(cost.begin(), cost.end(), 0.0), 15.0, 1e-9);
   EXPECT_NEAR(window.total_windowed_state(), 6.0, 1e-9);
+}
+
+// Decayed tracking must not care in which order an interval's
+// observations arrived: in the eviction-free regime the candidate
+// tracker is exact, so ascending and descending record orders must
+// leave byte-identical windows — heavy set, decayed standing, counters
+// and the synthesized dense view.
+TEST(SketchStatsWindow, DecayedRollIsRecordOrderIndependent) {
+  constexpr std::size_t kKeys = 200;
+  SketchStatsConfig cfg = tiny_config(256, 0.01);
+  cfg.decay = true;
+  cfg.decay_beta = 0.5;
+  SketchStatsWindow asc(kKeys, 2, cfg);
+  SketchStatsWindow desc(kKeys, 2, cfg);
+  for (int interval = 0; interval < 3; ++interval) {
+    const auto count_of = [interval](std::size_t k) {
+      return static_cast<double>((k * 7 + static_cast<std::size_t>(interval)) %
+                                 5);
+    };
+    for (std::size_t k = 0; k < kKeys; ++k) {
+      if (count_of(k) == 0.0) continue;
+      asc.record(static_cast<KeyId>(k), count_of(k), 4.0 * count_of(k));
+    }
+    for (std::size_t k = kKeys; k-- > 0;) {
+      if (count_of(k) == 0.0) continue;
+      desc.record(static_cast<KeyId>(k), count_of(k), 4.0 * count_of(k));
+    }
+    asc.roll();
+    desc.roll();
+    ASSERT_EQ(asc.heavy_keys(), desc.heavy_keys()) << "interval " << interval;
+    EXPECT_EQ(asc.decayed_total_cost(), desc.decayed_total_cost());
+    EXPECT_EQ(asc.total_promotions(), desc.total_promotions());
+    EXPECT_EQ(asc.total_demotions(), desc.total_demotions());
+    std::vector<Cost> cost_a, cost_d;
+    std::vector<Bytes> state_a, state_d;
+    asc.synthesize_dense(cost_a, state_a);
+    desc.synthesize_dense(cost_d, state_d);
+    EXPECT_EQ(cost_a, cost_d) << "interval " << interval;
+    EXPECT_EQ(state_a, state_d) << "interval " << interval;
+  }
+}
+
+// Displacement demotion returns the victim's mass to the cold tier
+// EXACTLY: scalar totals, the per-instance residual at the victim's
+// recorded destination, and the windowed-state schedule (credited ring
+// slots expire when the originals would have).
+TEST(SketchStatsWindow, DemotedKeyMassReturnsToColdTierExactly) {
+  SketchStatsConfig cfg = tiny_config(2, 0.1);
+  cfg.decay = true;
+  cfg.decay_beta = 0.5;
+  SketchStatsWindow w(16, 2, cfg);
+  StatsWindow exact(16, 2);
+  const auto both = [&](KeyId key, Cost cost, Bytes bytes, std::uint64_t freq,
+                        InstanceId dest) {
+    w.record(key, cost, bytes, freq, dest);
+    exact.record(key, cost, bytes, freq, dest);
+  };
+
+  // Interval 0: X and Z fill the two heavy slots.
+  both(/*X=*/3, 10.0, 40.0, 10, /*dest=*/0);
+  both(/*Z=*/5, 8.0, 32.0, 8, /*dest=*/1);
+  w.roll();
+  exact.roll();
+  ASSERT_TRUE(w.is_heavy(3));
+  ASSERT_TRUE(w.is_heavy(5));
+
+  // Interval 1: Y arrives far stronger than the weakest incumbent Z
+  // (decayed standing 0.5·8 = 4 < guaranteed 100 / kDisplaceMargin), so
+  // the roll displaces Z for Y while Z still holds windowed state.
+  both(/*Y=*/7, 100.0, 400.0, 100, /*dest=*/0);
+  both(3, 6.0, 24.0, 6, 0);
+  w.roll();
+  exact.roll();
+  EXPECT_TRUE(w.is_heavy(3));
+  EXPECT_TRUE(w.is_heavy(7));
+  EXPECT_FALSE(w.is_heavy(5));
+  EXPECT_EQ(w.last_promotions(), 1u);
+  EXPECT_EQ(w.last_demotions(), 1u);
+  EXPECT_EQ(w.total_promotions(), 3u);
+  EXPECT_EQ(w.total_demotions(), 1u);
+
+  // Z's 32 bytes of windowed state survived the demotion: the aggregate
+  // totals stay exactly equal to the exact window's. The per-key cold
+  // estimate only promises the upper-bound side — promotion cannot debit
+  // individual Count-Min cells, so the demotion credit stacks on the
+  // original residue.
+  EXPECT_EQ(w.total_windowed_state(), exact.total_windowed_state());
+  EXPECT_GE(w.windowed_state_of(5), 32.0);
+
+  // Compact residuals: Z's state sits on its recorded destination; the
+  // hot tier carries everything else, so cold cost is zero.
+  std::vector<KeyId> keys;
+  std::vector<Cost> hot_cost, cold_cost;
+  std::vector<Bytes> hot_state, cold_state;
+  w.synthesize_compact(2, keys, hot_cost, hot_state, cold_cost, cold_state);
+  EXPECT_EQ(keys, (std::vector<KeyId>{3, 7}));
+  EXPECT_EQ(cold_cost, (std::vector<Cost>{0.0, 0.0}));
+  EXPECT_EQ(cold_state, (std::vector<Bytes>{0.0, 32.0}));
+
+  // One more idle interval rolls Z's credited slot out of the w = 2
+  // window on the schedule the mass originally accrued on.
+  w.roll();
+  exact.roll();
+  EXPECT_EQ(w.total_windowed_state(), exact.total_windowed_state());
+  EXPECT_EQ(w.windowed_state_of(5), 0.0);
+}
+
+// A marginally stronger candidate must NOT displace an incumbent — the
+// kDisplaceMargin hysteresis requires a clear gap — but sustained mass
+// accumulates decayed standing until the gap is clear.
+TEST(SketchStatsWindow, DisplacementRequiresClearMargin) {
+  SketchStatsConfig cfg = tiny_config(1, 0.0);
+  cfg.decay = true;
+  cfg.decay_beta = 0.5;
+  SketchStatsWindow w(16, 1, cfg);
+  w.record(3, 10.0, 0.0);
+  w.roll();
+  ASSERT_TRUE(w.is_heavy(3));
+
+  // X's standing decays to 5; Y's guaranteed 9 ≤ 2 · 5: no displacement.
+  w.record(7, 9.0, 0.0);
+  w.roll();
+  EXPECT_TRUE(w.is_heavy(3));
+  EXPECT_FALSE(w.is_heavy(7));
+  EXPECT_EQ(w.total_demotions(), 0u);
+
+  // Another 9 compounds Y's standing to 0.5·9 + 9 = 13.5 against X's
+  // 2.5: the gap is clear and Y takes the slot.
+  w.record(7, 9.0, 0.0);
+  w.roll();
+  EXPECT_FALSE(w.is_heavy(3));
+  EXPECT_TRUE(w.is_heavy(7));
+  EXPECT_EQ(w.total_demotions(), 1u);
+  EXPECT_EQ(w.total_promotions(), 2u);
+}
+
+// The two promotion modes backfill the promotion interval differently,
+// and the difference is exactly the Space-Saving inherited error: the
+// legacy path writes the upper bound (count, over-debiting the cold
+// aggregates by the error), the decayed path writes the guaranteed
+// observation (count − error, never an over-debit).
+TEST(SketchStatsWindow, BackfillUpperBoundWithoutDecayGuaranteedWithIt) {
+  const auto feed = [](SketchStatsWindow& w) {
+    // Six unit-weight keys against capacity 4 force evictions; key 9
+    // then inserts by evicting the minimum entry (count 1), inheriting
+    // error 1: tracked count 51 for 50 of true mass.
+    for (KeyId k = 0; k < 6; ++k) w.record(k, 1.0, 0.0);
+    w.record(9, 50.0, 0.0);
+    w.roll();
+  };
+  SketchStatsConfig cfg = tiny_config(4, 0.1);
+  cfg.decay = false;
+  SketchStatsWindow legacy(16, 1, cfg);
+  feed(legacy);
+  ASSERT_TRUE(legacy.is_heavy(9));
+  EXPECT_EQ(legacy.last_cost_of(9), 51.0);
+
+  cfg.decay = true;
+  SketchStatsWindow decayed(16, 1, cfg);
+  feed(decayed);
+  ASSERT_TRUE(decayed.is_heavy(9));
+  EXPECT_EQ(decayed.last_cost_of(9), 50.0);
+}
+
+// With decay disabled the decay-only knobs must be inert: the legacy
+// path's behavior is a function of the legacy configuration alone.
+TEST(SketchStatsWindow, NoDecayIgnoresDecayKnobs) {
+  const auto run = [](double beta, double demote_fraction,
+                      std::vector<Cost>& cost, std::vector<Bytes>& state) {
+    SketchStatsConfig cfg = tiny_config(8, 0.05);
+    cfg.decay = false;
+    cfg.decay_beta = beta;
+    cfg.demote_fraction = demote_fraction;
+    SketchStatsWindow w(64, 2, cfg);
+    const ZipfDistribution zipf(64, 1.0, true, 3);
+    Xoshiro256 rng(17);
+    for (int interval = 0; interval < 4; ++interval) {
+      for (int i = 0; i < 2000; ++i) w.record(zipf.sample(rng), 1.0, 4.0);
+      w.roll();
+    }
+    w.synthesize_dense(cost, state);
+  };
+  std::vector<Cost> cost_a, cost_b;
+  std::vector<Bytes> state_a, state_b;
+  run(0.3, 0.0, cost_a, state_a);
+  run(0.9, 0.7, cost_b, state_b);
+  EXPECT_EQ(cost_a, cost_b);
+  EXPECT_EQ(state_a, state_b);
 }
 
 TEST(SketchStatsWindowDeath, NegativeCostRejected) {

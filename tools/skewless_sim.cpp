@@ -7,7 +7,8 @@
 //
 // Strategies: mixed | mintable | minmig | mixedbf | compact | readj |
 //             dkg | hash | shuffle | pkg
-// Workloads:  zipf (Table II generator) | social | stock
+// Workloads:  zipf (Table II generator) | social | stock |
+//             adversarial (--attack rotating|skew-flip|pareto|churn|collision)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "core/planners.h"
 #include "engine/sim_engine.h"
 #include "engine/threaded_engine.h"
+#include "workload/adversarial.h"
 #include "workload/operators.h"
 #include "workload/social.h"
 #include "workload/stock.h"
@@ -47,6 +49,9 @@ struct Args {
   std::uint64_t seed = 7;
   StatsMode stats_mode = StatsMode::kExact;
   SketchStatsConfig sketch = {};
+  /// Adversarial workload: which attack pattern to run.
+  std::string attack = "rotating";
+  int rotation_period = 3;
   /// "sim" = deterministic simulation engine; "threaded" = real worker
   /// threads (one per instance) over bounded queues.
   std::string engine = "sim";
@@ -63,12 +68,15 @@ struct Args {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workload zipf|social|stock] [--planner NAME]\n"
+      "usage: %s [--workload zipf|social|stock|adversarial] [--planner NAME]\n"
       "          [--keys N] [--instances N] [--theta X] [--intervals N]\n"
       "          [--skew Z] [--fluctuation F] [--fluctuate-every N]\n"
       "          [--amax N] [--window W] [--tuples N] [--cost US]\n"
       "          [--seed N] [--stats exact|sketch] [--sketch-eps X]\n"
       "          [--sketch-delta X] [--heavy N]\n"
+      "          [--no-decay] [--decay-beta B] [--demote-fraction X]\n"
+      "          [--attack rotating|skew-flip|pareto|churn|collision]\n"
+      "          [--rotation-period N]\n"
       "          [--engine sim|threaded] [--batch N] [--pin]\n"
       "          [--inline-merge]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
@@ -129,6 +137,20 @@ Args parse(int argc, char** argv) {
       args.sketch.delta = std::atof(need_value());
     } else if (flag == "--heavy") {
       args.sketch.heavy_capacity = std::strtoull(need_value(), nullptr, 10);
+    } else if (flag == "--no-decay") {
+      args.sketch.decay = false;
+    } else if (flag == "--decay-beta") {
+      args.sketch.decay_beta = std::atof(need_value());
+    } else if (flag == "--demote-fraction") {
+      args.sketch.demote_fraction = std::atof(need_value());
+    } else if (flag == "--attack") {
+      args.attack = need_value();
+      if (!parse_attack(args.attack)) {
+        std::fprintf(stderr, "unknown attack: %s\n", args.attack.c_str());
+        usage(argv[0]);
+      }
+    } else if (flag == "--rotation-period") {
+      args.rotation_period = std::atoi(need_value());
     } else if (flag == "--engine") {
       args.engine = need_value();
       if (args.engine != "sim" && args.engine != "threaded") {
@@ -156,6 +178,15 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "invalid sketch tuning: need --heavy >= 1 and "
                  "--sketch-eps/--sketch-delta in (0, 1)\n");
+    usage(argv[0]);
+  }
+  if (args.rotation_period < 1 ||
+      (args.sketch.decay &&
+       (args.sketch.decay_beta <= 0.0 || args.sketch.decay_beta >= 1.0)) ||
+      args.sketch.demote_fraction < 0.0 || args.sketch.demote_fraction >= 1.0) {
+    std::fprintf(stderr,
+                 "invalid decay/attack tuning: need --rotation-period >= 1, "
+                 "--decay-beta in (0, 1), --demote-fraction in [0, 1)\n");
     usage(argv[0]);
   }
   return args;
@@ -188,6 +219,20 @@ std::unique_ptr<WorkloadSource> make_source(const Args& args) {
     opts.tuples_per_interval = args.tuples;
     opts.seed = args.seed;
     return std::make_unique<StockSource>(opts);
+  }
+  if (args.workload == "adversarial") {
+    AdversarialSource::Options opts;
+    opts.attack = *parse_attack(args.attack);
+    opts.num_keys = args.keys;
+    opts.tuples_per_interval = args.tuples;
+    opts.seed = args.seed;
+    opts.rotation_period = args.rotation_period;
+    // The collision attack engineers keys against the run's own sketch
+    // family; with the fine default ε the bounded scan finds few full
+    // collisions (see adversarial.cpp) — pass a coarse --sketch-eps to
+    // make it bite.
+    opts.sketch = args.sketch;
+    return std::make_unique<AdversarialSource>(opts);
   }
   std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
   std::exit(2);
@@ -284,11 +329,13 @@ int run_threaded(const Args& args, char* argv0) {
     std::fprintf(stderr,
                  "# rebalances=%zu total_generation_micros=%lld "
                  "total_migrated_bytes=%.0f controller_merge_ms=%.3f "
-                 "controller_stall_ms=%.3f\n",
+                 "controller_stall_ms=%.3f promotions=%llu demotions=%llu\n",
                  ctrl->rebalance_count(),
                  static_cast<long long>(ctrl->total_generation_micros()),
                  ctrl->total_migrated_bytes(), ctrl->total_merge_ms(),
-                 ctrl->total_stall_ms());
+                 ctrl->total_stall_ms(),
+                 static_cast<unsigned long long>(ctrl->heavy_promotions()),
+                 static_cast<unsigned long long>(ctrl->heavy_demotions()));
   }
   return 0;
 }
@@ -363,10 +410,12 @@ int main(int argc, char** argv) {
   if (ctrl != nullptr) {
     std::fprintf(stderr,
                  "# rebalances=%zu total_generation_micros=%lld "
-                 "total_migrated_bytes=%.0f\n",
+                 "total_migrated_bytes=%.0f promotions=%llu demotions=%llu\n",
                  ctrl->rebalance_count(),
                  static_cast<long long>(ctrl->total_generation_micros()),
-                 ctrl->total_migrated_bytes());
+                 ctrl->total_migrated_bytes(),
+                 static_cast<unsigned long long>(ctrl->heavy_promotions()),
+                 static_cast<unsigned long long>(ctrl->heavy_demotions()));
   }
   return 0;
 }
