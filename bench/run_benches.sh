@@ -27,6 +27,11 @@
 #       decayed tracker's heavy-set churn rate is >= 2x lower than the
 #       --no-decay baseline, and its realized post-rebalance theta stays
 #       within the sketch-vs-exact tolerance.
+#   bench_micro_net      -> BENCH_net.json
+#       socket engine: forked-worker 1M-key run sustains >= 0.5x the
+#       threaded engine's throughput with IDENTICAL plan digests, and a
+#       plan broadcast on the control channel round-trips >= 5x faster
+#       than the saturated data channel drains.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +42,7 @@ BENCHES=(
   bench_micro_threaded:BENCH_threaded.json
   bench_micro_plan:BENCH_plan.json
   bench_micro_churn:BENCH_churn.json
+  bench_micro_net:BENCH_net.json
 )
 
 status=0

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "sketch/sketch_stats_window.h"
 
 namespace skewless {
@@ -93,6 +94,7 @@ std::optional<RebalancePlan> Controller::end_interval() {
   // key-by-key before and after.
   for (const KeyMove& mv : plan.moves) assignment_.apply(mv.key, mv.to);
   ++rebalance_count_;
+  plan_digest_ = mix64(plan_digest_ ^ plan_value_digest(plan));
   total_generation_micros_ += plan.generation_micros;
   total_migrated_bytes_ += plan.migration_bytes;
   SKW_LOG_INFO(

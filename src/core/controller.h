@@ -122,6 +122,15 @@ class Controller {
     return total_migrated_bytes_;
   }
 
+  /// Running digest over every plan this controller decided, chained in
+  /// decision order from plan_value_digest (wall-clock fields excluded).
+  /// Two controllers that made identical rebalance decisions — same
+  /// plans, same order — hold equal digests; the net-vs-threaded
+  /// determinism test compares exactly this.
+  [[nodiscard]] std::uint64_t plan_history_digest() const {
+    return plan_digest_;
+  }
+
   /// Boundary accounting fed by the engine after each interval: time
   /// spent absorbing worker statistics into the provider (merge) and
   /// time tuple ingestion was blocked at the boundary (stall — the
@@ -144,6 +153,7 @@ class Controller {
   PartitionSnapshot last_snapshot_;
   double last_observed_theta_ = 0.0;
   std::size_t rebalance_count_ = 0;
+  std::uint64_t plan_digest_ = 0;
   Micros total_generation_micros_ = 0;
   Bytes total_migrated_bytes_ = 0;
   double total_merge_ms_ = 0.0;

@@ -1,8 +1,31 @@
 #include "core/plan.h"
 
+#include <bit>
+
 #include "common/assert.h"
+#include "common/rng.h"
 
 namespace skewless {
+
+std::uint64_t plan_value_digest(const RebalancePlan& plan) {
+  const auto fbits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  std::uint64_t d = mix64(0x9e3779b97f4a7c15ULL ^ plan.assignment.size());
+  for (const InstanceId dest : plan.assignment) {
+    d = mix64(d ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)));
+  }
+  d = mix64(d ^ plan.moves.size());
+  for (const KeyMove& mv : plan.moves) {
+    d = mix64(d ^ mv.key);
+    d = mix64(d ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(mv.from)));
+    d = mix64(d ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(mv.to)));
+    d = mix64(d ^ fbits(mv.state_bytes));
+  }
+  d = mix64(d ^ plan.table_size);
+  d = mix64(d ^ fbits(plan.migration_bytes));
+  d = mix64(d ^ fbits(plan.achieved_theta));
+  d = mix64(d ^ ((plan.balanced ? 2u : 0u) | (plan.table_fits ? 1u : 0u)));
+  return d;
+}
 
 RebalancePlan finalize_plan(const PartitionSnapshot& snap,
                             std::vector<InstanceId> assignment,

@@ -46,6 +46,16 @@ struct RebalancePlan {
   [[nodiscard]] std::size_t num_moves() const { return moves.size(); }
 };
 
+/// Order-sensitive digest of a plan's VALUE: assignment, moves, table
+/// size, migration bytes, the bit patterns of the float fields and the
+/// boolean verdicts — everything EXCEPT generation_micros, which is wall
+/// clock and legitimately differs between two runs that decided the same
+/// plan. Two plans digest equal iff a rebalance decision was identical;
+/// the determinism tests chain these across intervals to compare a
+/// distributed run against the in-process reference without shipping
+/// whole plans around.
+[[nodiscard]] std::uint64_t plan_value_digest(const RebalancePlan& plan);
+
 /// Planner tuning knobs (Table II parameters).
 struct PlannerConfig {
   /// θmax — tolerance on load imbalance.

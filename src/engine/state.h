@@ -13,7 +13,7 @@
 
 #include "common/assert.h"
 #include "common/types.h"
-#include "engine/serde.h"
+#include "common/serde.h"
 
 namespace skewless {
 

@@ -1,0 +1,163 @@
+#include "net/channel.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace skewless {
+
+bool make_socket_pair(int fds[2], std::string& error) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    error = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    bytes_sent_ = other.bytes_sent_;
+    bytes_received_ = other.bytes_received_;
+    last_error_ = std::move(other.last_error_);
+  }
+  return *this;
+}
+
+void FrameChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool FrameChannel::send(FrameType type, std::uint64_t epoch,
+                        const std::uint8_t* payload, std::size_t size) {
+  if (fd_ < 0) {
+    last_error_ = "send on closed channel";
+    return false;
+  }
+  std::uint8_t header[kFrameHeaderBytes];
+  {
+    ByteWriter w;
+    encode_frame_header(w, type, epoch, static_cast<std::uint32_t>(size));
+    std::memcpy(header, w.bytes().data(), kFrameHeaderBytes);
+  }
+  // One sendmsg for header + payload when possible; partial writes fall
+  // back to byte-offset resumption across both pieces. MSG_NOSIGNAL: a
+  // dead peer surfaces as EPIPE here, never as a process-killing SIGPIPE.
+  struct Piece {
+    const std::uint8_t* data;
+    std::size_t size;
+  };
+  const Piece pieces[2] = {{header, kFrameHeaderBytes}, {payload, size}};
+  std::size_t piece = 0;
+  std::size_t offset = 0;
+  while (piece < 2) {
+    if (pieces[piece].size == offset) {
+      ++piece;
+      offset = 0;
+      continue;
+    }
+    struct iovec iov[2];
+    int iovcnt = 0;
+    for (std::size_t p = piece; p < 2; ++p) {
+      const std::size_t skip = p == piece ? offset : 0;
+      if (pieces[p].size == skip) continue;
+      iov[iovcnt].iov_base =
+          const_cast<std::uint8_t*>(pieces[p].data + skip);
+      iov[iovcnt].iov_len = pieces[p].size - skip;
+      ++iovcnt;
+    }
+    if (iovcnt == 0) break;
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = std::string("sendmsg: ") + std::strerror(errno);
+      return false;
+    }
+    bytes_sent_ += static_cast<std::uint64_t>(n);
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (advanced > 0 && piece < 2) {
+      const std::size_t left = pieces[piece].size - offset;
+      if (advanced < left) {
+        offset += advanced;
+        advanced = 0;
+      } else {
+        advanced -= left;
+        ++piece;
+        offset = 0;
+      }
+    }
+  }
+  return true;
+}
+
+bool FrameChannel::read_exact(std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (r == 0) {
+      last_error_ = "peer closed the connection";
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+    bytes_received_ += static_cast<std::uint64_t>(r);
+  }
+  return true;
+}
+
+bool FrameChannel::recv(FrameHeader& header,
+                        std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) {
+    last_error_ = "recv on closed channel";
+    return false;
+  }
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!read_exact(raw, kFrameHeaderBytes)) return false;
+  if (!decode_frame_header(raw, kFrameHeaderBytes, header, last_error_)) {
+    return false;
+  }
+  payload.resize(header.payload_size);
+  if (header.payload_size > 0 &&
+      !read_exact(payload.data(), header.payload_size)) {
+    return false;
+  }
+  return true;
+}
+
+int FrameChannel::wait_readable(int timeout_ms) {
+  struct pollfd pfd = {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  while (true) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = std::string("poll: ") + std::strerror(errno);
+      return -1;
+    }
+    if (r == 0) return 0;
+    // Readable data (or an EOF, which recv() reports cleanly) counts;
+    // a bare error/hangup with nothing buffered is -1.
+    if ((pfd.revents & (POLLIN | POLLHUP)) != 0) return 1;
+    last_error_ = "poll: socket error";
+    return -1;
+  }
+}
+
+}  // namespace skewless

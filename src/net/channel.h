@@ -1,0 +1,81 @@
+// One framed, bidirectional byte channel over a connected stream socket.
+//
+// The engine gives every worker TWO of these over separate socketpairs:
+// a data channel (tuple batches — the one that backpressures) and a
+// control channel (seals, heavy sets, plans, migration). Keeping them on
+// separate sockets is the whole point: a control frame is written to and
+// read from its own kernel buffer, so it can never queue behind a data
+// backlog — the force_push lesson from the in-process engine, applied to
+// sockets.
+//
+// Error model: send/recv return false and record a human-readable reason
+// (last_error()). A FrameChannel never aborts on peer-supplied bytes —
+// the owner drops the connection instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "net/frame.h"
+
+namespace skewless {
+
+/// Creates a connected AF_UNIX SOCK_STREAM pair (loopback, no ports).
+/// Returns false with `error` set on failure.
+[[nodiscard]] bool make_socket_pair(int fds[2], std::string& error);
+
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel() { close(); }
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+  FrameChannel(FrameChannel&& other) noexcept { *this = std::move(other); }
+  FrameChannel& operator=(FrameChannel&& other) noexcept;
+
+  /// Writes one complete frame (header + payload), looping over partial
+  /// writes and EINTR. Blocks when the socket buffer is full — which is
+  /// exactly the backpressure the data channel wants and the control
+  /// channel avoids by carrying only small frames.
+  [[nodiscard]] bool send(FrameType type, std::uint64_t epoch,
+                          const std::uint8_t* payload, std::size_t size);
+  [[nodiscard]] bool send(FrameType type, std::uint64_t epoch,
+                          const ByteWriter& payload) {
+    return send(type, epoch, payload.bytes().data(), payload.size());
+  }
+
+  /// Reads one complete frame. The header is validated (magic, version,
+  /// type, payload cap) before the payload is read; `payload` is resized
+  /// to exactly the payload bytes. Returns false on EOF, a socket error,
+  /// or a rejected header.
+  [[nodiscard]] bool recv(FrameHeader& header,
+                          std::vector<std::uint8_t>& payload);
+
+  /// Poll for readability: 1 = readable, 0 = timed out, -1 = error/hup
+  /// with nothing to read. timeout_ms < 0 blocks indefinitely.
+  [[nodiscard]] int wait_readable(int timeout_ms);
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+
+  void close();
+
+ private:
+  [[nodiscard]] bool read_exact(std::uint8_t* dst, std::size_t n);
+
+  int fd_ = -1;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace skewless

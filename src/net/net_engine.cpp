@@ -1,0 +1,578 @@
+#include "net/net_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/assert.h"
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "net/worker_main.h"
+#include "sketch/sketch_stats_window.h"
+
+namespace skewless {
+namespace {
+
+Micros steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Realized imbalance max|c_d - avg|/avg (same as the threaded engine).
+double max_theta_of(const std::vector<double>& worker_cost) {
+  double total = 0.0;
+  for (const double c : worker_cost) total += c;
+  if (total <= 0.0) return 0.0;
+  const double avg = total / static_cast<double>(worker_cost.size());
+  double worst = 0.0;
+  for (const double c : worker_cost) {
+    worst = std::max(worst, std::abs(c - avg) / avg);
+  }
+  return worst;
+}
+
+}  // namespace
+
+NetEngine::NetEngine(NetConfig config, std::shared_ptr<OperatorLogic> logic,
+                     std::unique_ptr<Controller> controller)
+    : config_(config),
+      logic_(std::move(logic)),
+      controller_(std::move(controller)) {
+  SKW_EXPECTS(logic_ != nullptr);
+  SKW_EXPECTS(controller_ != nullptr);
+  sketch_sink_ = controller_->sketch_stats();
+  // The boundary summary IS the serialized sketch slab; there is no
+  // exact-mode wire format (it would be O(|K|) per worker per interval).
+  SKW_EXPECTS(sketch_sink_ != nullptr);
+  num_workers_ = controller_->num_instances();
+  SKW_EXPECTS(num_workers_ > 0);
+  engine_epoch_us_ = steady_now_us();
+  pending_batches_.resize(static_cast<std::size_t>(num_workers_));
+  scratch_slab_ = std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+  spawn_workers();
+  if (ok() && !handshake()) {
+    SKW_ASSERT(!ok());  // handshake failure went through fail()
+  }
+}
+
+NetEngine::~NetEngine() { shutdown(); }
+
+void NetEngine::spawn_workers() {
+  const auto n = static_cast<std::size_t>(num_workers_);
+  workers_.resize(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    int data_fds[2];
+    int ctrl_fds[2];
+    std::string err;
+    if (!make_socket_pair(data_fds, err) || !make_socket_pair(ctrl_fds, err)) {
+      fail("spawn: " + err);
+      return;
+    }
+    if (config_.data_sndbuf_bytes > 0) {
+      // Best-effort: the kernel clamps unprivileged requests to wmem_max.
+      const int v = config_.data_sndbuf_bytes;
+      (void)::setsockopt(data_fds[0], SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(data_fds[0]);
+      ::close(data_fds[1]);
+      ::close(ctrl_fds[0]);
+      ::close(ctrl_fds[1]);
+      fail("spawn: fork failed");
+      return;
+    }
+    if (pid == 0) {
+      // Child: keep only this worker's child-side fds. The parent-side
+      // fds of every worker spawned so far (including ours) were
+      // inherited by the fork and must go — a held write end would keep
+      // a dead driver's sockets half-open.
+      for (std::size_t p = 0; p < w; ++p) {
+        workers_[p].data.close();
+        workers_[p].ctrl.close();
+      }
+      ::close(data_fds[0]);
+      ::close(ctrl_fds[0]);
+      NetWorkerOptions options;
+      options.worker_id = static_cast<std::uint32_t>(w);
+      options.num_workers = static_cast<std::uint32_t>(num_workers_);
+      options.sketch = sketch_sink_->config();
+      options.engine_epoch_us = engine_epoch_us_;
+      const int rc =
+          run_net_worker(data_fds[1], ctrl_fds[1], options, *logic_);
+      // _Exit: the child shares the parent's heap image; running static
+      // destructors or flushing duplicated stdio here would corrupt the
+      // driver's observable behavior.
+      std::_Exit(rc);
+    }
+    ::close(data_fds[1]);
+    ::close(ctrl_fds[1]);
+    workers_[w].data = FrameChannel(data_fds[0]);
+    workers_[w].ctrl = FrameChannel(ctrl_fds[0]);
+    workers_[w].pid = pid;
+  }
+}
+
+bool NetEngine::handshake() {
+  // Hello round-trip on every ctrl channel: proves each worker is alive
+  // and speaks this build's wire version before any data flows. A
+  // version-mismatched peer is rejected by the frame decoder on either
+  // side with a clear error.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    HelloPayload hello;
+    hello.worker_id = static_cast<std::uint32_t>(w);
+    hello.num_workers = static_cast<std::uint32_t>(num_workers_);
+    frame_scratch_.clear();
+    encode_hello(frame_scratch_, hello);
+    if (!workers_[w].ctrl.send(FrameType::kHello, 0, frame_scratch_)) {
+      fail("handshake send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return false;
+    }
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    FrameHeader header;
+    if (!recv_ctrl(w, FrameType::kHello, header, recv_scratch_)) return false;
+    ByteReader in(recv_scratch_, ByteReader::Untrusted{});
+    HelloPayload echo;
+    if (!decode_hello(in, echo) ||
+        echo.worker_id != static_cast<std::uint32_t>(w)) {
+      fail("handshake: bad Hello echo from worker " + std::to_string(w));
+      return false;
+    }
+  }
+  return true;
+}
+
+void NetEngine::fail(const std::string& what) {
+  if (!error_.empty()) return;  // keep the first cause
+  error_ = what;
+  SKW_LOG_INFO("net engine failure: %s", error_.c_str());
+  for (Worker& worker : workers_) {
+    worker.data.close();
+    worker.ctrl.close();
+    if (worker.pid > 0) {
+      ::kill(worker.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+bool NetEngine::recv_ctrl(std::size_t w, FrameType type, FrameHeader& header,
+                          std::vector<std::uint8_t>& payload) {
+  if (!workers_[w].ctrl.recv(header, payload)) {
+    fail("ctrl recv from worker " + std::to_string(w) + ": " +
+         workers_[w].ctrl.last_error());
+    return false;
+  }
+  if (header.type != type) {
+    fail(std::string("protocol: expected ") + frame_type_name(type) +
+         " from worker " + std::to_string(w) + ", got " +
+         frame_type_name(header.type));
+    return false;
+  }
+  return true;
+}
+
+void NetEngine::route_tuple(const Tuple& tuple) {
+  const InstanceId d = controller_->assignment()(tuple.key);
+  auto& batch = pending_batches_[static_cast<std::size_t>(d)];
+  batch.push_back(tuple);
+  if (batch.size() >= config_.batch_size) flush_batch(d);
+}
+
+void NetEngine::flush_batch(InstanceId d) {
+  const auto di = static_cast<std::size_t>(d);
+  auto& batch = pending_batches_[di];
+  if (batch.empty() || !ok()) return;
+  frame_scratch_.clear();
+  encode_tuple_batch(frame_scratch_, batch);
+  batch.clear();
+  const auto epoch = static_cast<std::uint64_t>(interval_) + 1;
+  if (!workers_[di].data.send(FrameType::kBatch, epoch, frame_scratch_)) {
+    fail("data send to worker " + std::to_string(di) + ": " +
+         workers_[di].data.last_error());
+    return;
+  }
+  ++workers_[di].batches_sent;
+}
+
+void NetEngine::flush_batches() {
+  for (InstanceId d = 0; d < num_workers_; ++d) flush_batch(d);
+}
+
+std::uint64_t NetEngine::wire_bytes_data() const {
+  std::uint64_t total = 0;
+  for (const Worker& w : workers_) {
+    total += w.data.bytes_sent() + w.data.bytes_received();
+  }
+  return total;
+}
+
+std::uint64_t NetEngine::wire_bytes_ctrl() const {
+  std::uint64_t total = 0;
+  for (const Worker& w : workers_) {
+    total += w.ctrl.bytes_sent() + w.ctrl.bytes_received();
+  }
+  return total;
+}
+
+NetIntervalReport NetEngine::ingest(const std::vector<Tuple>& tuples) {
+  NetIntervalReport report;
+  report.interval = interval_;
+  if (!ok() || stopped_) return report;
+  if (!interval_open_) {
+    interval_open_ = true;
+    open_interval_wall_ms_ = 0.0;
+    wire_mark_data_ = wire_bytes_data();
+    wire_mark_ctrl_ = wire_bytes_ctrl();
+  }
+  WallTimer timer;
+  for (Tuple t : tuples) {
+    t.emit_micros = steady_now_us() - engine_epoch_us_;
+    route_tuple(t);
+    if (!ok()) return report;
+    ++report.emitted;
+  }
+  total_emitted_ += report.emitted;
+  open_interval_wall_ms_ += timer.elapsed_millis();
+  report.wall_ms = open_interval_wall_ms_;
+  return report;
+}
+
+bool NetEngine::absorb_summaries(std::uint64_t epoch,
+                                 NetIntervalReport& report) {
+  double latency_sum = 0.0;
+  std::uint64_t latency_n = 0;
+  std::vector<double> worker_cost(workers_.size(), 0.0);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    FrameHeader header;
+    if (!recv_ctrl(w, FrameType::kSummary, header, recv_scratch_)) {
+      return false;
+    }
+    if (header.epoch != epoch) {
+      fail("protocol: Summary for epoch " + std::to_string(header.epoch) +
+           " from worker " + std::to_string(w) + ", expected " +
+           std::to_string(epoch));
+      return false;
+    }
+    ByteReader in(recv_scratch_, ByteReader::Untrusted{});
+    if (!scratch_slab_->deserialize_from(in) || !in.exhausted() ||
+        scratch_slab_->epoch() != epoch) {
+      fail("corrupt boundary summary from worker " + std::to_string(w));
+      return false;
+    }
+    const WorkerSketchSlab::IntervalScalars& sc = scratch_slab_->scalars();
+    report.processed += sc.processed;
+    latency_sum += sc.latency_sum_us;
+    latency_n += sc.latency_samples;
+    worker_cost[w] = scratch_slab_->total_cost();
+    report.stats_memory_bytes += scratch_slab_->memory_bytes();
+    // Worker-index order — the same fixed absorb order as the threaded
+    // engine's boundary merge, and for the same reason: the merged
+    // window must be byte-identical no matter which worker's summary
+    // crossed the wire first. Worker w IS instance w (cold-residual
+    // attribution).
+    WallTimer merge_timer;
+    sketch_sink_->absorb(*scratch_slab_, static_cast<InstanceId>(w));
+    report.merge_ms += merge_timer.elapsed_millis();
+  }
+  report.avg_latency_ms =
+      latency_n > 0 ? latency_sum / static_cast<double>(latency_n) / 1000.0
+                    : 0.0;
+  report.max_theta = max_theta_of(worker_cost);
+  return true;
+}
+
+bool NetEngine::execute_migration(const RebalancePlan& plan,
+                                  NetIntervalReport& report) {
+  const auto n = static_cast<std::size_t>(num_workers_);
+  std::vector<std::vector<KeyId>> by_source(n);
+  for (const KeyMove& mv : plan.moves) {
+    by_source[static_cast<std::size_t>(mv.from)].push_back(mv.key);
+  }
+  std::unordered_map<KeyId, InstanceId> dest_of;
+  dest_of.reserve(plan.moves.size());
+  for (const KeyMove& mv : plan.moves) dest_of.emplace(mv.key, mv.to);
+
+  for (std::size_t w = 0; w < n; ++w) {
+    if (by_source[w].empty()) continue;
+    frame_scratch_.clear();
+    encode_key_list(frame_scratch_, by_source[w]);
+    if (!workers_[w].ctrl.send(FrameType::kExtract, 0, frame_scratch_)) {
+      fail("Extract send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return false;
+    }
+  }
+
+  // Collect per source in ascending order and regroup by destination.
+  // The blobs stay opaque bytes end to end: the driver routes state, it
+  // never materializes it.
+  std::vector<std::vector<WireKeyState>> by_dest(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (by_source[w].empty()) continue;
+    FrameHeader header;
+    if (!recv_ctrl(w, FrameType::kMigrated, header, recv_scratch_)) {
+      return false;
+    }
+    ByteReader in(recv_scratch_, ByteReader::Untrusted{});
+    std::vector<WireKeyState> extracted;
+    if (!decode_key_states(in, extracted) || !in.exhausted()) {
+      fail("corrupt Migrated payload from worker " + std::to_string(w));
+      return false;
+    }
+    for (WireKeyState& wire : extracted) {
+      const auto it = dest_of.find(wire.key);
+      if (it == dest_of.end()) {
+        fail("Migrated key not in the plan from worker " + std::to_string(w));
+        return false;
+      }
+      report.migration_wire_bytes += static_cast<Bytes>(wire.blob.size());
+      by_dest[static_cast<std::size_t>(it->second)].push_back(
+          std::move(wire));
+    }
+  }
+
+  const auto epoch = static_cast<std::uint64_t>(interval_) + 1;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (by_dest[w].empty()) continue;
+    frame_scratch_.clear();
+    encode_key_states(frame_scratch_, by_dest[w]);
+    if (!workers_[w].ctrl.send(FrameType::kInstall, epoch, frame_scratch_)) {
+      fail("Install send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return false;
+    }
+  }
+  // The install barrier: no next-interval tuple is routed anywhere until
+  // every destination acknowledged. Without it a tuple for a moved key
+  // could reach its new owner ahead of the state and grow a fresh state
+  // the install would then collide with.
+  for (std::size_t w = 0; w < n; ++w) {
+    if (by_dest[w].empty()) continue;
+    FrameHeader header;
+    if (!recv_ctrl(w, FrameType::kInstallAck, header, recv_scratch_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NetEngine::broadcast_heavy_set() {
+  const std::vector<KeyId> keys = sketch_sink_->heavy_keys();
+  frame_scratch_.clear();
+  encode_key_list(frame_scratch_, keys);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].ctrl.send(FrameType::kHeavySet, 0, frame_scratch_)) {
+      fail("HeavySet send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return false;
+    }
+  }
+  return true;
+}
+
+void NetEngine::finish_interval(NetIntervalReport& report) {
+  if (!ok() || stopped_) return;
+  if (!interval_open_) {
+    // finish without ingest: an empty interval still seals and rolls.
+    wire_mark_data_ = wire_bytes_data();
+    wire_mark_ctrl_ = wire_bytes_ctrl();
+  }
+  WallTimer timer;
+  flush_batches();
+  const auto epoch = static_cast<std::uint64_t>(interval_) + 1;
+  // Seal on CTRL: even with the data sockets full to the brim, the seal
+  // is written to an empty buffer and read with priority — control never
+  // waits behind data.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    frame_scratch_.clear();
+    encode_seal(frame_scratch_, SealPayload{workers_[w].batches_sent});
+    if (!workers_[w].ctrl.send(FrameType::kSeal, epoch, frame_scratch_)) {
+      fail("Seal send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return;
+    }
+  }
+  if (!absorb_summaries(epoch, report)) return;
+  if (auto plan = controller_->end_interval()) {
+    report.migrated = true;
+    report.moves = plan->moves.size();
+    report.migration_bytes = plan->migration_bytes;
+    report.generation_micros = plan->generation_micros;
+    if (!execute_migration(*plan, report)) return;
+  }
+  report.max_theta = controller_->last_observed_theta();
+  report.stats_memory_bytes += controller_->stats_memory_bytes();
+  // The roll just promoted/demoted: broadcast the post-roll heavy set so
+  // the next interval's hot keys accumulate exactly in the worker slabs.
+  // Written before any next-interval batch, drained by the workers
+  // before any next-interval batch (ctrl priority).
+  if (!broadcast_heavy_set()) return;
+  if (config_.expire_lag_intervals > 0) {
+    const Micros watermark =
+        (interval_ + 1 - config_.expire_lag_intervals) * 1'000'000;
+    frame_scratch_.clear();
+    encode_expire(frame_scratch_, watermark);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].ctrl.send(FrameType::kExpire, 0, frame_scratch_)) {
+        fail("Expire send to worker " + std::to_string(w) + ": " +
+             workers_[w].ctrl.last_error());
+        return;
+      }
+    }
+  }
+  for (Worker& worker : workers_) worker.batches_sent = 0;
+  const double seg = timer.elapsed_millis();
+  report.stall_ms = seg;
+  report.wall_ms = open_interval_wall_ms_ + seg;
+  report.throughput_tps = report.wall_ms > 0.0
+                              ? static_cast<double>(report.processed) /
+                                    (report.wall_ms / 1000.0)
+                              : 0.0;
+  report.data_wire_bytes = wire_bytes_data() - wire_mark_data_;
+  report.ctrl_wire_bytes = wire_bytes_ctrl() - wire_mark_ctrl_;
+  controller_->note_boundary(report.merge_ms, report.stall_ms);
+  total_processed_ += report.processed;
+  interval_open_ = false;
+  open_interval_wall_ms_ = 0.0;
+  ++interval_;
+}
+
+NetIntervalReport NetEngine::run_interval(const std::vector<Tuple>& tuples) {
+  NetIntervalReport report = ingest(tuples);
+  finish_interval(report);
+  return report;
+}
+
+std::vector<NetIntervalReport> NetEngine::run(WorkloadSource& source,
+                                              int intervals,
+                                              std::uint64_t seed) {
+  std::vector<NetIntervalReport> reports;
+  reports.reserve(static_cast<std::size_t>(intervals));
+  Xoshiro256 rng(seed);
+
+  // Identical expansion + shuffle to ThreadedEngine::run — the
+  // byte-identity contract starts with identical tuple sequences, so the
+  // RNG must be consumed in exactly the same order.
+  const auto expand = [&](std::vector<Tuple>& tuples) {
+    const IntervalWorkload load = source.next_interval();
+    tuples.clear();
+    tuples.reserve(static_cast<std::size_t>(load.total()));
+    for (std::size_t k = 0; k < load.counts.size(); ++k) {
+      for (std::uint64_t c = 0; c < load.counts[k]; ++c) {
+        Tuple t;
+        t.key = static_cast<KeyId>(k);
+        t.value = static_cast<std::int64_t>(c);
+        tuples.push_back(t);
+      }
+    }
+    for (std::size_t j = tuples.size(); j > 1; --j) {
+      std::swap(tuples[j - 1], tuples[rng.next_below(j)]);
+    }
+  };
+
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < intervals && ok(); ++i) {
+    expand(tuples);
+    reports.push_back(run_interval(tuples));
+  }
+  return reports;
+}
+
+double NetEngine::broadcast_plan(const RebalancePlan& plan,
+                                 std::uint64_t seq) {
+  if (!ok() || stopped_) return -1.0;
+  PlanPayload payload;
+  payload.seq = seq;
+  payload.moves = plan.moves;
+  frame_scratch_.clear();
+  encode_plan(frame_scratch_, payload);
+  WallTimer timer;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].ctrl.send(FrameType::kPlan, seq, frame_scratch_)) {
+      fail("Plan send to worker " + std::to_string(w) + ": " +
+           workers_[w].ctrl.last_error());
+      return -1.0;
+    }
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    FrameHeader header;
+    if (!recv_ctrl(w, FrameType::kPlanAck, header, recv_scratch_)) {
+      return -1.0;
+    }
+    ByteReader in(recv_scratch_, ByteReader::Untrusted{});
+    AckPayload ack;
+    if (!decode_ack(in, ack) || ack.seq != seq) {
+      fail("bad PlanAck from worker " + std::to_string(w));
+      return -1.0;
+    }
+  }
+  return timer.elapsed_millis();
+}
+
+void NetEngine::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (ok()) {
+    flush_batches();
+    for (std::size_t w = 0; w < workers_.size() && ok(); ++w) {
+      frame_scratch_.clear();
+      if (!workers_[w].ctrl.send(FrameType::kStop, 0, frame_scratch_)) {
+        fail("Stop send to worker " + std::to_string(w) + ": " +
+             workers_[w].ctrl.last_error());
+      }
+    }
+    for (std::size_t w = 0; w < workers_.size() && ok(); ++w) {
+      FrameHeader header;
+      if (!recv_ctrl(w, FrameType::kFin, header, recv_scratch_)) break;
+      ByteReader in(recv_scratch_, ByteReader::Untrusted{});
+      FinPayload fin;
+      if (!decode_fin(in, fin)) {
+        fail("corrupt Fin from worker " + std::to_string(w));
+        break;
+      }
+      final_checksum_ += fin.state_checksum;
+      final_state_entries_ += fin.state_entries;
+      total_outputs_ += fin.outputs;
+    }
+  }
+  // Whether the stop handshake succeeded or fail() already killed the
+  // children, every pid must be reaped exactly once.
+  for (Worker& worker : workers_) {
+    worker.data.close();
+    worker.ctrl.close();
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      if (error_.empty() &&
+          (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+        error_ = "worker exited abnormally";
+      }
+      worker.pid = -1;
+    }
+  }
+}
+
+std::uint64_t NetEngine::state_checksum() const {
+  SKW_EXPECTS(stopped_);
+  return final_checksum_;
+}
+
+std::size_t NetEngine::total_state_entries() const {
+  SKW_EXPECTS(stopped_);
+  return final_state_entries_;
+}
+
+}  // namespace skewless

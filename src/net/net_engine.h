@@ -1,0 +1,224 @@
+// NetEngine — the distributed deployment of the single-operator engine:
+// a driver/controller process and N forked worker PROCESSES connected by
+// loopback sockets, speaking the framed wire protocol (net/frame.h).
+//
+// Topology per worker (socketpair(AF_UNIX, SOCK_STREAM), created before
+// fork — no ports, no listeners):
+//   * data channel — kBatch frames of routed tuples. This is the channel
+//     that fills up: a slow worker backpressures the driver through the
+//     kernel socket buffer, exactly like the threaded engine's bounded
+//     queues.
+//   * ctrl channel — everything else (seal, boundary summary, heavy-set
+//     broadcast, plan, migration, shutdown). A separate socket means a
+//     control frame NEVER queues behind a data backlog — the socket
+//     translation of the force_push lesson from the in-process engine.
+//
+// Epoch protocol (mirrors ThreadedEngine's inline boundary):
+//   1. the driver routes the interval's tuples as kBatch frames, counting
+//      frames per worker;
+//   2. at the boundary it sends each worker kSeal{epoch, batch count} on
+//      ctrl — the worker seals only after processing exactly that many
+//      batches, which re-establishes cross-channel ordering by content;
+//   3. each worker serializes its WorkerSketchSlab and ships it back as
+//      the kSummary boundary payload (O(sketch), never O(|K|));
+//   4. the driver absorbs the summaries IN WORKER-INDEX ORDER into the
+//      controller's SketchStatsWindow — the same fixed order as the
+//      in-process merge, which is what makes a net run byte-identical to
+//      a ThreadedEngine run on the same seed: identical plans, identical
+//      θ trajectory, identical state checksums;
+//   5. rolls/plans via Controller::end_interval, migrates state with
+//      kExtract / kMigrated / kInstall / kInstallAck (the driver forwards
+//      serialized state blobs without materializing them), broadcasts the
+//      post-roll heavy set, and only then routes the next interval.
+//
+// Failure model: any channel error, protocol violation or corrupt frame
+// records a reason (error()), kills and reaps every worker, and makes
+// further engine calls no-ops — the driver process never aborts on bytes
+// a peer sent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/types.h"
+#include "core/controller.h"
+#include "engine/operator.h"
+#include "engine/tuple.h"
+#include "engine/workload_source.h"
+#include "net/channel.h"
+#include "net/wire.h"
+#include "sketch/worker_sketch_slab.h"
+
+namespace skewless {
+
+struct NetConfig {
+  /// Tuples per kBatch frame (amortizes syscalls, as batch_size
+  /// amortizes queue locking in the threaded engine).
+  std::size_t batch_size = 256;
+  /// Window expiry watermark lag, in intervals (0 = no expiry frames).
+  int expire_lag_intervals = 0;
+  /// Requested SO_SNDBUF for the data sockets, 0 = kernel default. The
+  /// kernel clamps unprivileged values (wmem_max); this is a knob for
+  /// benches that want a specific backlog depth, not a guarantee.
+  int data_sndbuf_bytes = 0;
+};
+
+/// Same shape as ThreadedIntervalReport, plus the wire-level byte
+/// counters only a socket engine has.
+struct NetIntervalReport {
+  IntervalId interval = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t processed = 0;
+  double wall_ms = 0.0;
+  double throughput_tps = 0.0;
+  double avg_latency_ms = 0.0;
+  double max_theta = 0.0;
+  bool migrated = false;
+  std::size_t moves = 0;
+  Bytes migration_bytes = 0.0;
+  /// Serialized state payload shipped during migration (every net
+  /// migration is serialized — the bytes are real here).
+  Bytes migration_wire_bytes = 0.0;
+  Micros generation_micros = 0;
+  std::size_t stats_memory_bytes = 0;
+  /// Driver-side time between the interval's last routed tuple and being
+  /// ready to route the next one (seal + summary wait + absorb + plan +
+  /// migration barrier).
+  double stall_ms = 0.0;
+  /// Time absorbing the workers' boundary summaries (decode + absorb).
+  double merge_ms = 0.0;
+  /// Bytes moved on the data / ctrl sockets during this interval (both
+  /// directions, including frame headers).
+  std::uint64_t data_wire_bytes = 0;
+  std::uint64_t ctrl_wire_bytes = 0;
+};
+
+class NetEngine {
+ public:
+  /// Controller mode only, and the controller must be in sketch stats
+  /// mode: the boundary summary IS the serialized sketch slab. (A dense
+  /// exact-mode summary would be O(|K|) per interval per worker — the
+  /// design this subsystem exists to avoid.)
+  NetEngine(NetConfig config, std::shared_ptr<OperatorLogic> logic,
+            std::unique_ptr<Controller> controller);
+
+  ~NetEngine();
+
+  NetEngine(const NetEngine&) = delete;
+  NetEngine& operator=(const NetEngine&) = delete;
+
+  /// Expands + routes `intervals` intervals from `source` with the SAME
+  /// deterministic expansion and shuffle as ThreadedEngine::run — the
+  /// byte-identity contract starts with identical tuple sequences.
+  std::vector<NetIntervalReport> run(WorkloadSource& source, int intervals,
+                                     std::uint64_t seed = 1);
+
+  /// Routes an explicit tuple sequence as one interval and completes the
+  /// boundary before returning.
+  NetIntervalReport run_interval(const std::vector<Tuple>& tuples);
+
+  /// Routes tuples into the open interval WITHOUT closing it (the bench
+  /// uses this to saturate the data channel, then probes the control
+  /// channel with broadcast_plan before finish_interval).
+  NetIntervalReport ingest(const std::vector<Tuple>& tuples);
+
+  /// Closes the open interval: seal, summaries, absorb, plan, migrate,
+  /// heavy-set broadcast, expiry.
+  void finish_interval(NetIntervalReport& report);
+
+  /// Broadcasts a sparse plan on every worker's CONTROL channel and
+  /// waits for all acks. Returns the round-trip wall time in ms, or a
+  /// negative value on failure. Callable mid-interval — proving this
+  /// completes while the data channel is backlogged is the bench's
+  /// control-latency gate.
+  double broadcast_plan(const RebalancePlan& plan, std::uint64_t seq);
+
+  /// Stops the workers (kStop / kFin), harvests final counters and reaps
+  /// the child processes. Called automatically by the destructor.
+  void shutdown();
+
+  /// Empty while healthy; set to the failure reason after any channel or
+  /// protocol error (workers are killed and reaped at that point).
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+
+  /// Valid after shutdown(): order-insensitive checksum over all worker
+  /// states, directly comparable to ThreadedEngine::state_checksum().
+  [[nodiscard]] std::uint64_t state_checksum() const;
+  [[nodiscard]] std::size_t total_state_entries() const;
+
+  [[nodiscard]] Controller* controller() { return controller_.get(); }
+  [[nodiscard]] InstanceId num_workers() const { return num_workers_; }
+
+  [[nodiscard]] std::uint64_t total_emitted() const { return total_emitted_; }
+  [[nodiscard]] std::uint64_t total_processed() const {
+    return total_processed_;
+  }
+  [[nodiscard]] std::uint64_t total_output_tuples() const {
+    return total_outputs_;
+  }
+
+ private:
+  struct Worker {
+    FrameChannel data;
+    FrameChannel ctrl;
+    pid_t pid = -1;
+    std::uint64_t batches_sent = 0;  // kBatch frames this epoch
+  };
+
+  void spawn_workers();
+  [[nodiscard]] bool handshake();
+  /// Records the failure, kills + reaps every worker. Every public
+  /// method becomes a no-op afterwards.
+  void fail(const std::string& what);
+  void route_tuple(const Tuple& tuple);
+  void flush_batch(InstanceId d);
+  void flush_batches();
+  /// Receives one ctrl frame from worker `w`, requiring `type`; returns
+  /// false after fail() on anything else.
+  [[nodiscard]] bool recv_ctrl(std::size_t w, FrameType type,
+                               FrameHeader& header,
+                               std::vector<std::uint8_t>& payload);
+  [[nodiscard]] bool absorb_summaries(std::uint64_t epoch,
+                                      NetIntervalReport& report);
+  [[nodiscard]] bool execute_migration(const RebalancePlan& plan,
+                                       NetIntervalReport& report);
+  [[nodiscard]] bool broadcast_heavy_set();
+  [[nodiscard]] std::uint64_t wire_bytes_data() const;
+  [[nodiscard]] std::uint64_t wire_bytes_ctrl() const;
+
+  NetConfig config_;
+  std::shared_ptr<OperatorLogic> logic_;
+  std::unique_ptr<Controller> controller_;
+  SketchStatsWindow* sketch_sink_ = nullptr;
+  InstanceId num_workers_ = 0;
+  std::vector<Worker> workers_;
+  std::vector<std::vector<Tuple>> pending_batches_;
+  /// Reusable decode target for boundary summaries (same geometry as
+  /// every worker slab).
+  std::unique_ptr<WorkerSketchSlab> scratch_slab_;
+  ByteWriter frame_scratch_;
+  std::vector<std::uint8_t> recv_scratch_;
+
+  std::string error_;
+  std::uint64_t total_processed_ = 0;
+  std::uint64_t total_outputs_ = 0;
+  std::uint64_t total_emitted_ = 0;
+  std::uint64_t final_checksum_ = 0;
+  std::size_t final_state_entries_ = 0;
+  IntervalId interval_ = 0;
+  Micros engine_epoch_us_ = 0;
+  /// Wire-counter snapshots at the open interval's start (per-interval
+  /// byte deltas in the report).
+  std::uint64_t wire_mark_data_ = 0;
+  std::uint64_t wire_mark_ctrl_ = 0;
+  double open_interval_wall_ms_ = 0.0;
+  bool interval_open_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace skewless

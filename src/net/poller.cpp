@@ -1,0 +1,40 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+
+namespace skewless {
+
+void Poller::add(int fd, int token) { slots_.push_back(Slot{fd, token}); }
+
+bool Poller::wait(int timeout_ms, std::vector<int>& ready) {
+  ready.clear();
+  std::vector<struct pollfd> pfds(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    pfds[i].fd = slots_[i].fd;
+    pfds[i].events = POLLIN;
+    pfds[i].revents = 0;
+  }
+  while (true) {
+    const int r = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    break;
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // POLLHUP with buffered data still reads fine; a bare hangup is
+    // surfaced as readable too and the subsequent recv reports EOF
+    // cleanly — one error path instead of two.
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ready.push_back(slots_[i].token);
+    }
+  }
+  return true;
+}
+
+}  // namespace skewless

@@ -1,0 +1,98 @@
+// Payload encodings for every frame type (net/frame.h). Encoders write
+// into a reusable ByteWriter; decoders take a CHECKED ByteReader and
+// return false (reader error flag set) on truncation, impossible counts
+// or out-of-range values — the connection owner then drops the peer.
+//
+// The boundary-summary payload (kSummary) is WorkerSketchSlab's own
+// serialize()/deserialize_from() and lives with the slab; everything
+// else is here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/types.h"
+#include "core/plan.h"
+#include "engine/tuple.h"
+
+namespace skewless {
+
+// --- kBatch ---------------------------------------------------------------
+void encode_tuple_batch(ByteWriter& out, const std::vector<Tuple>& tuples);
+[[nodiscard]] bool decode_tuple_batch(ByteReader& in,
+                                      std::vector<Tuple>& tuples);
+
+// --- kHello ---------------------------------------------------------------
+struct HelloPayload {
+  std::uint32_t worker_id = 0;
+  std::uint32_t num_workers = 0;
+};
+void encode_hello(ByteWriter& out, const HelloPayload& hello);
+[[nodiscard]] bool decode_hello(ByteReader& in, HelloPayload& hello);
+
+// --- kSeal ----------------------------------------------------------------
+/// The seal rides the CONTROL channel while the epoch's batches ride the
+/// data channel, so cross-channel ordering is re-established by content:
+/// `batches` is how many kBatch frames the driver sent this worker this
+/// epoch, and the worker defers the seal until it has processed exactly
+/// that many.
+struct SealPayload {
+  std::uint64_t batches = 0;
+};
+void encode_seal(ByteWriter& out, const SealPayload& seal);
+[[nodiscard]] bool decode_seal(ByteReader& in, SealPayload& seal);
+
+// --- kHeavySet / kExtract (key lists) ------------------------------------
+void encode_key_list(ByteWriter& out, const std::vector<KeyId>& keys);
+[[nodiscard]] bool decode_key_list(ByteReader& in, std::vector<KeyId>& keys);
+
+// --- kMigrated / kInstall -------------------------------------------------
+/// One migrated key: the serialized KeyState blob, still opaque bytes.
+/// The driver forwards blobs from kMigrated straight into kInstall
+/// without ever materializing a state object — the controller routes
+/// migrations, it does not process them.
+struct WireKeyState {
+  KeyId key = 0;
+  std::vector<std::uint8_t> blob;
+};
+void encode_key_states(ByteWriter& out, const std::vector<WireKeyState>& states);
+[[nodiscard]] bool decode_key_states(ByteReader& in,
+                                     std::vector<WireKeyState>& states);
+
+// --- kExpire --------------------------------------------------------------
+void encode_expire(ByteWriter& out, Micros watermark);
+[[nodiscard]] bool decode_expire(ByteReader& in, Micros& watermark);
+
+// --- kPlan ----------------------------------------------------------------
+/// Sparse plan broadcast: sequence number plus the moves (the O(N_D)
+/// payload the compact planning work bounded). Workers apply nothing
+/// from it today — migration arrives as explicit Extract/Install — but
+/// acknowledging it (kPlanAck echoes `seq`) is the control-latency probe
+/// the bench gates on: a plan must reach a worker and return while the
+/// data channel is saturated.
+struct PlanPayload {
+  std::uint64_t seq = 0;
+  std::vector<KeyMove> moves;
+};
+void encode_plan(ByteWriter& out, const PlanPayload& plan);
+[[nodiscard]] bool decode_plan(ByteReader& in, PlanPayload& plan);
+
+// --- kPlanAck / kInstallAck ----------------------------------------------
+struct AckPayload {
+  std::uint64_t seq = 0;
+};
+void encode_ack(ByteWriter& out, const AckPayload& ack);
+[[nodiscard]] bool decode_ack(ByteReader& in, AckPayload& ack);
+
+// --- kFin -----------------------------------------------------------------
+struct FinPayload {
+  std::uint64_t state_checksum = 0;
+  std::uint64_t state_entries = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t outputs = 0;
+};
+void encode_fin(ByteWriter& out, const FinPayload& fin);
+[[nodiscard]] bool decode_fin(ByteReader& in, FinPayload& fin);
+
+}  // namespace skewless

@@ -1,0 +1,342 @@
+#include "net/worker_main.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/state.h"
+#include "net/channel.h"
+#include "net/poller.h"
+#include "net/wire.h"
+#include "sketch/worker_sketch_slab.h"
+
+namespace skewless {
+namespace {
+
+Micros steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sinks emissions into a plain counter (one thread per process — no
+/// atomics needed).
+class CountingCollector final : public Collector {
+ public:
+  explicit CountingCollector(std::uint64_t& counter) : counter_(counter) {}
+  void emit(const Tuple& /*tuple*/) override { ++counter_; }
+
+ private:
+  std::uint64_t& counter_;
+};
+
+/// Everything one worker process owns; the protocol handlers below are
+/// methods so the state does not travel through a dozen parameters.
+class NetWorker {
+ public:
+  NetWorker(int data_fd, int ctrl_fd, const NetWorkerOptions& options,
+            const OperatorLogic& logic)
+      : options_(options),
+        logic_(logic),
+        data_(data_fd),
+        ctrl_(ctrl_fd),
+        slab_(options.sketch),
+        collector_(outputs_) {
+    // Same initial bucket capacity as the threaded worker's per-batch
+    // scratch map. This is load-bearing for byte-identity: add_batch
+    // folds keys in the map's iteration order, which depends on the
+    // bucket history, so the two engines must grow their maps through
+    // identical rehash points.
+    local_.reserve(256);
+  }
+
+  int run() {
+    if (!handshake()) return 2;
+    Poller poller;
+    poller.add(ctrl_.fd(), kCtrl);
+    poller.add(data_.fd(), kData);
+    std::vector<int> ready;
+    while (true) {
+      const int rc = maybe_seal();
+      if (rc >= 0) return rc;
+      if (!poller.wait(-1, ready)) {
+        return fail("poller", poller.last_error().c_str());
+      }
+      // Control has strict priority: every ready ctrl frame is handled
+      // before the next data frame. The driver's per-socket write order
+      // plus AF_UNIX's synchronous delivery make this sufficient for the
+      // cross-channel guarantees (a heavy set broadcast written before a
+      // batch is always drained before it).
+      bool ctrl_ready = false;
+      bool data_ready = false;
+      for (const int token : ready) {
+        ctrl_ready |= token == kCtrl;
+        data_ready |= token == kData;
+      }
+      if (ctrl_ready) {
+        const int ctrl_rc = handle_ctrl_frame();
+        if (ctrl_rc >= 0) return ctrl_rc;
+        continue;  // re-poll: drain ALL queued control before any data
+      }
+      if (data_ready) {
+        const int data_rc = handle_data_frame();
+        if (data_rc >= 0) return data_rc;
+      }
+    }
+  }
+
+ private:
+  static constexpr int kCtrl = 0;
+  static constexpr int kData = 1;
+  /// Handler return: -1 = keep running, >= 0 = exit with that code.
+  static constexpr int kKeepRunning = -1;
+
+  int fail(const char* what, const char* detail) {
+    std::fprintf(stderr, "[net-worker %u] %s: %s\n", options_.worker_id, what,
+                 detail);
+    return 1;
+  }
+
+  bool handshake() {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    if (!ctrl_.recv(header, payload)) {
+      fail("handshake", ctrl_.last_error().c_str());
+      return false;
+    }
+    if (header.type != FrameType::kHello) {
+      fail("handshake", "first frame is not Hello");
+      return false;
+    }
+    ByteReader in(payload, ByteReader::Untrusted{});
+    HelloPayload hello;
+    if (!decode_hello(in, hello) || hello.worker_id != options_.worker_id ||
+        hello.num_workers != options_.num_workers) {
+      fail("handshake", "Hello payload mismatch");
+      return false;
+    }
+    scratch_.clear();
+    encode_hello(scratch_, hello);
+    if (!ctrl_.send(FrameType::kHello, 0, scratch_)) {
+      fail("handshake", ctrl_.last_error().c_str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Seals the epoch once every one of its batches has been processed:
+  /// stamps + serializes the slab as the boundary summary, ships it on
+  /// ctrl, and resets for the next epoch.
+  int maybe_seal() {
+    if (!seal_pending_ || epoch_batches_ != seal_target_) return kKeepRunning;
+    slab_.set_epoch(seal_epoch_);
+    scratch_.clear();
+    slab_.serialize(scratch_);
+    if (!ctrl_.send(FrameType::kSummary, seal_epoch_, scratch_)) {
+      return fail("send Summary", ctrl_.last_error().c_str());
+    }
+    slab_.clear();
+    epoch_batches_ = 0;
+    seal_pending_ = false;
+    return kKeepRunning;
+  }
+
+  int handle_ctrl_frame() {
+    FrameHeader header;
+    if (!ctrl_.recv(header, ctrl_payload_)) {
+      return fail("ctrl recv", ctrl_.last_error().c_str());
+    }
+    ByteReader in(ctrl_payload_, ByteReader::Untrusted{});
+    switch (header.type) {
+      case FrameType::kSeal: {
+        SealPayload seal;
+        if (!decode_seal(in, seal)) {
+          return fail("decode", "corrupt Seal payload");
+        }
+        seal_pending_ = true;
+        seal_epoch_ = header.epoch;
+        seal_target_ = seal.batches;
+        return kKeepRunning;
+      }
+      case FrameType::kHeavySet: {
+        std::vector<KeyId> keys;
+        if (!decode_key_list(in, keys)) {
+          return fail("decode", "corrupt HeavySet payload");
+        }
+        slab_.set_heavy_keys(keys);
+        return kKeepRunning;
+      }
+      case FrameType::kExtract:
+        return handle_extract(in);
+      case FrameType::kInstall:
+        return handle_install(header.epoch, in);
+      case FrameType::kExpire: {
+        Micros watermark = 0;
+        if (!decode_expire(in, watermark)) {
+          return fail("decode", "corrupt Expire payload");
+        }
+        store_.expire_before(watermark);
+        return kKeepRunning;
+      }
+      case FrameType::kPlan: {
+        PlanPayload plan;
+        if (!decode_plan(in, plan)) {
+          return fail("decode", "corrupt Plan payload");
+        }
+        // The ack IS the point: it proves a control round-trip completes
+        // while the data channel may be fully backlogged.
+        scratch_.clear();
+        encode_ack(scratch_, AckPayload{plan.seq});
+        if (!ctrl_.send(FrameType::kPlanAck, header.epoch, scratch_)) {
+          return fail("send PlanAck", ctrl_.last_error().c_str());
+        }
+        return kKeepRunning;
+      }
+      case FrameType::kStop:
+        return send_fin();
+      default:
+        return fail("protocol", "unexpected frame type on ctrl");
+    }
+  }
+
+  int handle_extract(ByteReader& in) {
+    std::vector<KeyId> keys;
+    if (!decode_key_list(in, keys)) {
+      return fail("decode", "corrupt Extract payload");
+    }
+    std::vector<WireKeyState> out;
+    out.reserve(keys.size());
+    for (const KeyId key : keys) {
+      std::unique_ptr<KeyState> state = store_.extract(key);
+      if (state == nullptr) continue;  // key had no state yet
+      WireKeyState wire;
+      wire.key = key;
+      ByteWriter blob;
+      state->serialize(blob);
+      wire.blob = blob.take();
+      out.push_back(std::move(wire));
+    }
+    scratch_.clear();
+    encode_key_states(scratch_, out);
+    if (!ctrl_.send(FrameType::kMigrated, 0, scratch_)) {
+      return fail("send Migrated", ctrl_.last_error().c_str());
+    }
+    return kKeepRunning;
+  }
+
+  int handle_install(std::uint64_t epoch, ByteReader& in) {
+    std::vector<WireKeyState> states;
+    if (!decode_key_states(in, states)) {
+      return fail("decode", "corrupt Install payload");
+    }
+    for (const WireKeyState& wire : states) {
+      ByteReader blob(wire.blob, ByteReader::Untrusted{});
+      std::unique_ptr<KeyState> state = logic_.deserialize_state(blob);
+      if (!blob.ok() || !blob.exhausted()) {
+        return fail("decode", "corrupt migrated state blob");
+      }
+      store_.install(wire.key, std::move(state));
+    }
+    // The ack closes the migration barrier: the driver routes no
+    // next-interval tuple to ANY worker until every destination has
+    // confirmed its installs, so a tuple can never race its key's state.
+    scratch_.clear();
+    encode_ack(scratch_, AckPayload{epoch});
+    if (!ctrl_.send(FrameType::kInstallAck, epoch, scratch_)) {
+      return fail("send InstallAck", ctrl_.last_error().c_str());
+    }
+    return kKeepRunning;
+  }
+
+  int handle_data_frame() {
+    FrameHeader header;
+    if (!data_.recv(header, data_payload_)) {
+      return fail("data recv", data_.last_error().c_str());
+    }
+    if (header.type != FrameType::kBatch) {
+      return fail("protocol", "non-Batch frame on the data channel");
+    }
+    ByteReader in(data_payload_, ByteReader::Untrusted{});
+    if (!decode_tuple_batch(in, batch_)) {
+      return fail("decode", "corrupt Batch payload");
+    }
+    process_batch();
+    ++epoch_batches_;
+    return kKeepRunning;
+  }
+
+  /// Mirrors ThreadedEngine::worker_loop's BatchMsg path exactly — same
+  /// per-batch local aggregation, same slab fold — so a net run's slab
+  /// contents match the in-process run's batch for batch.
+  void process_batch() {
+    const Micros now = steady_now_us();
+    double latency_acc = 0.0;
+    std::uint64_t latency_n = 0;
+    local_.clear();
+    for (const Tuple& t : batch_) {
+      KeyState& state =
+          store_.get_or_create(t.key, [&] { return logic_.make_state(); });
+      const Bytes before = state.bytes();
+      const Cost cost = logic_.process(t, state, collector_);
+      const Bytes delta = std::max(0.0, state.bytes() - before);
+      auto& entry = local_[t.key];
+      entry.cost += cost;
+      entry.state_bytes += delta;
+      ++entry.frequency;
+      latency_acc +=
+          static_cast<double>(now - options_.engine_epoch_us - t.emit_micros);
+      ++latency_n;
+    }
+    processed_ += batch_.size();
+    slab_.add_batch(local_);
+    WorkerSketchSlab::IntervalScalars& sc = slab_.scalars();
+    sc.processed += batch_.size();
+    sc.latency_sum_us += latency_acc;
+    sc.latency_samples += latency_n;
+  }
+
+  int send_fin() {
+    FinPayload fin;
+    fin.state_checksum = store_.checksum();
+    fin.state_entries = store_.size();
+    fin.processed = processed_;
+    fin.outputs = outputs_;
+    scratch_.clear();
+    encode_fin(scratch_, fin);
+    if (!ctrl_.send(FrameType::kFin, 0, scratch_)) {
+      return fail("send Fin", ctrl_.last_error().c_str());
+    }
+    return 0;
+  }
+
+  NetWorkerOptions options_;
+  const OperatorLogic& logic_;
+  FrameChannel data_;
+  FrameChannel ctrl_;
+  StateStore store_;
+  WorkerSketchSlab slab_;
+  std::uint64_t outputs_ = 0;
+  std::uint64_t processed_ = 0;
+  CountingCollector collector_;
+  std::unordered_map<KeyId, WorkerSketchSlab::KeyAgg> local_;
+  std::vector<Tuple> batch_;
+  std::vector<std::uint8_t> ctrl_payload_;
+  std::vector<std::uint8_t> data_payload_;
+  ByteWriter scratch_;
+  bool seal_pending_ = false;
+  std::uint64_t seal_epoch_ = 0;
+  std::uint64_t seal_target_ = 0;
+  std::uint64_t epoch_batches_ = 0;
+};
+
+}  // namespace
+
+int run_net_worker(int data_fd, int ctrl_fd, const NetWorkerOptions& options,
+                   const OperatorLogic& logic) {
+  NetWorker worker(data_fd, ctrl_fd, options, logic);
+  return worker.run();
+}
+
+}  // namespace skewless

@@ -1,0 +1,42 @@
+// Entry point of one forked net worker process.
+//
+// A worker owns one StateStore and one WorkerSketchSlab and speaks the
+// frame protocol over two channels inherited from the driver:
+//   * data — kBatch only (the channel that backpressures);
+//   * ctrl — everything else, always drained BEFORE the next data frame,
+//     so control never waits behind queued tuples.
+//
+// Cross-channel epoch ordering is re-established by content, not by
+// arrival: the kSeal payload says how many batches the epoch carried,
+// and the worker defers sealing (serializing + shipping its slab as the
+// boundary summary) until it has processed exactly that many.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "engine/operator.h"
+#include "sketch/stats_provider.h"
+
+namespace skewless {
+
+struct NetWorkerOptions {
+  std::uint32_t worker_id = 0;
+  std::uint32_t num_workers = 0;
+  /// Must equal the driver-side SketchStatsWindow's config: the slab
+  /// replicates the window's Count-Min geometry, and the summary decode
+  /// on the driver rejects a mismatch.
+  SketchStatsConfig sketch = {};
+  /// The driver's engine epoch (set before fork), so worker-side latency
+  /// accounting shares the tuples' emit_micros time base.
+  Micros engine_epoch_us = 0;
+};
+
+/// Runs the worker protocol until a kStop frame (returns 0) or a fatal
+/// channel/protocol error (returns nonzero after logging to stderr).
+/// Takes ownership of both fds.
+[[nodiscard]] int run_net_worker(int data_fd, int ctrl_fd,
+                                 const NetWorkerOptions& options,
+                                 const OperatorLogic& logic);
+
+}  // namespace skewless

@@ -223,4 +223,13 @@ void MisraGries::clear() {
   offset_ = 0.0;
 }
 
+void MisraGries::restore(const std::vector<SpaceSaving::Entry>& entries,
+                         double total_weight, double offset) {
+  SKW_EXPECTS(entries.size() <= 2 * capacity_);
+  map_.clear();
+  for (const auto& e : entries) map_.emplace(e.key, e);
+  total_ = total_weight;
+  offset_ = offset;
+}
+
 }  // namespace skewless

@@ -164,6 +164,15 @@ class MisraGries {
   /// ties) — deterministic.
   [[nodiscard]] std::vector<SpaceSaving::Entry> entries_by_count() const;
 
+  /// Rebuilds the tracker from a serialized summary (the net layer's
+  /// boundary-summary wire format): replaces the tracked entries,
+  /// total_weight() and offset() wholesale. `entries` must satisfy the
+  /// Entry invariants over a stream of weight `total_weight` with
+  /// untracked-mass bound `offset` — i.e. be the output of another
+  /// tracker of the same capacity, which is what the slab codec ships.
+  void restore(const std::vector<SpaceSaving::Entry>& entries,
+               double total_weight, double offset);
+
   /// All tracked entries in map-iteration order — NOT sorted. For
   /// consumers whose results are order-independent (SpaceSaving::merge
   /// accumulates per key and every observable output of the union is

@@ -1,6 +1,7 @@
 #include "sketch/worker_sketch_slab.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.h"
 #include "sketch/sketch_stats_window.h"
@@ -126,6 +127,134 @@ void WorkerSketchSlab::clear() {
   cold_freq_ = 0;
   cold_state_ = 0.0;
   scalars_ = IntervalScalars{};
+}
+
+namespace {
+
+/// Wire sanity for statistics magnitudes: the slab only ever accumulates
+/// non-negative finite quantities, so anything else in a summary is
+/// corruption, not data.
+bool valid_magnitude(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+void WorkerSketchSlab::serialize(ByteWriter& out) const {
+  out.u64(epoch_);
+  out.u64(width_);
+  out.u64(depth_);
+  out.u64(seed_);
+  out.u64(key_bound_);
+  out.u64(scalars_.processed);
+  out.f64(scalars_.latency_sum_us);
+  out.u64(scalars_.latency_samples);
+  // The accumulated scalars ship verbatim — recomputing them from the
+  // entries on the far side would re-associate the floating-point sums
+  // and break byte-identity with the in-process run.
+  out.f64(hot_cost_);
+  out.f64(cold_cost_);
+  out.u64(cold_freq_);
+  out.f64(cold_state_);
+
+  std::vector<std::pair<KeyId, KeyAgg>> hot(hot_.begin(), hot_.end());
+  std::sort(hot.begin(), hot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.u32(static_cast<std::uint32_t>(hot.size()));
+  for (const auto& [key, agg] : hot) {
+    out.u64(key);
+    out.f64(agg.cost);
+    out.f64(agg.state_bytes);
+    out.u64(agg.frequency);
+  }
+
+  out.f64(candidates_.total_weight());
+  out.f64(candidates_.offset());
+  const auto entries = candidates_.entries_by_count();
+  out.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    out.u64(e.key);
+    out.f64(e.count);
+    out.f64(e.error);
+  }
+
+  // Raw cell dump: FusedCell is four doubles with pad always 0.0, so the
+  // byte image is itself deterministic.
+  out.append(cells_.data(), cells_.size() * sizeof(FusedCell));
+}
+
+bool WorkerSketchSlab::deserialize_from(ByteReader& in) {
+  epoch_ = in.u64();
+  const std::uint64_t width = in.u64();
+  const std::uint64_t depth = in.u64();
+  const std::uint64_t seed = in.u64();
+  if (!in.ok()) return false;
+  if (width != width_ || depth != depth_ || seed != seed_) {
+    in.fail();
+    return false;
+  }
+  key_bound_ = static_cast<std::size_t>(in.u64());
+  scalars_.processed = in.u64();
+  scalars_.latency_sum_us = in.f64();
+  scalars_.latency_samples = in.u64();
+  hot_cost_ = in.f64();
+  cold_cost_ = in.f64();
+  cold_freq_ = in.u64();
+  cold_state_ = in.f64();
+  if (!valid_magnitude(scalars_.latency_sum_us) ||
+      !valid_magnitude(hot_cost_) || !valid_magnitude(cold_cost_) ||
+      !valid_magnitude(cold_state_)) {
+    in.fail();
+    return false;
+  }
+
+  const std::uint32_t hot_n = in.u32();
+  constexpr std::size_t kHotEntryBytes = 8 + 8 + 8 + 8;
+  if (!in.fits(hot_n, kHotEntryBytes)) return false;
+  hot_.clear();
+  for (std::uint32_t i = 0; i < hot_n; ++i) {
+    const KeyId key = in.u64();
+    KeyAgg agg;
+    agg.cost = in.f64();
+    agg.state_bytes = in.f64();
+    agg.frequency = in.u64();
+    if (!valid_magnitude(agg.cost) || !valid_magnitude(agg.state_bytes)) {
+      in.fail();
+      return false;
+    }
+    const auto [it, inserted] = hot_.emplace(key, agg);
+    (void)it;
+    if (!inserted) {  // duplicate key: not a serialize() output
+      in.fail();
+      return false;
+    }
+  }
+
+  const double cand_total = in.f64();
+  const double cand_offset = in.f64();
+  const std::uint32_t cand_n = in.u32();
+  constexpr std::size_t kCandEntryBytes = 8 + 8 + 8;
+  if (!in.fits(cand_n, kCandEntryBytes)) return false;
+  if (!valid_magnitude(cand_total) || !valid_magnitude(cand_offset) ||
+      cand_n > 2 * candidates_.capacity()) {
+    in.fail();
+    return false;
+  }
+  std::vector<SpaceSaving::Entry> entries;
+  entries.reserve(cand_n);
+  for (std::uint32_t i = 0; i < cand_n; ++i) {
+    SpaceSaving::Entry e;
+    e.key = in.u64();
+    e.count = in.f64();
+    e.error = in.f64();
+    if (!valid_magnitude(e.count) || !valid_magnitude(e.error)) {
+      in.fail();
+      return false;
+    }
+    entries.push_back(e);
+  }
+  if (!in.ok()) return false;
+  candidates_.restore(entries, cand_total, cand_offset);
+
+  return in.read_into(cells_.data(), cells_.size() * sizeof(FusedCell));
 }
 
 std::size_t WorkerSketchSlab::memory_bytes() const {

@@ -50,6 +50,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/serde.h"
 #include "sketch/count_min.h"
 #include "sketch/space_saving.h"
 #include "sketch/stats_provider.h"
@@ -147,6 +148,22 @@ class WorkerSketchSlab {
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Writes the slab's full interval content as a boundary summary — the
+  /// NetEngine's kSummary payload. The encoding is deterministic (hot
+  /// entries sorted by key, candidates by (count desc, key asc)), so two
+  /// slabs holding equal content serialize to equal bytes regardless of
+  /// the hash-map insertion order that produced them.
+  void serialize(ByteWriter& out) const;
+
+  /// Rebuilds the interval content from a summary produced by serialize()
+  /// on a slab of the SAME SketchStatsConfig. The heavy set is left
+  /// untouched (absorb never reads it). Returns false — with the reader's
+  /// sticky error flag set — on truncation, a geometry mismatch (the
+  /// peer derived different Count-Min dimensions or family seed), or
+  /// value-range corruption; the slab content is unspecified then and
+  /// the caller must drop the frame.
+  [[nodiscard]] bool deserialize_from(ByteReader& in);
 
  private:
   void add_hot(KeyId key, const KeyAgg& agg);

@@ -16,7 +16,9 @@
 #include "core/compact.h"
 #include "core/plan.h"
 #include "core/planners.h"
+#include "core/controller.h"
 #include "engine/threaded_engine.h"
+#include "net/net_engine.h"
 #include "sketch/sketch_stats_window.h"
 #include "sketch/worker_sketch_slab.h"
 #include "test_util.h"
@@ -579,6 +581,110 @@ TEST(Determinism, AdversarialThreadedRunsAreByteIdentical) {
                              state_async.size() * sizeof(Bytes)))
         << attack_name(attack);
   }
+}
+
+// The distributed engine's headline contract: a net run (N forked worker
+// PROCESSES over loopback sockets) is byte-identical to a ThreadedEngine
+// run on the same seed — same plan history digest, same θ trajectory (bit
+// patterns, not approximate), same state checksums and output counts. The
+// chain that makes this true: identical tuple expansion/shuffle, identical
+// per-batch fold order (both engines reserve the same scratch-map
+// capacity), deterministic slab serialization, and summaries absorbed in
+// worker-index order on both sides.
+TEST(Determinism, NetRunIsByteIdenticalToThreadedRun) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "fork-based engine is not TSan-instrumentable";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "fork-based engine is not TSan-instrumentable";
+#endif
+#endif
+  struct RunResult {
+    std::vector<double> thetas;
+    std::uint64_t plan_digest = 0;
+    std::size_t rebalances = 0;
+    std::uint64_t checksum = 0;
+    std::size_t entries = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t outputs = 0;
+  };
+
+  const InstanceId kWorkers = 3;
+  const int kIntervals = 4;
+  const auto make_source = [] {
+    ZipfFluctuatingSource::Options opts;
+    opts.num_keys = 5'000;
+    opts.skew = 1.1;
+    opts.tuples_per_interval = 20'000;
+    opts.fluctuation = 0.5;
+    opts.seed = 77;
+    return ZipfFluctuatingSource(opts);
+  };
+  const auto make_controller = [&](std::size_t num_keys) {
+    ControllerConfig ccfg;
+    ccfg.planner.theta_max = 0.08;
+    ccfg.stats_mode = StatsMode::kSketch;
+    ccfg.sketch.heavy_capacity = 256;
+    return std::make_unique<Controller>(
+        AssignmentFunction(ConsistentHashRing(kWorkers), 0),
+        std::make_unique<MixedPlanner>(), ccfg, num_keys);
+  };
+
+  // Threaded run first, fully shut down (threads joined, engine
+  // destroyed) BEFORE the net engine forks: fork-before-threads.
+  RunResult threaded;
+  {
+    auto source = make_source();
+    ThreadedConfig tcfg;
+    tcfg.num_workers = kWorkers;
+    tcfg.batch_size = 64;
+    tcfg.stats_mode = StatsMode::kSketch;
+    tcfg.sketch.heavy_capacity = 256;
+    ThreadedEngine engine(tcfg, std::make_shared<WordCountLogic>(),
+                          make_controller(source.num_keys()));
+    const auto reports = engine.run(source, kIntervals, /*seed=*/9);
+    for (const auto& r : reports) threaded.thetas.push_back(r.max_theta);
+    threaded.plan_digest = engine.controller()->plan_history_digest();
+    threaded.rebalances = engine.controller()->rebalance_count();
+    engine.shutdown();
+    threaded.checksum = engine.state_checksum();
+    threaded.entries = engine.total_state_entries();
+    threaded.processed = engine.total_processed();
+    threaded.outputs = engine.total_output_tuples();
+  }
+
+  RunResult net;
+  {
+    auto source = make_source();
+    NetConfig ncfg;
+    ncfg.batch_size = 64;
+    NetEngine engine(ncfg, std::make_shared<WordCountLogic>(),
+                     make_controller(source.num_keys()));
+    const auto reports = engine.run(source, kIntervals, /*seed=*/9);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    for (const auto& r : reports) net.thetas.push_back(r.max_theta);
+    net.plan_digest = engine.controller()->plan_history_digest();
+    net.rebalances = engine.controller()->rebalance_count();
+    engine.shutdown();
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    net.checksum = engine.state_checksum();
+    net.entries = engine.total_state_entries();
+    net.processed = engine.total_processed();
+    net.outputs = engine.total_output_tuples();
+  }
+
+  ASSERT_GT(threaded.rebalances, 0u);
+  EXPECT_EQ(threaded.rebalances, net.rebalances);
+  EXPECT_EQ(threaded.plan_digest, net.plan_digest);
+  ASSERT_EQ(threaded.thetas.size(), net.thetas.size());
+  // Bit-pattern equality, not EXPECT_DOUBLE_EQ: the contract is
+  // byte-identical, and θ is a quotient of sketch-derived sums.
+  EXPECT_EQ(0, std::memcmp(threaded.thetas.data(), net.thetas.data(),
+                           threaded.thetas.size() * sizeof(double)));
+  EXPECT_EQ(threaded.checksum, net.checksum);
+  EXPECT_EQ(threaded.entries, net.entries);
+  EXPECT_EQ(threaded.processed, net.processed);
+  EXPECT_EQ(threaded.outputs, net.outputs);
 }
 
 TEST(Determinism, SeededZipfSamplesAreIdentical) {

@@ -1,0 +1,612 @@
+// The socket engine's building blocks, bottom-up: frame headers (magic/
+// version/type validation), framed channels over real socketpairs, every
+// payload codec, the slab boundary-summary wire format, and finally the
+// forked multi-process engine end to end. Everything that parses peer
+// bytes must REJECT bad input — error returns, never aborts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/controller.h"
+#include "core/planners.h"
+#include "net/channel.h"
+#include "net/frame.h"
+#include "net/net_engine.h"
+#include "net/poller.h"
+#include "net/wire.h"
+#include "sketch/worker_sketch_slab.h"
+#include "workload/operators.h"
+#include "workload/synthetic.h"
+
+namespace skewless {
+namespace {
+
+bool tsan_enabled() {
+#if defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return true;
+#endif
+#endif
+  return false;
+}
+
+// --- frame header ---------------------------------------------------------
+
+TEST(FrameHeader, RoundTrip) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kSummary, /*epoch=*/42,
+                      /*payload_size=*/1234);
+  ASSERT_EQ(w.size(), kFrameHeaderBytes);
+  FrameHeader header;
+  std::string error;
+  ASSERT_TRUE(
+      decode_frame_header(w.bytes().data(), w.size(), header, error))
+      << error;
+  EXPECT_EQ(header.type, FrameType::kSummary);
+  EXPECT_EQ(header.epoch, 42u);
+  EXPECT_EQ(header.payload_size, 1234u);
+}
+
+TEST(FrameHeader, EveryTypeRoundTrips) {
+  for (std::uint8_t t = kMinFrameType; t <= kMaxFrameType; ++t) {
+    ByteWriter w;
+    encode_frame_header(w, static_cast<FrameType>(t), t, 0);
+    FrameHeader header;
+    std::string error;
+    ASSERT_TRUE(
+        decode_frame_header(w.bytes().data(), w.size(), header, error))
+        << "type " << int(t) << ": " << error;
+    EXPECT_EQ(static_cast<std::uint8_t>(header.type), t);
+    EXPECT_STRNE(frame_type_name(header.type), "");
+  }
+}
+
+TEST(FrameHeader, RejectsBadMagic) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kBatch, 0, 0);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[0] ^= 0xff;
+  FrameHeader header;
+  std::string error;
+  EXPECT_FALSE(decode_frame_header(bytes.data(), bytes.size(), header, error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(FrameHeader, RejectsVersionMismatch) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kBatch, 0, 0);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[4] = kWireVersion + 1;  // version byte follows the u32 magic
+  FrameHeader header;
+  std::string error;
+  EXPECT_FALSE(decode_frame_header(bytes.data(), bytes.size(), header, error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(FrameHeader, RejectsUnknownType) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kBatch, 0, 0);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[5] = kMaxFrameType + 1;
+  FrameHeader header;
+  std::string error;
+  EXPECT_FALSE(decode_frame_header(bytes.data(), bytes.size(), header, error));
+  EXPECT_NE(error.find("type"), std::string::npos) << error;
+  bytes[5] = 0;
+  EXPECT_FALSE(decode_frame_header(bytes.data(), bytes.size(), header, error));
+}
+
+TEST(FrameHeader, RejectsOversizedPayload) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kBatch, 0, kMaxFramePayload + 1);
+  FrameHeader header;
+  std::string error;
+  EXPECT_FALSE(
+      decode_frame_header(w.bytes().data(), w.size(), header, error));
+  EXPECT_NE(error.find("payload"), std::string::npos) << error;
+}
+
+TEST(FrameHeader, RejectsTruncation) {
+  ByteWriter w;
+  encode_frame_header(w, FrameType::kBatch, 0, 0);
+  FrameHeader header;
+  std::string error;
+  for (std::size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_FALSE(decode_frame_header(w.bytes().data(), n, header, error))
+        << "accepted a " << n << "-byte header";
+  }
+}
+
+// --- FrameChannel over a real socketpair ----------------------------------
+
+TEST(FrameChannel, SendRecvOverSocketPair) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds, error)) << error;
+  FrameChannel a(fds[0]);
+  FrameChannel b(fds[1]);
+
+  ByteWriter payload;
+  payload.u64(0x1234);
+  payload.str("frame me");
+  ASSERT_TRUE(a.send(FrameType::kSeal, /*epoch=*/7, payload))
+      << a.last_error();
+
+  FrameHeader header;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(b.recv(header, got)) << b.last_error();
+  EXPECT_EQ(header.type, FrameType::kSeal);
+  EXPECT_EQ(header.epoch, 7u);
+  ASSERT_EQ(got.size(), payload.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), payload.bytes().data(), got.size()));
+  EXPECT_EQ(a.bytes_sent(), kFrameHeaderBytes + payload.size());
+  EXPECT_EQ(b.bytes_received(), a.bytes_sent());
+}
+
+TEST(FrameChannel, EmptyPayloadFrame) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds, error)) << error;
+  FrameChannel a(fds[0]);
+  FrameChannel b(fds[1]);
+  ASSERT_TRUE(a.send(FrameType::kStop, 0, nullptr, 0)) << a.last_error();
+  FrameHeader header;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(b.recv(header, got)) << b.last_error();
+  EXPECT_EQ(header.type, FrameType::kStop);
+  EXPECT_TRUE(got.empty());
+}
+
+// A payload bigger than the kernel socket buffer: the sender must loop
+// over partial writes while the receiver drains — exactly what a
+// boundary summary does on a small SO_SNDBUF.
+TEST(FrameChannel, LargePayloadCrossesSocketBufferBoundary) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds, error)) << error;
+  FrameChannel a(fds[0]);
+  FrameChannel b(fds[1]);
+
+  std::vector<std::uint8_t> big(4u << 20);  // 4 MiB >> default SO_SNDBUF
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+  }
+  std::thread sender([&] {
+    ASSERT_TRUE(a.send(FrameType::kSummary, 3, big.data(), big.size()))
+        << a.last_error();
+  });
+  FrameHeader header;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(b.recv(header, got)) << b.last_error();
+  sender.join();
+  EXPECT_EQ(header.type, FrameType::kSummary);
+  ASSERT_EQ(got.size(), big.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), big.data(), big.size()));
+}
+
+TEST(FrameChannel, RecvRejectsCorruptHeaderWithoutAborting) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds, error)) << error;
+  FrameChannel a(fds[0]);
+  FrameChannel b(fds[1]);
+  // Raw garbage bytes shaped like a header-sized chunk.
+  std::vector<std::uint8_t> junk(kFrameHeaderBytes, 0xEE);
+  ASSERT_TRUE(a.send(FrameType::kHello, 0, junk.data(), 0));  // header only
+  // Overwrite with junk via a second raw frame is awkward through the
+  // API; instead send a valid frame then corrupt expectations: write
+  // junk directly through the fd.
+  FrameHeader header;
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(b.recv(header, got));
+  ::ssize_t n = ::write(a.fd(), junk.data(), junk.size());
+  ASSERT_EQ(n, static_cast<::ssize_t>(junk.size()));
+  EXPECT_FALSE(b.recv(header, got));
+  EXPECT_FALSE(b.last_error().empty());
+}
+
+TEST(FrameChannel, RecvReportsEof) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds, error)) << error;
+  FrameChannel b(fds[1]);
+  {
+    FrameChannel a(fds[0]);
+  }  // destructor closes the peer
+  FrameHeader header;
+  std::vector<std::uint8_t> got;
+  EXPECT_FALSE(b.recv(header, got));
+  EXPECT_FALSE(b.last_error().empty());
+}
+
+TEST(Poller, ReportsReadableChannels) {
+  int fds_a[2];
+  int fds_b[2];
+  std::string error;
+  ASSERT_TRUE(make_socket_pair(fds_a, error)) << error;
+  ASSERT_TRUE(make_socket_pair(fds_b, error)) << error;
+  FrameChannel a0(fds_a[0]), a1(fds_a[1]);
+  FrameChannel b0(fds_b[0]), b1(fds_b[1]);
+
+  Poller poller;
+  poller.add(a1.fd(), /*token=*/10);
+  poller.add(b1.fd(), /*token=*/20);
+  std::vector<int> ready;
+  ASSERT_TRUE(poller.wait(0, ready));
+  EXPECT_TRUE(ready.empty());
+
+  ASSERT_TRUE(b0.send(FrameType::kSeal, 0, nullptr, 0));
+  ASSERT_TRUE(poller.wait(1000, ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 20);
+
+  ASSERT_TRUE(a0.send(FrameType::kSeal, 0, nullptr, 0));
+  ASSERT_TRUE(poller.wait(1000, ready));
+  ASSERT_EQ(ready.size(), 2u);  // registration order
+  EXPECT_EQ(ready[0], 10);
+  EXPECT_EQ(ready[1], 20);
+}
+
+// --- payload codecs -------------------------------------------------------
+
+TEST(WirePayloads, TupleBatchRoundTrip) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 100; ++i) {
+    Tuple t;
+    t.key = static_cast<KeyId>(i * 7919);
+    t.value = i - 50;
+    t.emit_micros = i * 1000;
+    t.stream = static_cast<std::uint32_t>(i % 3);
+    tuples.push_back(t);
+  }
+  ByteWriter w;
+  encode_tuple_batch(w, tuples);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  std::vector<Tuple> got;
+  ASSERT_TRUE(decode_tuple_batch(r, got));
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_EQ(got.size(), tuples.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(got[i].key, tuples[i].key);
+    EXPECT_EQ(got[i].value, tuples[i].value);
+    EXPECT_EQ(got[i].emit_micros, tuples[i].emit_micros);
+    EXPECT_EQ(got[i].stream, tuples[i].stream);
+  }
+}
+
+TEST(WirePayloads, TupleBatchRejectsImpossibleCount) {
+  ByteWriter w;
+  w.u32(1'000'000);  // count with no tuples behind it
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  std::vector<Tuple> got;
+  EXPECT_FALSE(decode_tuple_batch(r, got));
+}
+
+TEST(WirePayloads, HelloSealExpireAckFinRoundTrip) {
+  {
+    ByteWriter w;
+    encode_hello(w, HelloPayload{3, 8});
+    ByteReader r(w.bytes(), ByteReader::Untrusted{});
+    HelloPayload got;
+    ASSERT_TRUE(decode_hello(r, got));
+    EXPECT_EQ(got.worker_id, 3u);
+    EXPECT_EQ(got.num_workers, 8u);
+  }
+  {
+    ByteWriter w;
+    encode_seal(w, SealPayload{997});
+    ByteReader r(w.bytes(), ByteReader::Untrusted{});
+    SealPayload got;
+    ASSERT_TRUE(decode_seal(r, got));
+    EXPECT_EQ(got.batches, 997u);
+  }
+  {
+    ByteWriter w;
+    encode_expire(w, Micros{123456789});
+    ByteReader r(w.bytes(), ByteReader::Untrusted{});
+    Micros got = 0;
+    ASSERT_TRUE(decode_expire(r, got));
+    EXPECT_EQ(got, 123456789);
+  }
+  {
+    ByteWriter w;
+    encode_ack(w, AckPayload{0xabcdef});
+    ByteReader r(w.bytes(), ByteReader::Untrusted{});
+    AckPayload got;
+    ASSERT_TRUE(decode_ack(r, got));
+    EXPECT_EQ(got.seq, 0xabcdefu);
+  }
+  {
+    ByteWriter w;
+    encode_fin(w, FinPayload{111, 222, 333, 444});
+    ByteReader r(w.bytes(), ByteReader::Untrusted{});
+    FinPayload got;
+    ASSERT_TRUE(decode_fin(r, got));
+    EXPECT_EQ(got.state_checksum, 111u);
+    EXPECT_EQ(got.state_entries, 222u);
+    EXPECT_EQ(got.processed, 333u);
+    EXPECT_EQ(got.outputs, 444u);
+  }
+}
+
+TEST(WirePayloads, KeyListRoundTrip) {
+  const std::vector<KeyId> keys = {0, 1, 0xffffffffffffffffULL, 42, 42};
+  ByteWriter w;
+  encode_key_list(w, keys);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  std::vector<KeyId> got;
+  ASSERT_TRUE(decode_key_list(r, got));
+  EXPECT_EQ(got, keys);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(WirePayloads, KeyStatesRoundTripOpaqueBlobs) {
+  std::vector<WireKeyState> states;
+  for (int i = 0; i < 5; ++i) {
+    WireKeyState s;
+    s.key = static_cast<KeyId>(1000 + i);
+    s.blob.assign(static_cast<std::size_t>(i * 17), std::uint8_t(i));
+    states.push_back(std::move(s));
+  }
+  ByteWriter w;
+  encode_key_states(w, states);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  std::vector<WireKeyState> got;
+  ASSERT_TRUE(decode_key_states(r, got));
+  ASSERT_EQ(got.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(got[i].key, states[i].key);
+    EXPECT_EQ(got[i].blob, states[i].blob);
+  }
+}
+
+TEST(WirePayloads, PlanRoundTrip) {
+  PlanPayload plan;
+  plan.seq = 77;
+  for (int i = 0; i < 12; ++i) {
+    KeyMove m;
+    m.key = static_cast<KeyId>(i * 31);
+    m.from = i % 4;
+    m.to = (i + 1) % 4;
+    m.state_bytes = i * 128.0;
+    plan.moves.push_back(m);
+  }
+  ByteWriter w;
+  encode_plan(w, plan);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  PlanPayload got;
+  ASSERT_TRUE(decode_plan(r, got));
+  EXPECT_EQ(got.seq, plan.seq);
+  ASSERT_EQ(got.moves.size(), plan.moves.size());
+  for (std::size_t i = 0; i < plan.moves.size(); ++i) {
+    EXPECT_EQ(got.moves[i].key, plan.moves[i].key);
+    EXPECT_EQ(got.moves[i].from, plan.moves[i].from);
+    EXPECT_EQ(got.moves[i].to, plan.moves[i].to);
+    EXPECT_EQ(got.moves[i].state_bytes, plan.moves[i].state_bytes);
+  }
+}
+
+// --- boundary summary (slab) wire format ----------------------------------
+
+WorkerSketchSlab make_filled_slab(const SketchStatsConfig& cfg,
+                                  std::uint64_t salt) {
+  WorkerSketchSlab slab(cfg);
+  std::unordered_map<KeyId, WorkerSketchSlab::KeyAgg> batch;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    auto& agg = batch[i * 2654435761u + salt];
+    agg.cost = static_cast<double>(i % 97) + 0.5;
+    agg.state_bytes = static_cast<double>(i % 13) * 8.0;
+    agg.frequency = 1 + i % 7;
+  }
+  slab.add_batch(batch);
+  auto& sc = slab.scalars();
+  sc.processed = 500;
+  sc.latency_sum_us = 123.75;
+  sc.latency_samples = 500;
+  slab.set_epoch(9);
+  return slab;
+}
+
+TEST(SlabWire, SerializeDeserializeReserialize) {
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 64;
+  const WorkerSketchSlab slab = make_filled_slab(cfg, 17);
+
+  ByteWriter w1;
+  slab.serialize(w1);
+  WorkerSketchSlab restored(cfg);
+  ByteReader r(w1.bytes(), ByteReader::Untrusted{});
+  ASSERT_TRUE(restored.deserialize_from(r));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.epoch(), slab.epoch());
+  EXPECT_EQ(restored.scalars().processed, slab.scalars().processed);
+
+  // The decisive check: the round-tripped slab re-serializes to the
+  // SAME bytes — the encoding is canonical, nothing is lost.
+  ByteWriter w2;
+  restored.serialize(w2);
+  ASSERT_EQ(w1.size(), w2.size());
+  EXPECT_EQ(0,
+            std::memcmp(w1.bytes().data(), w2.bytes().data(), w1.size()));
+}
+
+TEST(SlabWire, RejectsGeometryMismatch) {
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 64;
+  const WorkerSketchSlab slab = make_filled_slab(cfg, 17);
+  ByteWriter w;
+  slab.serialize(w);
+
+  SketchStatsConfig other = cfg;
+  other.epsilon = cfg.epsilon * 4;  // different Count-Min width
+  WorkerSketchSlab wrong(other);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_FALSE(wrong.deserialize_from(r));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SlabWire, RejectsTruncation) {
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 64;
+  const WorkerSketchSlab slab = make_filled_slab(cfg, 17);
+  ByteWriter w;
+  slab.serialize(w);
+  // Chop the tail off at several depths; every prefix must be rejected
+  // without aborting.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{33}, w.size() / 2,
+        w.size() - 1}) {
+    WorkerSketchSlab target(cfg);
+    ByteReader r(w.bytes().data(), keep, ByteReader::Untrusted{});
+    EXPECT_FALSE(target.deserialize_from(r)) << "prefix " << keep;
+  }
+}
+
+// --- the engine end to end ------------------------------------------------
+
+std::unique_ptr<Controller> test_controller(InstanceId workers,
+                                            std::size_t num_keys) {
+  ControllerConfig ccfg;
+  ccfg.planner.theta_max = 0.08;
+  ccfg.stats_mode = StatsMode::kSketch;
+  ccfg.sketch.heavy_capacity = 128;
+  return std::make_unique<Controller>(
+      AssignmentFunction(ConsistentHashRing(workers), 0),
+      std::make_unique<MixedPlanner>(), ccfg, num_keys);
+}
+
+TEST(NetEngine, RunsIntervalsAndShutsDownCleanly) {
+  if (tsan_enabled()) GTEST_SKIP() << "fork-based engine under TSan";
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 2'000;
+  opts.skew = 1.1;
+  opts.tuples_per_interval = 10'000;
+  opts.seed = 5;
+  ZipfFluctuatingSource source(opts);
+
+  NetConfig ncfg;
+  ncfg.batch_size = 64;
+  NetEngine engine(ncfg, std::make_shared<WordCountLogic>(),
+                   test_controller(3, source.num_keys()));
+  const auto reports = engine.run(source, 3, /*seed=*/11);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  ASSERT_EQ(reports.size(), 3u);
+  std::uint64_t processed = 0;
+  for (const auto& r : reports) {
+    processed += r.processed;
+    EXPECT_GT(r.data_wire_bytes, 0u);
+    EXPECT_GT(r.ctrl_wire_bytes, 0u);
+    EXPECT_GT(r.max_theta, 0.0);
+  }
+  EXPECT_EQ(processed, 30'000u);
+  EXPECT_GT(engine.controller()->rebalance_count(), 0u);
+
+  engine.shutdown();
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  EXPECT_GT(engine.state_checksum(), 0u);
+  EXPECT_GT(engine.total_state_entries(), 0u);
+  EXPECT_EQ(engine.total_processed(), 30'000u);
+}
+
+TEST(NetEngine, MigrationMovesStateBetweenProcesses) {
+  if (tsan_enabled()) GTEST_SKIP() << "fork-based engine under TSan";
+  // A heavily skewed source forces the planner to move hot keys between
+  // worker PROCESSES — serialized state crossing real sockets.
+  ZipfFluctuatingSource::Options opts;
+  opts.num_keys = 1'000;
+  opts.skew = 1.4;
+  opts.tuples_per_interval = 20'000;
+  opts.fluctuation = 0.8;
+  opts.seed = 23;
+  ZipfFluctuatingSource source(opts);
+
+  NetConfig ncfg;
+  ncfg.batch_size = 64;
+  NetEngine engine(ncfg, std::make_shared<WordCountLogic>(),
+                   test_controller(4, source.num_keys()));
+  const auto reports = engine.run(source, 4, /*seed=*/3);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  bool migrated = false;
+  Bytes wire_bytes = 0;
+  for (const auto& r : reports) {
+    migrated |= r.migrated;
+    wire_bytes += r.migration_wire_bytes;
+  }
+  EXPECT_TRUE(migrated);
+  EXPECT_GT(wire_bytes, 0.0);  // serialized blobs actually crossed a socket
+  engine.shutdown();
+  ASSERT_TRUE(engine.ok()) << engine.error();
+}
+
+TEST(NetEngine, BroadcastPlanAcksMidInterval) {
+  if (tsan_enabled()) GTEST_SKIP() << "fork-based engine under TSan";
+  NetConfig ncfg;
+  ncfg.batch_size = 32;
+  NetEngine engine(ncfg, std::make_shared<WordCountLogic>(),
+                   test_controller(2, 500));
+
+  // Open an interval by ingesting tuples WITHOUT closing it, then probe
+  // the control channel while data may still be queued.
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 5'000; ++i) {
+    Tuple t;
+    t.key = static_cast<KeyId>(i % 500);
+    t.value = 1;
+    tuples.push_back(t);
+  }
+  auto report = engine.ingest(tuples);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+
+  RebalancePlan plan;
+  plan.assignment.assign(2, 0);
+  KeyMove move;
+  move.key = 7;
+  move.from = 0;
+  move.to = 1;
+  plan.moves.push_back(move);
+  const double rtt_ms = engine.broadcast_plan(plan, /*seq=*/99);
+  EXPECT_GE(rtt_ms, 0.0) << engine.error();
+
+  engine.finish_interval(report);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  EXPECT_EQ(report.processed, 5'000u);
+  engine.shutdown();
+  ASSERT_TRUE(engine.ok()) << engine.error();
+}
+
+TEST(NetEngine, ExpiryFramesPruneWindows) {
+  if (tsan_enabled()) GTEST_SKIP() << "fork-based engine under TSan";
+  NetConfig ncfg;
+  ncfg.batch_size = 32;
+  ncfg.expire_lag_intervals = 1;
+  NetEngine engine(ncfg, std::make_shared<WordCountLogic>(),
+                   test_controller(2, 200));
+  for (int interval = 0; interval < 3; ++interval) {
+    std::vector<Tuple> tuples;
+    for (int i = 0; i < 1'000; ++i) {
+      Tuple t;
+      t.key = static_cast<KeyId>(i % 200);
+      t.value = 1;
+      tuples.push_back(t);
+    }
+    engine.run_interval(tuples);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+  }
+  engine.shutdown();
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  // WordCount state survives expiry (counts are not windowed), so the
+  // assertion is just that expiry frames did not wedge the protocol.
+  EXPECT_EQ(engine.total_processed(), 3'000u);
+}
+
+}  // namespace
+}  // namespace skewless

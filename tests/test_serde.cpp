@@ -1,4 +1,4 @@
-#include "engine/serde.h"
+#include "common/serde.h"
 
 #include <gtest/gtest.h>
 
@@ -57,6 +57,91 @@ TEST(ByteCodecDeath, TruncatedStringAborts) {
   w.u32(100);  // claims 100 bytes follow; none do
   ByteReader r(w.bytes());
   EXPECT_DEATH(r.str(), "precondition");
+}
+
+// Checked (Untrusted) mode: the same reader over peer-supplied bytes
+// must turn every overrun into a sticky ok()==false instead of an abort.
+TEST(ByteCodecChecked, TruncatedReadFailsWithoutAborting) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // overrun: zero-valued, not fatal
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodecChecked, FailureIsSticky) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  r.u64();  // overrun
+  EXPECT_FALSE(r.ok());
+  // Later reads that WOULD fit still fail: a decoder can check ok()
+  // once at the end instead of after every field.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodecChecked, TruncatedStringFailsCleanly) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodecChecked, FitsRejectsOversizedClaims) {
+  ByteWriter w;
+  w.u32(1'000'000);  // element count far beyond the payload
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  const std::uint32_t n = r.u32();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.fits(n, /*min_elem_bytes=*/8));
+  // An impossible count poisons the reader like any overrun: decoders
+  // get one error channel per payload.
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodecChecked, ExplicitFailPoisons) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);
+}
+
+TEST(ByteCodecChecked, ReadIntoValidatesLength) {
+  ByteWriter w;
+  w.u64(0x1122334455667788ULL);
+  std::uint8_t buf[16] = {};
+  ByteReader ok_reader(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_TRUE(ok_reader.read_into(buf, 8));
+  EXPECT_TRUE(ok_reader.ok());
+  EXPECT_TRUE(ok_reader.exhausted());
+  ByteReader bad_reader(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_FALSE(bad_reader.read_into(buf, 16));
+  EXPECT_FALSE(bad_reader.ok());
+}
+
+TEST(ByteCodecChecked, CleanPayloadReadsIdenticallyToTrusted) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456);
+  w.u64(0xdeadbeefcafeULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  ByteReader r(w.bytes(), ByteReader::Untrusted{});
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafeULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(r.ok());
 }
 
 TEST(StateSerde, WordCountRoundTripPreservesEverything) {

@@ -22,6 +22,7 @@
 #include "core/planners.h"
 #include "engine/sim_engine.h"
 #include "engine/threaded_engine.h"
+#include "net/net_engine.h"
 #include "workload/adversarial.h"
 #include "workload/operators.h"
 #include "workload/social.h"
@@ -53,9 +54,12 @@ struct Args {
   std::string attack = "rotating";
   int rotation_period = 3;
   /// "sim" = deterministic simulation engine; "threaded" = real worker
-  /// threads (one per instance) over bounded queues.
+  /// threads (one per instance) over bounded queues; "net" = forked
+  /// worker processes over loopback sockets (framed wire protocol).
   std::string engine = "sim";
   std::size_t batch = 256;
+  /// Net engine: worker process count override (0 = --instances).
+  InstanceId workers_proc = 0;
   /// Threaded engine only: pin worker w to core w mod hw_concurrency
   /// (pthread_setaffinity_np where available) so each worker's slab
   /// pair stays resident in its owner's private L2.
@@ -77,8 +81,8 @@ struct Args {
       "          [--no-decay] [--decay-beta B] [--demote-fraction X]\n"
       "          [--attack rotating|skew-flip|pareto|churn|collision]\n"
       "          [--rotation-period N]\n"
-      "          [--engine sim|threaded] [--batch N] [--pin]\n"
-      "          [--inline-merge]\n"
+      "          [--engine sim|threaded|net] [--batch N] [--pin]\n"
+      "          [--inline-merge] [--workers-proc N]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
       "          hash shuffle pkg (shuffle/pkg: sim engine only)\n",
       argv0);
@@ -153,10 +157,14 @@ Args parse(int argc, char** argv) {
       args.rotation_period = std::atoi(need_value());
     } else if (flag == "--engine") {
       args.engine = need_value();
-      if (args.engine != "sim" && args.engine != "threaded") {
+      if (args.engine != "sim" && args.engine != "threaded" &&
+          args.engine != "net") {
         std::fprintf(stderr, "unknown engine: %s\n", args.engine.c_str());
         usage(argv[0]);
       }
+    } else if (flag == "--workers-proc") {
+      args.workers_proc = std::atoi(need_value());
+      if (args.workers_proc < 1) usage(argv[0]);
     } else if (flag == "--batch") {
       args.batch = std::strtoull(need_value(), nullptr, 10);
     } else if (flag == "--pin") {
@@ -340,11 +348,109 @@ int run_threaded(const Args& args, char* argv0) {
   return 0;
 }
 
+/// Multi-process run: N forked workers over loopback sockets. Same CSV
+/// schema as the threaded engine (pinned is always 0 — processes are not
+/// pinned) plus the per-interval wire-byte columns only sockets have.
+int run_net(const Args& args, char* argv0) {
+  if (args.stats_mode != StatsMode::kSketch) {
+    std::fprintf(stderr,
+                 "--engine net needs --stats sketch (the boundary summary "
+                 "is the serialized sketch slab)\n");
+    usage(argv0);
+  }
+  if (args.planner == "hash" || args.planner == "shuffle" ||
+      args.planner == "pkg") {
+    std::fprintf(stderr,
+                 "--engine net needs a controller planner (%s is keyless "
+                 "or controller-free)\n",
+                 args.planner.c_str());
+    usage(argv0);
+  }
+  auto planner = make_planner(args.planner);
+  if (planner == nullptr) {
+    std::fprintf(stderr, "unknown planner: %s\n", args.planner.c_str());
+    usage(argv0);
+  }
+  auto source = make_source(args);
+  const std::size_t num_keys = source->num_keys();
+  const InstanceId workers =
+      args.workers_proc > 0 ? args.workers_proc : args.instances;
+
+  ControllerConfig ccfg;
+  ccfg.planner.theta_max = args.theta;
+  ccfg.planner.max_table_entries = args.amax;
+  ccfg.window = args.window;
+  ccfg.stats_mode = StatsMode::kSketch;
+  ccfg.sketch = args.sketch;
+  auto controller = std::make_unique<Controller>(
+      AssignmentFunction(ConsistentHashRing(workers), args.amax),
+      std::move(planner), ccfg, num_keys);
+
+  NetConfig ncfg;
+  ncfg.batch_size = args.batch;
+  auto logic = std::make_shared<WordCountLogic>(args.tuple_cost_us);
+  NetEngine engine(ncfg, logic, std::move(controller));
+
+  const auto reports = engine.run(*source, args.intervals, args.seed);
+  std::printf(
+      "interval,throughput_tps,latency_ms,max_theta,migrated,moves,"
+      "migration_bytes,gen_ms,stall_ms,merge_ms,stats_memory_bytes,pinned,"
+      "data_wire_bytes,ctrl_wire_bytes\n");
+  for (const auto& r : reports) {
+    std::printf(
+        "%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,0,%llu,%llu\n",
+        static_cast<long long>(r.interval), r.throughput_tps,
+        r.avg_latency_ms, r.max_theta, r.migrated ? 1 : 0, r.moves,
+        r.migration_bytes, static_cast<double>(r.generation_micros) / 1000.0,
+        r.stall_ms, r.merge_ms, r.stats_memory_bytes,
+        static_cast<unsigned long long>(r.data_wire_bytes),
+        static_cast<unsigned long long>(r.ctrl_wire_bytes));
+  }
+  const auto* ctrl = engine.controller();
+  double stall_total = 0.0;
+  double merge_total = 0.0;
+  std::uint64_t wire_total = 0;
+  for (const auto& r : reports) {
+    stall_total += r.stall_ms;
+    merge_total += r.merge_ms;
+    wire_total += r.data_wire_bytes + r.ctrl_wire_bytes;
+  }
+  engine.shutdown();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "net engine failed: %s\n", engine.error().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "# engine=net workers=%d stats=sketch stats_memory_bytes=%zu "
+               "total_stall_ms=%.3f total_merge_ms=%.3f wire_bytes=%llu "
+               "state_checksum=%016llx state_entries=%zu\n",
+               static_cast<int>(workers),
+               reports.empty() ? 0 : reports.back().stats_memory_bytes,
+               stall_total, merge_total,
+               static_cast<unsigned long long>(wire_total),
+               static_cast<unsigned long long>(engine.state_checksum()),
+               engine.total_state_entries());
+  if (ctrl != nullptr) {
+    std::fprintf(stderr,
+                 "# rebalances=%zu total_generation_micros=%lld "
+                 "total_migrated_bytes=%.0f plan_digest=%016llx "
+                 "promotions=%llu demotions=%llu\n",
+                 ctrl->rebalance_count(),
+                 static_cast<long long>(ctrl->total_generation_micros()),
+                 ctrl->total_migrated_bytes(),
+                 static_cast<unsigned long long>(ctrl->plan_history_digest()),
+                 static_cast<unsigned long long>(ctrl->heavy_promotions()),
+                 static_cast<unsigned long long>(ctrl->heavy_demotions()));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   if (args.engine == "threaded") return run_threaded(args, argv[0]);
+  if (args.engine == "net") return run_net(args, argv[0]);
   auto source = make_source(args);
   const std::size_t num_keys = source->num_keys();
 
