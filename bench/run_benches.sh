@@ -32,6 +32,12 @@
 #       threaded engine's throughput with IDENTICAL plan digests, and a
 #       plan broadcast on the control channel round-trips >= 5x faster
 #       than the saturated data channel drains.
+#   bench_micro_shard    -> BENCH_shard.json
+#       sharded controller at a 10M-key domain: the boundary merge
+#       (absorb + roll) is >= 2x faster at 4 shards than the single
+#       window, masses conserved exactly across every shard count. On a
+#       single-core host the speedup gate reports SKIPPED (there is no
+#       parallelism to demonstrate); CI's multi-core runners enforce it.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +49,7 @@ BENCHES=(
   bench_micro_plan:BENCH_plan.json
   bench_micro_churn:BENCH_churn.json
   bench_micro_net:BENCH_net.json
+  bench_micro_shard:BENCH_shard.json
 )
 
 status=0

@@ -26,6 +26,7 @@
 namespace skewless {
 
 class SketchStatsWindow;
+class SketchSlabSink;
 
 struct ControllerConfig {
   PlannerConfig planner;
@@ -41,6 +42,14 @@ struct ControllerConfig {
   StatsMode stats_mode = StatsMode::kExact;
   /// Tuning for stats_mode == kSketch.
   SketchStatsConfig sketch = {};
+  /// Key-domain shards for the sketch provider. 0 = the legacy single
+  /// SketchStatsWindow; >= 1 selects the sharded controller
+  /// (ShardedSketchStats): S shard-local windows absorbing sealed worker
+  /// slabs concurrently, a thin global tier concatenating the per-shard
+  /// compact snapshots for planning. shards = 1 is contractually
+  /// byte-identical to shards = 0 (plan-history digest, θ bit patterns).
+  /// Ignored in exact mode.
+  std::size_t shards = 0;
 };
 
 class Controller {
@@ -68,6 +77,13 @@ class Controller {
   /// shared record() path).
   [[nodiscard]] SketchStatsWindow* sketch_stats();
   [[nodiscard]] const SketchStatsWindow* sketch_stats() const;
+
+  /// The provider as a slab sink when stats_mode == kSketch — the single
+  /// window (shards <= 1) or the sharded provider — nullptr in exact
+  /// mode. This is the seam the engines feed sealed worker slabs through
+  /// and the shard boundary the sharded controller lives behind.
+  [[nodiscard]] SketchSlabSink* slab_sink();
+  [[nodiscard]] const SketchSlabSink* slab_sink() const;
 
   /// Resident bytes of the statistics structures (the exact-vs-sketch
   /// trade-off number).

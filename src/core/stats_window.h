@@ -96,9 +96,12 @@ class StatsWindow final : public StatsProvider {
   std::deque<std::vector<Bytes>> ring_;  // closed per-interval state bytes
 };
 
-/// Builds the statistics provider selected by `mode`.
+/// Builds the statistics provider selected by `mode`. In sketch mode
+/// `shards >= 1` selects the sharded provider (ShardedSketchStats, S
+/// shard-local windows absorbing concurrently); 0 keeps the legacy
+/// single SketchStatsWindow. Exact mode ignores `shards`.
 [[nodiscard]] std::unique_ptr<StatsProvider> make_stats_provider(
     StatsMode mode, std::size_t num_keys, int window,
-    const SketchStatsConfig& sketch = {});
+    const SketchStatsConfig& sketch = {}, std::size_t shards = 0);
 
 }  // namespace skewless

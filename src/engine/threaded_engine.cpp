@@ -81,7 +81,7 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
   // No separate monitor in controller mode: the controller's provider
   // already sees every drained observation, and doubling it would
   // double exactly the stats memory the sketch mode exists to shrink.
-  sketch_sink_ = controller_->sketch_stats();
+  sketch_sink_ = controller_->slab_sink();
   start_workers();
 }
 
@@ -97,7 +97,7 @@ ThreadedEngine::ThreadedEngine(ThreadedConfig config,
   // The key domain is discovered from the stream; the monitor grows on
   // demand (the exact provider via resize_keys, the sketch natively).
   monitor_ = make_stats_provider(config_.stats_mode, 0, 1, config_.sketch);
-  sketch_sink_ = dynamic_cast<SketchStatsWindow*>(monitor_.get());
+  sketch_sink_ = dynamic_cast<SketchSlabSink*>(monitor_.get());
   start_workers();
 }
 
@@ -129,11 +129,11 @@ void ThreadedEngine::start_workers() {
     slabs_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       auto pair = std::make_unique<SlabPair>();
-      pair->bufs[0] =
-          std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+      pair->bufs[0] = std::make_unique<ShardedWorkerSlab>(
+          sketch_sink_->slab_config(), sketch_sink_->slab_shards());
       if (config_.async_merge) {
-        pair->bufs[1] =
-            std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+        pair->bufs[1] = std::make_unique<ShardedWorkerSlab>(
+            sketch_sink_->slab_config(), sketch_sink_->slab_shards());
       }
       slabs_.push_back(std::move(pair));
     }
@@ -158,7 +158,7 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   WorkerStats& stats = *stats_[idx];
   // Sketch mode: the worker starts on buffer 0 of its pair and (async
   // merge only) alternates at every seal.
-  WorkerSketchSlab* slab =
+  ShardedWorkerSlab* slab =
       slabs_.empty() ? nullptr : slabs_[idx]->bufs[0].get();
   CountingCollector collector(total_outputs_);
   // Per-batch aggregation buffer, reused across batches (clear() keeps
@@ -320,7 +320,7 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
       // worker finished first. The quiescence wait in finish_boundary
       // ordered all slab writes before this read; no lock is needed (the
       // scalars ride the slab too).
-      WorkerSketchSlab& slab = *slabs_[w]->bufs[0];
+      ShardedWorkerSlab& slab = *slabs_[w]->bufs[0];
       report.processed += slab.scalars().processed;
       latency_sum += slab.scalars().latency_sum_us;
       latency_n += slab.scalars().latency_samples;
@@ -330,7 +330,7 @@ void ThreadedEngine::drain_worker_stats(ThreadedIntervalReport& report) {
       // which is exactly the attribution the compact planning view's
       // per-instance cold residual aggregates need.
       WallTimer merge_timer;
-      sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
+      sketch_sink_->absorb_slab(slab, static_cast<InstanceId>(w));
       report.merge_ms += merge_timer.elapsed_millis();
       slab.clear();
       continue;
@@ -403,7 +403,7 @@ void ThreadedEngine::merge_sealed_slabs(std::uint64_t epoch,
       });
     }
     if (pair.sealed_epoch.load(std::memory_order_acquire) < epoch) return;
-    WorkerSketchSlab& slab = *pair.bufs[(epoch - 1) & 1];
+    ShardedWorkerSlab& slab = *pair.bufs[(epoch - 1) & 1];
     SKW_ASSERT(slab.epoch() == epoch);
     result.processed += slab.scalars().processed;
     result.latency_sum_us += slab.scalars().latency_sum_us;
@@ -414,7 +414,7 @@ void ThreadedEngine::merge_sealed_slabs(std::uint64_t epoch,
     // schedulings; `w` is the slab's owning instance (cold-residual
     // attribution, as in the inline path).
     WallTimer merge_timer;
-    sketch_sink_->absorb(slab, static_cast<InstanceId>(w));
+    sketch_sink_->absorb_slab(slab, static_cast<InstanceId>(w));
     result.merge_ms += merge_timer.elapsed_millis();
     slab.clear();
     // The worker's active peer cannot be measured while it accumulates;

@@ -70,7 +70,9 @@
 #include "engine/state.h"
 #include "engine/tuple.h"
 #include "engine/workload_source.h"
+#include "sketch/sharded_worker_slab.h"
 #include "sketch/sketch_stats_window.h"
+#include "sketch/slab_sink.h"
 #include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
@@ -289,7 +291,7 @@ class ThreadedEngine {
   /// alternates), so neither side needs to share an index. With
   /// async_merge off only buffer 0 exists and is never sealed.
   struct SlabPair {
-    std::unique_ptr<WorkerSketchSlab> bufs[2];
+    std::unique_ptr<ShardedWorkerSlab> bufs[2];
     std::atomic<std::uint64_t> sealed_epoch{0};
   };
 
@@ -359,11 +361,12 @@ class ThreadedEngine {
   /// each drain (cleared with buckets retained — no per-interval rebuild).
   std::vector<std::unordered_map<KeyId, PerKeyStat>> drain_scratch_;
   std::unique_ptr<StatsProvider> monitor_;  // hash-only mode, else null
-  /// The provider downcast to its sketch form when stats_mode == kSketch
-  /// (whether owned by the controller or by monitor_); null in exact
-  /// mode. Non-null switches the worker↔driver statistics contract to
-  /// thread-local slabs + boundary merge.
-  SketchStatsWindow* sketch_sink_ = nullptr;
+  /// The provider as a slab sink when stats_mode == kSketch (whether
+  /// owned by the controller or by monitor_; the single window or the
+  /// sharded controller — the engine cannot tell, which is the point);
+  /// null in exact mode. Non-null switches the worker↔driver statistics
+  /// contract to thread-local slabs + boundary merge.
+  SketchSlabSink* sketch_sink_ = nullptr;
   /// One slab pair per worker (sketch mode only, else empty). Inline
   /// merge uses buffer 0 only.
   std::vector<std::unique_ptr<SlabPair>> slabs_;

@@ -48,7 +48,7 @@ NetEngine::NetEngine(NetConfig config, std::shared_ptr<OperatorLogic> logic,
       controller_(std::move(controller)) {
   SKW_EXPECTS(logic_ != nullptr);
   SKW_EXPECTS(controller_ != nullptr);
-  sketch_sink_ = controller_->sketch_stats();
+  sketch_sink_ = controller_->slab_sink();
   // The boundary summary IS the serialized sketch slab; there is no
   // exact-mode wire format (it would be O(|K|) per worker per interval).
   SKW_EXPECTS(sketch_sink_ != nullptr);
@@ -56,7 +56,8 @@ NetEngine::NetEngine(NetConfig config, std::shared_ptr<OperatorLogic> logic,
   SKW_EXPECTS(num_workers_ > 0);
   engine_epoch_us_ = steady_now_us();
   pending_batches_.resize(static_cast<std::size_t>(num_workers_));
-  scratch_slab_ = std::make_unique<WorkerSketchSlab>(sketch_sink_->config());
+  scratch_slab_ = std::make_unique<ShardedWorkerSlab>(
+      sketch_sink_->slab_config(), sketch_sink_->slab_shards());
   spawn_workers();
   if (ok() && !handshake()) {
     SKW_ASSERT(!ok());  // handshake failure went through fail()
@@ -104,7 +105,8 @@ void NetEngine::spawn_workers() {
       NetWorkerOptions options;
       options.worker_id = static_cast<std::uint32_t>(w);
       options.num_workers = static_cast<std::uint32_t>(num_workers_);
-      options.sketch = sketch_sink_->config();
+      options.sketch = sketch_sink_->slab_config();
+      options.shards = static_cast<std::uint32_t>(sketch_sink_->slab_shards());
       options.engine_epoch_us = engine_epoch_us_;
       const int rc =
           run_net_worker(data_fds[1], ctrl_fds[1], options, *logic_);
@@ -284,7 +286,7 @@ bool NetEngine::absorb_summaries(std::uint64_t epoch,
     // crossed the wire first. Worker w IS instance w (cold-residual
     // attribution).
     WallTimer merge_timer;
-    sketch_sink_->absorb(*scratch_slab_, static_cast<InstanceId>(w));
+    sketch_sink_->absorb_slab(*scratch_slab_, static_cast<InstanceId>(w));
     report.merge_ms += merge_timer.elapsed_millis();
   }
   report.avg_latency_ms =

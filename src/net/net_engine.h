@@ -51,6 +51,8 @@
 #include "engine/workload_source.h"
 #include "net/channel.h"
 #include "net/wire.h"
+#include "sketch/sharded_worker_slab.h"
+#include "sketch/slab_sink.h"
 #include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
@@ -194,13 +196,13 @@ class NetEngine {
   NetConfig config_;
   std::shared_ptr<OperatorLogic> logic_;
   std::unique_ptr<Controller> controller_;
-  SketchStatsWindow* sketch_sink_ = nullptr;
+  SketchSlabSink* sketch_sink_ = nullptr;
   InstanceId num_workers_ = 0;
   std::vector<Worker> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;
   /// Reusable decode target for boundary summaries (same geometry as
   /// every worker slab).
-  std::unique_ptr<WorkerSketchSlab> scratch_slab_;
+  std::unique_ptr<ShardedWorkerSlab> scratch_slab_;
   ByteWriter frame_scratch_;
   std::vector<std::uint8_t> recv_scratch_;
 

@@ -10,6 +10,7 @@
 #include "net/channel.h"
 #include "net/poller.h"
 #include "net/wire.h"
+#include "sketch/sharded_worker_slab.h"
 #include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
@@ -42,7 +43,7 @@ class NetWorker {
         logic_(logic),
         data_(data_fd),
         ctrl_(ctrl_fd),
-        slab_(options.sketch),
+        slab_(options.sketch, std::max<std::uint32_t>(1, options.shards)),
         collector_(outputs_) {
     // Same initial bucket capacity as the threaded worker's per-batch
     // scratch map. This is load-bearing for byte-identity: add_batch
@@ -316,7 +317,7 @@ class NetWorker {
   FrameChannel data_;
   FrameChannel ctrl_;
   StateStore store_;
-  WorkerSketchSlab slab_;
+  ShardedWorkerSlab slab_;
   std::uint64_t outputs_ = 0;
   std::uint64_t processed_ = 0;
   CountingCollector collector_;

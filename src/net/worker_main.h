@@ -23,10 +23,14 @@ namespace skewless {
 struct NetWorkerOptions {
   std::uint32_t worker_id = 0;
   std::uint32_t num_workers = 0;
-  /// Must equal the driver-side SketchStatsWindow's config: the slab
-  /// replicates the window's Count-Min geometry, and the summary decode
-  /// on the driver rejects a mismatch.
+  /// Must equal the driver-side sink's GLOBAL config: the slab
+  /// replicates the shard windows' Count-Min geometry (via the shared
+  /// shard_config derivation), and the summary decode on the driver
+  /// rejects a mismatch.
   SketchStatsConfig sketch = {};
+  /// Key-domain shard count of the driver-side sink (>= 1): the worker
+  /// sections its slab identically so section s lands in shard s.
+  std::uint32_t shards = 1;
   /// The driver's engine epoch (set before fork), so worker-side latency
   /// accounting shares the tuples' emit_micros time base.
   Micros engine_epoch_us = 0;

@@ -1,0 +1,126 @@
+// ShardedWorkerSlab — a worker's interval-local sketch accumulator split
+// into S per-shard WorkerSketchSlab sections, shard = stable hash of the
+// KeyId. Workers emit per-shard sections at fold time (rather than the
+// controller splitting sealed slabs at the boundary) so the sharded
+// controller can hand section s of every worker straight to shard window
+// s with no re-hashing or copying on the merge path.
+//
+// S = 1 is the exact identity case: every call forwards to the single
+// section, including add_batch's prefetch-pipelined fold, so a
+// single-shard run produces bit-for-bit the state the pre-sharding
+// WorkerSketchSlab produced. For S > 1 the fold routes each batch entry
+// to its section with one mix64 per distinct key; the per-section
+// geometry comes from shard_config(), which scales ε and heavy_capacity
+// by S so the TOTAL sketch memory stays roughly flat while each section
+// (and therefore each shard's absorb) shrinks by ~S.
+//
+// The serialized form (the NetEngine's kSummary payload) is a u32
+// section-count prefix followed by each section's deterministic encoding;
+// deserialize_from rejects a section-count mismatch the same way a
+// geometry mismatch is rejected — sticky reader failure, frame dropped.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "sketch/worker_sketch_slab.h"
+
+namespace skewless {
+
+/// The shard owning `key` under an S-way split: a stable mix64 hash, NOT
+/// key % S — dense key domains assign adjacent (often correlated) keys
+/// round-robin under modulo, which would make one shard's heavy set a
+/// systematic sample. Every layer (slab sectioning, window routing, the
+/// sharded controller) must use this one function.
+[[nodiscard]] constexpr std::size_t shard_of_key(KeyId key,
+                                                 std::size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(key)) %
+                                  static_cast<std::uint64_t>(shards));
+}
+
+/// The per-shard SketchStatsConfig under an S-way split: ε scales by S
+/// (Count-Min width divides by ~S — each shard sees ~1/S of the mass, so
+/// the absolute error bound ε·mass is preserved) and heavy_capacity
+/// splits as ⌈capacity/S⌉. Seed and every behavioral knob (decay, β,
+/// promote/demote fractions) pass through unchanged. Returns `config`
+/// untouched for shards ≤ 1 — the byte-identity anchor.
+[[nodiscard]] SketchStatsConfig shard_config(const SketchStatsConfig& config,
+                                             std::size_t shards);
+
+class ShardedWorkerSlab {
+ public:
+  /// `config` is the GLOBAL sketch configuration; the slab derives each
+  /// section's geometry via shard_config(config, shards) itself so both
+  /// ends of a summary channel agree by construction.
+  explicit ShardedWorkerSlab(const SketchStatsConfig& config,
+                             std::size_t shards = 1);
+
+  /// Accumulates one observation into the owning shard's section.
+  void add(KeyId key, Cost cost, Bytes state_bytes, std::uint64_t frequency);
+
+  /// Folds one batch. S = 1 forwards the whole batch to section 0's
+  /// prefetch-pipelined fold (bit-identical to the unsharded slab);
+  /// S > 1 routes each entry to its section's add() in iteration order.
+  void add_batch(
+      const std::unordered_map<KeyId, WorkerSketchSlab::KeyAgg>& batch);
+
+  /// Replaces the hot-key set, split per shard so each section only ever
+  /// probes its own keys.
+  void set_heavy_keys(const std::vector<KeyId>& keys);
+
+  /// Resets the interval-local contents of every section (allocations
+  /// retained, heavy sets kept).
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const { return sections_.size(); }
+  [[nodiscard]] WorkerSketchSlab& section(std::size_t shard) {
+    return sections_[shard];
+  }
+  [[nodiscard]] const WorkerSketchSlab& section(std::size_t shard) const {
+    return sections_[shard];
+  }
+
+  /// The interval's scalar counters ride section 0 (they are per-worker,
+  /// not per-key, so exactly one section carries them).
+  [[nodiscard]] WorkerSketchSlab::IntervalScalars& scalars() {
+    return sections_.front().scalars();
+  }
+  [[nodiscard]] const WorkerSketchSlab::IntervalScalars& scalars() const {
+    return sections_.front().scalars();
+  }
+
+  /// Epoch stamp: set on every section (each is absorbed independently);
+  /// read from section 0.
+  void set_epoch(std::uint64_t epoch);
+  [[nodiscard]] std::uint64_t epoch() const {
+    return sections_.front().epoch();
+  }
+
+  /// Exact total cost observed this interval, summed over sections.
+  [[nodiscard]] Cost total_cost() const;
+
+  /// One past the largest key observed since construction (max over
+  /// sections).
+  [[nodiscard]] std::size_t key_bound() const;
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Boundary-summary encoding: u32 section count, then each section's
+  /// deterministic serialize().
+  void serialize(ByteWriter& out) const;
+
+  /// Rebuilds every section from a summary produced by serialize() on a
+  /// slab of the same config AND shard count. Returns false — with the
+  /// reader's sticky error flag set — on a section-count mismatch or any
+  /// per-section decode failure.
+  [[nodiscard]] bool deserialize_from(ByteReader& in);
+
+ private:
+  std::vector<WorkerSketchSlab> sections_;
+};
+
+}  // namespace skewless

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "sketch/sharded_worker_slab.h"
 #include "sketch/worker_sketch_slab.h"
 
 namespace skewless {
@@ -141,6 +142,12 @@ void SketchStatsWindow::absorb(const WorkerSketchSlab& slab, InstanceId dest) {
   grow_dest(slot);
   cold_cost_cur_d_[slot] += slab.cold_cost();
   cold_state_cur_d_[slot] += slab.cold_state();
+}
+
+void SketchStatsWindow::absorb_slab(const ShardedWorkerSlab& slab,
+                                    InstanceId dest) {
+  SKW_EXPECTS(slab.shard_count() == 1);
+  absorb(slab.section(0), dest);
 }
 
 std::vector<KeyId> SketchStatsWindow::heavy_keys() const {
@@ -591,18 +598,29 @@ void SketchStatsWindow::synthesize_dense(std::vector<Cost>& cost,
                                          std::vector<Bytes>& state) const {
   cost.assign(num_keys_, 0.0);
   state.assign(num_keys_, 0.0);
+  synthesize_dense_shard(cost, state, 0, 1);
+}
+
+void SketchStatsWindow::synthesize_dense_shard(std::vector<Cost>& cost,
+                                               std::vector<Bytes>& state,
+                                               std::size_t shard,
+                                               std::size_t shard_count) const {
+  SKW_EXPECTS(cost.size() >= num_keys_ && state.size() >= num_keys_);
+  const bool filtered = shard_count > 1;
 
   std::vector<char> is_heavy_key(num_keys_, 0);
   for (const auto& [key, e] : heavy_) {
     if (key < num_keys_) is_heavy_key[static_cast<std::size_t>(key)] = 1;
   }
 
-  // Pass 1: raw upper-bound estimates for the cold tail.
+  // Pass 1: raw upper-bound estimates for the cold tail (this shard's
+  // lane only — other shards' keys never touched).
   double raw_cost_sum = 0.0;
   double raw_state_sum = 0.0;
   for (std::size_t k = 0; k < num_keys_; ++k) {
     if (is_heavy_key[k]) continue;
     const auto key = static_cast<KeyId>(k);
+    if (filtered && shard_of_key(key, shard_count) != shard) continue;
     cost[k] = cost_last_.estimate(key);
     state[k] = state_window_.estimate(key);
     raw_cost_sum += cost[k];
@@ -618,11 +636,15 @@ void SketchStatsWindow::synthesize_dense(std::vector<Cost>& cost,
       raw_state_sum > 0.0 ? cold_state_window_ / raw_state_sum : 0.0;
   for (std::size_t k = 0; k < num_keys_; ++k) {
     if (is_heavy_key[k]) continue;
+    if (filtered && shard_of_key(static_cast<KeyId>(k), shard_count) != shard) {
+      continue;
+    }
     cost[k] *= cost_scale;
     state[k] *= state_scale;
   }
 
-  // Pass 3: exact values for the hot tier.
+  // Pass 3: exact values for the hot tier (a sharded window only ever
+  // holds its own shard's keys, so no filter is needed here).
   for (const auto& [key, e] : heavy_) {
     if (key >= num_keys_) continue;
     cost[static_cast<std::size_t>(key)] = e.last_cost;

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "sketch/count_min.h"
+#include "sketch/slab_sink.h"
 #include "sketch/space_saving.h"
 #include "sketch/stats_provider.h"
 
@@ -56,7 +57,7 @@ namespace skewless {
 
 class WorkerSketchSlab;
 
-class SketchStatsWindow final : public StatsProvider {
+class SketchStatsWindow final : public StatsProvider, public SketchSlabSink {
  public:
   /// `num_keys` = |K| (logical bound for synthesize_dense; grows on
   /// demand), `window` = w ≥ 1.
@@ -104,9 +105,18 @@ class SketchStatsWindow final : public StatsProvider {
   /// aggregates and the merged promotion candidates.
   void absorb(const WorkerSketchSlab& slab, InstanceId dest = kNilInstance);
 
+  /// SketchSlabSink — this window is the S = 1 sink: absorb_slab expects
+  /// a single-section ShardedWorkerSlab and forwards to absorb().
+  [[nodiscard]] const SketchStatsConfig& slab_config() const override {
+    return config_;
+  }
+  [[nodiscard]] std::size_t slab_shards() const override { return 1; }
+  void absorb_slab(const ShardedWorkerSlab& slab,
+                   InstanceId dest = kNilInstance) override;
+
   /// The current heavy key set, sorted ascending (deterministic) — what
   /// the driver distributes to worker slabs at interval boundaries.
-  [[nodiscard]] std::vector<KeyId> heavy_keys() const;
+  [[nodiscard]] std::vector<KeyId> heavy_keys() const override;
 
   [[nodiscard]] Cost last_cost_of(KeyId key) const override;
   [[nodiscard]] std::uint64_t last_frequency_of(KeyId key) const override;
@@ -114,6 +124,17 @@ class SketchStatsWindow final : public StatsProvider {
   [[nodiscard]] Bytes total_windowed_state() const override;
   void synthesize_dense(std::vector<Cost>& cost,
                         std::vector<Bytes>& state) const override;
+
+  /// One shard's lane of the dense view: writes cost[k]/state[k] ONLY for
+  /// keys with shard_of_key(k, shard_count) == shard (every key when
+  /// shard_count ≤ 1), using this window's heavy tier and cold-tail
+  /// normalization. The caller sizes and zero-fills the vectors once;
+  /// shard lanes are disjoint, so S windows can fill one vector pair
+  /// concurrently. synthesize_dense() is exactly the (shard=0,
+  /// shard_count=1) call — same passes, filter compiled out.
+  void synthesize_dense_shard(std::vector<Cost>& cost,
+                              std::vector<Bytes>& state, std::size_t shard,
+                              std::size_t shard_count) const;
 
   /// The compact planner view — the O(k + N_D) alternative to
   /// synthesize_dense that allocates nothing proportional to |K|:
@@ -139,7 +160,7 @@ class SketchStatsWindow final : public StatsProvider {
   void synthesize_compact(InstanceId num_instances, std::vector<KeyId>& keys,
                           std::vector<Cost>& cost, std::vector<Bytes>& state,
                           std::vector<Cost>& cold_cost,
-                          std::vector<Bytes>& cold_state) const;
+                          std::vector<Bytes>& cold_state) const override;
 
   [[nodiscard]] std::size_t num_keys() const override { return num_keys_; }
   void resize_keys(std::size_t num_keys) override;
@@ -161,10 +182,10 @@ class SketchStatsWindow final : public StatsProvider {
   /// construction, and the counts from the most recent roll(). The
   /// bench's churn rate is (promotions + demotions per interval) /
   /// heavy_capacity.
-  [[nodiscard]] std::uint64_t total_promotions() const {
+  [[nodiscard]] std::uint64_t total_promotions() const override {
     return total_promotions_;
   }
-  [[nodiscard]] std::uint64_t total_demotions() const {
+  [[nodiscard]] std::uint64_t total_demotions() const override {
     return total_demotions_;
   }
   [[nodiscard]] std::size_t last_promotions() const {

@@ -687,6 +687,141 @@ TEST(Determinism, NetRunIsByteIdenticalToThreadedRun) {
   EXPECT_EQ(threaded.outputs, net.outputs);
 }
 
+// The sharded controller's headline contract, part 1: a shards=1 run is
+// BYTE-identical to the legacy single-window controller (shards=0) — the
+// ShardedSketchStats S=1 paths all short-circuit to the one window, the
+// ShardedWorkerSlab forwards to its single section's prefetch-pipelined
+// fold, so plan-history digest, θ bit patterns, state checksums and
+// output counts all match exactly. Same harness as the net-vs-threaded
+// byte-identity test above.
+TEST(Determinism, ShardedPlanMatchesSingleController) {
+  struct RunResult {
+    std::vector<double> thetas;
+    std::uint64_t plan_digest = 0;
+    std::size_t rebalances = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t outputs = 0;
+  };
+  const InstanceId kWorkers = 3;
+  const int kIntervals = 4;
+  const auto run = [&](std::size_t shards) {
+    ZipfFluctuatingSource::Options opts;
+    opts.num_keys = 5'000;
+    opts.skew = 1.1;
+    opts.tuples_per_interval = 20'000;
+    opts.fluctuation = 0.5;
+    opts.seed = 77;
+    ZipfFluctuatingSource source(opts);
+
+    ControllerConfig ccfg;
+    ccfg.planner.theta_max = 0.08;
+    ccfg.stats_mode = StatsMode::kSketch;
+    ccfg.sketch.heavy_capacity = 256;
+    ccfg.shards = shards;
+    auto controller = std::make_unique<Controller>(
+        AssignmentFunction(ConsistentHashRing(kWorkers), 0),
+        std::make_unique<MixedPlanner>(), ccfg, source.num_keys());
+
+    ThreadedConfig tcfg;
+    tcfg.num_workers = kWorkers;
+    tcfg.batch_size = 64;
+    tcfg.stats_mode = StatsMode::kSketch;
+    tcfg.sketch.heavy_capacity = 256;
+    ThreadedEngine engine(tcfg, std::make_shared<WordCountLogic>(),
+                          std::move(controller));
+    const auto reports = engine.run(source, kIntervals, /*seed=*/9);
+    RunResult result;
+    for (const auto& r : reports) result.thetas.push_back(r.max_theta);
+    result.plan_digest = engine.controller()->plan_history_digest();
+    result.rebalances = engine.controller()->rebalance_count();
+    engine.shutdown();
+    result.checksum = engine.state_checksum();
+    result.processed = engine.total_processed();
+    result.outputs = engine.total_output_tuples();
+    return result;
+  };
+
+  const RunResult single = run(0);
+  const RunResult sharded = run(1);
+  ASSERT_GT(single.rebalances, 0u);
+  EXPECT_EQ(single.rebalances, sharded.rebalances);
+  EXPECT_EQ(single.plan_digest, sharded.plan_digest);
+  ASSERT_EQ(single.thetas.size(), sharded.thetas.size());
+  // Bit-pattern equality, not EXPECT_DOUBLE_EQ — the contract is
+  // byte-identical.
+  EXPECT_EQ(0, std::memcmp(single.thetas.data(), sharded.thetas.data(),
+                           single.thetas.size() * sizeof(double)));
+  EXPECT_EQ(single.checksum, sharded.checksum);
+  EXPECT_EQ(single.processed, sharded.processed);
+  EXPECT_EQ(single.outputs, sharded.outputs);
+}
+
+// Part 2: shards ∈ {2, 4, 8} plan-EQUIVALENCE on identical streams, in
+// the regime where sharding is provably exact: zero state bytes (the
+// windowed-state backfill is a Count-Min estimate whose value depends on
+// sketch width, which differs per shard count — zero mass estimates to
+// zero at every width), eviction-free candidate capacity (per-shard
+// Space-Saving never evicts, so counts are exact and promotion backfills
+// the exact recorded mass), a promotion threshold low enough that every
+// observed key promotes regardless of the per-shard vs global decayed
+// total, and integer costs (sums of small integers are exact doubles in
+// ANY accumulation order, so the shard-order residual summation cannot
+// drift). Under those conditions every shard count must produce the same
+// plan history — same digests, same θ bits.
+TEST(Determinism, ShardedPlanEquivalenceAcrossShardCounts) {
+  struct RunResult {
+    std::vector<double> thetas;
+    std::uint64_t plan_digest = 0;
+    std::size_t rebalances = 0;
+  };
+  constexpr std::size_t kKeys = 512;
+  constexpr int kIntervals = 6;
+  constexpr int kTuplesPerInterval = 20'000;
+  const auto run = [&](std::size_t shards) {
+    ControllerConfig ccfg;
+    ccfg.planner.theta_max = 0.05;
+    ccfg.stats_mode = StatsMode::kSketch;
+    // Eviction-free at every shard count: ⌈4096/8⌉ = 512 ≥ the whole
+    // domain, so no shard's tracker can ever evict.
+    ccfg.sketch.heavy_capacity = 4096;
+    ccfg.sketch.promote_fraction = 1e-9;
+    ccfg.shards = shards;
+    Controller controller(AssignmentFunction(ConsistentHashRing(4), 0),
+                          std::make_unique<MixedPlanner>(), ccfg, kKeys);
+
+    ZipfDistribution zipf(kKeys, 1.3, true, 5);
+    Xoshiro256 rng(123);
+    RunResult result;
+    for (int interval = 0; interval < kIntervals; ++interval) {
+      for (int t = 0; t < kTuplesPerInterval; ++t) {
+        const KeyId key = static_cast<KeyId>(zipf.sample(rng));
+        const InstanceId dest = controller.assignment()(key);
+        controller.record(key, /*cost=*/1.0, /*state_bytes=*/0.0,
+                          /*frequency=*/1, dest);
+      }
+      (void)controller.end_interval();
+      result.thetas.push_back(controller.last_observed_theta());
+    }
+    result.plan_digest = controller.plan_history_digest();
+    result.rebalances = controller.rebalance_count();
+    return result;
+  };
+
+  const RunResult base = run(1);
+  ASSERT_GT(base.rebalances, 0u);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    const RunResult sharded = run(shards);
+    EXPECT_EQ(base.rebalances, sharded.rebalances) << "shards=" << shards;
+    EXPECT_EQ(base.plan_digest, sharded.plan_digest) << "shards=" << shards;
+    ASSERT_EQ(base.thetas.size(), sharded.thetas.size());
+    EXPECT_EQ(0, std::memcmp(base.thetas.data(), sharded.thetas.data(),
+                             base.thetas.size() * sizeof(double)))
+        << "shards=" << shards;
+  }
+}
+
 TEST(Determinism, SeededZipfSamplesAreIdentical) {
   const ZipfDistribution zipf_a(500, 0.9, true, 7);
   const ZipfDistribution zipf_b(500, 0.9, true, 7);

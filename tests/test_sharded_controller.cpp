@@ -1,0 +1,310 @@
+// Unit coverage for the sharded controller tier: the ShardPool fork-join
+// primitive, the shard_of_key / shard_config derivations every layer
+// shares, ShardedWorkerSlab sectioning + wire round-trip, and the
+// ShardedSketchStats provider's agreement with the single-window
+// reference. The whole binary carries the "threaded" label so the TSan
+// leg machine-checks the pool's generation handshake.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/sharded_controller.h"
+#include "sketch/sharded_worker_slab.h"
+#include "sketch/sketch_stats_window.h"
+
+namespace skewless {
+namespace {
+
+SketchStatsConfig test_config(std::size_t heavy_capacity = 64,
+                              double epsilon = 1e-3) {
+  SketchStatsConfig cfg;
+  cfg.epsilon = epsilon;
+  cfg.delta = 0.01;
+  cfg.heavy_capacity = heavy_capacity;
+  cfg.promote_fraction = 0.0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// ShardPool
+
+TEST(ShardPool, RunsEveryIndexExactlyOnce) {
+  ShardPool pool(7);
+  constexpr std::size_t kTasks = 100;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ShardPool, ReusableAcrossGenerations) {
+  // Many small rounds with varying task counts: exercises the generation
+  // counter and the stale-worker crossover path (a worker waking into a
+  // later generation must not double-claim indices).
+  ShardPool pool(3);
+  for (int round = 1; round <= 200; ++round) {
+    const auto tasks = static_cast<std::size_t>(1 + (round % 7));
+    std::atomic<std::size_t> sum{0};
+    pool.run(tasks, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), tasks * (tasks + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ShardPool, ZeroWorkersRunsInline) {
+  // The S = 1 configuration: no threads exist, run() is a plain loop on
+  // the calling thread — the byte-identity anchor must not even create a
+  // scheduling opportunity.
+  ShardPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> order;
+  pool.run(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// shard_of_key / shard_config
+
+TEST(ShardConfig, ShardOfKeyIsStableAndBounded) {
+  for (std::size_t shards : {1u, 2u, 4u, 8u, 16u}) {
+    for (KeyId key = 0; key < 1000; ++key) {
+      const std::size_t s = shard_of_key(key, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, shard_of_key(key, shards));  // stable
+    }
+  }
+  // shards <= 1 collapses to shard 0 without hashing.
+  EXPECT_EQ(shard_of_key(12345, 0), 0u);
+  EXPECT_EQ(shard_of_key(12345, 1), 0u);
+}
+
+TEST(ShardConfig, DenseDomainSpreadsAcrossShards) {
+  // The reason shard_of_key is mix64 and not key % S: a dense key domain
+  // must spread near-uniformly, not round-robin. Over 100k sequential
+  // keys every shard should hold close to 1/S of the domain.
+  constexpr std::size_t kShards = 8;
+  constexpr std::size_t kKeys = 100000;
+  std::vector<std::size_t> counts(kShards, 0);
+  for (KeyId key = 0; key < kKeys; ++key) ++counts[shard_of_key(key, kShards)];
+  const double expected = static_cast<double>(kKeys) / kShards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], expected * 0.9) << "shard " << s;
+    EXPECT_LT(counts[s], expected * 1.1) << "shard " << s;
+  }
+}
+
+TEST(ShardConfig, DerivationScalesGeometryOnly) {
+  SketchStatsConfig cfg = test_config(100, 1e-4);
+  cfg.seed = 99;
+
+  const SketchStatsConfig same = shard_config(cfg, 1);
+  EXPECT_DOUBLE_EQ(same.epsilon, cfg.epsilon);
+  EXPECT_EQ(same.heavy_capacity, cfg.heavy_capacity);
+
+  const SketchStatsConfig quarter = shard_config(cfg, 4);
+  EXPECT_DOUBLE_EQ(quarter.epsilon, 4e-4);  // width divides by ~S
+  EXPECT_EQ(quarter.heavy_capacity, 25u);   // ceil(100 / 4)
+  EXPECT_EQ(quarter.seed, cfg.seed);
+  EXPECT_DOUBLE_EQ(quarter.delta, cfg.delta);
+  EXPECT_DOUBLE_EQ(quarter.promote_fraction, cfg.promote_fraction);
+
+  // Capacity never rounds to zero, however many shards.
+  EXPECT_GE(shard_config(test_config(3), 16).heavy_capacity, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedWorkerSlab
+
+TEST(ShardedWorkerSlab, RoutesEachKeyToItsOwningSection) {
+  constexpr std::size_t kShards = 4;
+  ShardedWorkerSlab slab(test_config(), kShards);
+  ASSERT_EQ(slab.shard_count(), kShards);
+
+  Xoshiro256 rng(7);
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const KeyId key = static_cast<KeyId>(rng.next_below(500));
+    const Cost c = 1.0 + static_cast<double>(rng.next_below(4));
+    slab.add(key, c, 8.0, 1);
+    total += c;
+  }
+  slab.add(499, 1.0, 8.0, 1);  // pin the key bound deterministically
+  total += 1.0;
+  // Mass is conserved across sections and no section is empty.
+  double section_total = 0.0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const double sec = slab.section(s).total_cost();
+    EXPECT_GT(sec, 0.0) << "section " << s;
+    section_total += sec;
+  }
+  EXPECT_DOUBLE_EQ(section_total, total);
+  EXPECT_DOUBLE_EQ(slab.total_cost(), total);
+  EXPECT_EQ(slab.key_bound(), 500u);
+}
+
+TEST(ShardedWorkerSlab, SerializeRoundTripsAndRejectsShardMismatch) {
+  constexpr std::size_t kShards = 4;
+  const auto cfg = test_config();
+  ShardedWorkerSlab slab(cfg, kShards);
+  slab.set_heavy_keys({3, 11, 42});
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    slab.add(static_cast<KeyId>(rng.next_below(64)), 2.0, 4.0, 1);
+  }
+  slab.set_epoch(17);
+
+  ByteWriter out;
+  slab.serialize(out);
+  const std::vector<std::uint8_t> bytes = out.bytes();
+
+  // Same shard count: decodes and the re-encoding is byte-identical.
+  ShardedWorkerSlab copy(cfg, kShards);
+  ByteReader in(bytes, ByteReader::Untrusted{});
+  ASSERT_TRUE(copy.deserialize_from(in));
+  EXPECT_EQ(copy.epoch(), 17u);
+  EXPECT_DOUBLE_EQ(copy.total_cost(), slab.total_cost());
+  ByteWriter out2;
+  copy.serialize(out2);
+  EXPECT_EQ(out2.bytes(), bytes);
+
+  // Mismatched shard count: rejected with the sticky error flag set, the
+  // same way a geometry mismatch is — the frame gets dropped, not
+  // misinterpreted.
+  ShardedWorkerSlab wrong(cfg, kShards * 2);
+  ByteReader bad(bytes, ByteReader::Untrusted{});
+  EXPECT_FALSE(wrong.deserialize_from(bad));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSketchStats
+
+TEST(ShardedSketchStats, SingleShardMatchesWindowExactly) {
+  // S = 1 is the identity anchor: every provider query must agree with a
+  // plain SketchStatsWindow fed the same stream, bit for bit.
+  const auto cfg = test_config(32);
+  SketchStatsWindow window(300, 2, cfg);
+  ShardedSketchStats sharded(300, 2, cfg, 1);
+  ASSERT_EQ(sharded.slab_shards(), 1u);
+
+  Xoshiro256 rng(5);
+  for (int interval = 0; interval < 3; ++interval) {
+    for (int i = 0; i < 1500; ++i) {
+      const KeyId key = static_cast<KeyId>(rng.next_below(300));
+      const Cost c = static_cast<double>(1 + rng.next_below(6));
+      const Bytes b = static_cast<double>(rng.next_below(16));
+      const auto dest = static_cast<InstanceId>(key % 3);
+      window.record(key, c, b, 1, dest);
+      sharded.record(key, c, b, 1, dest);
+    }
+    window.roll();
+    sharded.roll();
+  }
+
+  EXPECT_EQ(sharded.heavy_keys(), window.heavy_keys());
+  EXPECT_EQ(sharded.closed_intervals(), window.closed_intervals());
+  EXPECT_EQ(sharded.total_promotions(), window.total_promotions());
+  EXPECT_DOUBLE_EQ(sharded.total_windowed_state(),
+                   window.total_windowed_state());
+
+  std::vector<KeyId> kw, ks;
+  std::vector<Cost> cw, cs, ccw, ccs;
+  std::vector<Bytes> sw, ss, csw, css;
+  window.synthesize_compact(3, kw, cw, sw, ccw, csw);
+  sharded.synthesize_compact(3, ks, cs, ss, ccs, css);
+  EXPECT_EQ(kw, ks);
+  ASSERT_EQ(cw.size(), cs.size());
+  EXPECT_EQ(0, std::memcmp(cw.data(), cs.data(), cw.size() * sizeof(Cost)));
+  ASSERT_EQ(ccw.size(), ccs.size());
+  EXPECT_EQ(0, std::memcmp(ccw.data(), ccs.data(), ccw.size() * sizeof(Cost)));
+
+  std::vector<Cost> dw, ds;
+  std::vector<Bytes> dsw, dss;
+  window.synthesize_dense(dw, dsw);
+  sharded.synthesize_dense(ds, dss);
+  ASSERT_EQ(dw.size(), ds.size());
+  EXPECT_EQ(0, std::memcmp(dw.data(), ds.data(), dw.size() * sizeof(Cost)));
+  EXPECT_EQ(0, std::memcmp(dsw.data(), dss.data(), dsw.size() * sizeof(Bytes)));
+}
+
+TEST(ShardedSketchStats, ConcurrentAbsorbIsDeterministic) {
+  // Two providers absorbing the same sealed slabs in the same worker
+  // order must agree exactly, whatever the pool's scheduling did — the
+  // per-shard absorb order is the only order that matters, and the
+  // sequential worker loop fixes it.
+  constexpr std::size_t kShards = 8;
+  constexpr int kWorkers = 4;
+  const auto cfg = test_config(128);
+
+  auto run_once = [&] {
+    ShardedSketchStats stats(4000, 2, cfg, kShards);
+    Xoshiro256 rng(21);
+    for (int interval = 0; interval < 3; ++interval) {
+      std::vector<ShardedWorkerSlab> slabs(kWorkers,
+                                           ShardedWorkerSlab(cfg, kShards));
+      const auto heavy = stats.heavy_keys();
+      for (auto& slab : slabs) slab.set_heavy_keys(heavy);
+      for (int i = 0; i < 4000; ++i) {
+        const KeyId key = static_cast<KeyId>(rng.next_below(4000));
+        const auto w = static_cast<std::size_t>(key % kWorkers);
+        slabs[w].add(key, static_cast<double>(1 + rng.next_below(3)), 4.0, 1);
+      }
+      for (int w = 0; w < kWorkers; ++w) {
+        stats.absorb_slab(slabs[static_cast<std::size_t>(w)],
+                          static_cast<InstanceId>(w));
+      }
+      stats.roll();
+    }
+    std::vector<KeyId> keys;
+    std::vector<Cost> cost, cold_cost;
+    std::vector<Bytes> state, cold_state;
+    stats.synthesize_compact(kWorkers, keys, cost, state, cold_cost,
+                             cold_state);
+    return std::make_tuple(keys, cost, cold_cost, stats.total_promotions(),
+                           stats.total_windowed_state());
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+  EXPECT_DOUBLE_EQ(std::get<4>(a), std::get<4>(b));
+}
+
+TEST(ShardedSketchStats, ShardsHoldDisjointKeys) {
+  constexpr std::size_t kShards = 4;
+  ShardedSketchStats stats(500, 2, test_config(512), kShards);
+  for (KeyId key = 0; key < 500; ++key) stats.record(key, 1.0, 2.0, 1);
+  stats.roll();
+  stats.roll();  // second roll promotes the first interval's candidates
+
+  std::vector<std::size_t> owners(500, kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (const KeyId key : stats.shard(s).heavy_keys()) {
+      ASSERT_EQ(owners[static_cast<std::size_t>(key)], kShards)
+          << "key " << key << " in two shards";
+      owners[static_cast<std::size_t>(key)] = s;
+      EXPECT_EQ(s, shard_of_key(key, kShards));
+    }
+  }
+  // Global heavy view is the sorted concatenation of the shard views.
+  const auto heavy = stats.heavy_keys();
+  EXPECT_TRUE(std::is_sorted(heavy.begin(), heavy.end()));
+  const std::size_t shard_total = std::accumulate(
+      owners.begin(), owners.end(), std::size_t{0},
+      [&](std::size_t acc, std::size_t o) { return acc + (o < kShards); });
+  EXPECT_EQ(heavy.size(), shard_total);
+}
+
+}  // namespace
+}  // namespace skewless

@@ -50,6 +50,9 @@ struct Args {
   std::uint64_t seed = 7;
   StatsMode stats_mode = StatsMode::kExact;
   SketchStatsConfig sketch = {};
+  /// Sketch mode: key-domain shards for the sharded controller (0 =
+  /// legacy single window; 1 = sharded identity case, byte-identical).
+  std::size_t shards = 0;
   /// Adversarial workload: which attack pattern to run.
   std::string attack = "rotating";
   int rotation_period = 3;
@@ -77,7 +80,7 @@ struct Args {
       "          [--skew Z] [--fluctuation F] [--fluctuate-every N]\n"
       "          [--amax N] [--window W] [--tuples N] [--cost US]\n"
       "          [--seed N] [--stats exact|sketch] [--sketch-eps X]\n"
-      "          [--sketch-delta X] [--heavy N]\n"
+      "          [--sketch-delta X] [--heavy N] [--shards S]\n"
       "          [--no-decay] [--decay-beta B] [--demote-fraction X]\n"
       "          [--attack rotating|skew-flip|pareto|churn|collision]\n"
       "          [--rotation-period N]\n"
@@ -135,6 +138,8 @@ Args parse(int argc, char** argv) {
         std::fprintf(stderr, "unknown stats mode: %s\n", mode.c_str());
         usage(argv[0]);
       }
+    } else if (flag == "--shards") {
+      args.shards = std::strtoull(need_value(), nullptr, 10);
     } else if (flag == "--sketch-eps") {
       args.sketch.epsilon = std::atof(need_value());
     } else if (flag == "--sketch-delta") {
@@ -294,6 +299,7 @@ int run_threaded(const Args& args, char* argv0) {
     ccfg.window = args.window;
     ccfg.stats_mode = args.stats_mode;
     ccfg.sketch = args.sketch;
+    ccfg.shards = args.shards;
     auto controller = std::make_unique<Controller>(
         AssignmentFunction(ConsistentHashRing(args.instances), args.amax),
         std::move(planner), ccfg, num_keys);
@@ -382,6 +388,7 @@ int run_net(const Args& args, char* argv0) {
   ccfg.window = args.window;
   ccfg.stats_mode = StatsMode::kSketch;
   ccfg.sketch = args.sketch;
+  ccfg.shards = args.shards;
   auto controller = std::make_unique<Controller>(
       AssignmentFunction(ConsistentHashRing(workers), args.amax),
       std::move(planner), ccfg, num_keys);
@@ -485,6 +492,7 @@ int main(int argc, char** argv) {
     ccfg.window = args.window;
     ccfg.stats_mode = args.stats_mode;
     ccfg.sketch = args.sketch;
+    ccfg.shards = args.shards;
     auto controller = std::make_unique<Controller>(
         AssignmentFunction(ConsistentHashRing(args.instances), args.amax),
         std::move(planner), ccfg, num_keys);
