@@ -85,6 +85,14 @@ std::unique_ptr<Controller> make_controller(PlannerPtr planner,
 double mean_of(const std::vector<IntervalMetrics>& ms,
                double (*extract)(const IntervalMetrics&), int skip = 2);
 
+/// The environment stanza every BENCH_*.json carries — the host's
+/// hardware thread count and the SIMD kernel tier the run dispatched to
+/// (tools/check_bench_regression.py refuses to compare numbers produced
+/// under different tiers or thread counts). Returns
+///   "  \"hardware_threads\": N,\n  \"kernel_tier\": \"avx2\",\n"
+/// ready to splice into a printf JSON template via %s.
+std::string env_json();
+
 inline double throughput_of(const IntervalMetrics& m) {
   return m.throughput_tps;
 }

@@ -288,6 +288,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"micro_churn\",\n"
+      "%s"
       "  \"config\": {\"keys\": %llu, \"tuples_per_interval\": %llu, "
       "\"intervals\": %d, \"instances\": %d, \"window\": %d, "
       "\"heavy_capacity\": %zu, \"decay_beta\": %.2f, "
@@ -299,6 +300,7 @@ int main(int argc, char** argv) {
       "  \"gates\": {\"rotating_churn_reduction_ge_2x\": %s, "
       "\"rotating_theta_within_tolerance\": %s}\n"
       "}\n",
+      bench::env_json().c_str(),
       static_cast<unsigned long long>(cfg.num_keys),
       static_cast<unsigned long long>(cfg.tuples), cfg.intervals,
       static_cast<int>(cfg.instances), cfg.window, cfg.heavy_capacity,

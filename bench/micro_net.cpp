@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "core/controller.h"
@@ -361,6 +362,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"micro_net\",\n"
+      "%s"
       "  \"workload\": {\"distribution\": \"zipf\", \"skew\": 1.2, "
       "\"keys\": %llu, \"tuples_per_interval\": %llu, \"intervals\": %d, "
       "\"workers\": %d, \"batch\": %zu},\n"
@@ -376,6 +378,7 @@ int main(int argc, char** argv) {
       "\"plan_digests_identical\": %s, \"ctrl_rtt_5x_under_drain\": %s, "
       "\"all_tuples_processed\": %s}\n"
       "}\n",
+      bench::env_json().c_str(),
       static_cast<unsigned long long>(sc.num_keys),
       static_cast<unsigned long long>(sc.tuples_per_interval), sc.intervals,
       static_cast<int>(sc.workers), sc.batch, threaded.steady_tps,

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/clock.h"
 #include "common/consistent_hash.h"
 #include "common/zipf.h"
@@ -223,6 +224,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"micro_plan\",\n"
+      "%s"
       "  \"workload\": {\"distribution\": \"zipf\", \"skew\": 1.2, "
       "\"keys\": %llu, \"tuples_per_interval\": %llu, \"instances\": %d, "
       "\"window\": %d, \"heavy_capacity\": %zu},\n"
@@ -235,6 +237,7 @@ int main(int argc, char** argv) {
       "  \"speedup\": %.2f,\n"
       "  \"gates\": {\"speedup_ge_20x\": %s, \"no_dense_allocations\": %s}\n"
       "}\n",
+      bench::env_json().c_str(),
       static_cast<unsigned long long>(num_keys),
       static_cast<unsigned long long>(tuples_per_interval),
       static_cast<int>(num_instances), window, heavy_capacity,

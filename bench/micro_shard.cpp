@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/sharded_controller.h"
 #include "sketch/sharded_worker_slab.h"
@@ -74,8 +75,11 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 ShardResult run_config(const Scenario& sc, std::size_t shards) {
   ShardedSketchStats stats(sc.num_keys, /*window=*/2, sc.sketch, shards);
-  std::vector<ShardedWorkerSlab> slabs(
-      sc.workers, ShardedWorkerSlab(sc.sketch, shards));
+  std::vector<ShardedWorkerSlab> slabs;
+  slabs.reserve(static_cast<std::size_t>(sc.workers));
+  for (std::size_t w = 0; w < sc.workers; ++w) {
+    slabs.emplace_back(sc.sketch, shards);
+  }
 
   ShardResult res;
   res.shards = shards;
@@ -242,7 +246,7 @@ int main(int argc, char** argv) {
       "  \"bench\": \"micro_shard\",\n"
       "  \"workload\": {\"keys\": %llu, \"tuples_per_interval\": %llu, "
       "\"intervals\": %d, \"workers\": %zu, \"hot_keys\": %zu},\n"
-      "  \"hardware_threads\": %u,\n"
+      "%s"
       "  \"configs\": {\n"
       "    \"s1\": {\"merge_ms\": %.3f, \"compact_ms\": %.3f, "
       "\"memory_bytes\": %zu, \"heavy_keys\": %zu},\n"
@@ -261,7 +265,8 @@ int main(int argc, char** argv) {
       "}\n",
       static_cast<unsigned long long>(sc.num_keys),
       static_cast<unsigned long long>(sc.tuples_per_interval), sc.intervals,
-      sc.workers, sc.hot_keys, hw, best[0].merge_ms, best[0].compact_ms,
+      sc.workers, sc.hot_keys, bench::env_json().c_str(),
+      best[0].merge_ms, best[0].compact_ms,
       best[0].memory_bytes, best[0].heavy_keys, best[1].merge_ms,
       best[1].compact_ms, best[1].memory_bytes, best[1].heavy_keys,
       best[2].merge_ms, best[2].compact_ms, best[2].memory_bytes,

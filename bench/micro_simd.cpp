@@ -1,0 +1,241 @@
+// micro_simd — the SIMD kernel layer's gate bench: vectorized sketch
+// kernels vs the scalar reference, plus the bit-identity digests that
+// justify dispatching them at all.
+//
+// Measured (within-round ratios, max over rounds — machine drift between
+// rounds cancels, and interference only ever slows a side down):
+//   * add_strided — CountMinSketch::add_interleaved's inner loop, the
+//     boundary-merge bottleneck. Gate: >= 2x scalar on AVX2 hosts.
+//   * make_probes — the batched K–M probe generation feeding
+//     WorkerSketchSlab::add_batch. Gate: >= 1.5x scalar.
+// Both speedup gates are honestly SKIPPED (recorded in the JSON) when
+// the host lacks AVX2 or has a single hardware thread; the BIT-IDENTITY
+// gates are NEVER skipped — a vector kernel that returns different bytes
+// than the scalar loop is wrong on every host.
+//
+// Emits a JSON report to stdout (bench/run_benches.sh redirects it into
+// BENCH_simd.json) and gates by exit code.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sketch/simd/sketch_kernels.h"
+
+namespace {
+
+using skewless::Xoshiro256;
+using namespace skewless::simd;
+
+constexpr std::size_t kWidth = 1 << 15;  // 32768 cells/row
+constexpr std::size_t kDepth = 4;
+constexpr std::size_t kCells = kWidth * kDepth;
+constexpr std::size_t kStride = 4;  // the fused-cell layout's stride
+constexpr std::size_t kBatch = 1 << 14;
+constexpr int kInterleavedIters = 60;
+constexpr int kProbeIters = 400;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// FNV-1a over raw bytes: the digest both tiers must agree on.
+std::uint64_t digest(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct Workload {
+  std::vector<double> dst;
+  std::vector<double> interleaved;  // kCells * kStride source
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> h1, h2;
+};
+
+Workload make_workload() {
+  Workload w;
+  Xoshiro256 rng(0x51d5eedULL);
+  w.dst.resize(kCells);
+  w.interleaved.resize(kCells * kStride);
+  for (double& v : w.dst) v = static_cast<double>(rng.next_below(1000));
+  for (double& v : w.interleaved) {
+    v = static_cast<double>(rng.next_below(1000));
+  }
+  w.keys.resize(kBatch);
+  for (auto& k : w.keys) k = rng.next();
+  w.h1.resize(kBatch);
+  w.h2.resize(kBatch);
+  return w;
+}
+
+/// ms per kInterleavedIters add_strided sweeps with `k` (dst reset each
+/// run so both tiers do identical work on identical values).
+double time_interleaved(const SketchKernels& k, Workload& w,
+                        const std::vector<double>& dst0) {
+  w.dst = dst0;
+  const double t0 = now_ms();
+  for (int it = 0; it < kInterleavedIters; ++it) {
+    k.add_strided(w.dst.data(), w.interleaved.data(), kStride, kCells);
+  }
+  return now_ms() - t0;
+}
+
+double time_probes(const SketchKernels& k, Workload& w) {
+  const double t0 = now_ms();
+  for (int it = 0; it < kProbeIters; ++it) {
+    k.make_probes(w.keys.data(), kBatch,
+                  0x5eedc0deULL + static_cast<std::uint64_t>(it),
+                  w.h1.data(), w.h2.data());
+  }
+  return now_ms() - t0;
+}
+
+/// Runs every kernel op under `k` on a deterministic workload and
+/// digests all outputs together.
+std::uint64_t op_digest(const SketchKernels& k) {
+  Xoshiro256 rng(0xd16e57ULL);
+  std::vector<double> cells(kCells);
+  std::vector<double> src(kCells * kStride);
+  for (double& v : cells) v = static_cast<double>(rng.next_below(512));
+  for (double& v : src) v = static_cast<double>(rng.next_below(512));
+  std::vector<std::uint64_t> keys(kBatch);
+  for (auto& key : keys) key = rng.next();
+  std::vector<std::uint64_t> h1(kBatch), h2(kBatch), hashes(kBatch);
+
+  k.make_probes(keys.data(), kBatch, 0x5eedULL, h1.data(), h2.data());
+  k.hash64_batch(keys.data(), kBatch, 0xabcdefULL, hashes.data());
+  k.add_strided(cells.data(), src.data(), kStride, kCells);
+  k.add_cells(cells.data(), src.data(), kCells);
+  k.sub_cells_clamped(cells.data(), src.data() + kCells, kCells);
+  for (std::size_t i = 0; i < 64; ++i) {
+    k.fold_fused_rows(cells.data(), kWidth / 4, kWidth / 4 - 1, kDepth,
+                      h1[i], h2[i], 1.5, 1.0, 8.0);
+  }
+  double est_acc = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    est_acc += k.estimate_min(cells.data(), kWidth, kWidth - 1, kDepth,
+                              h1[i], h2[i]);
+  }
+  std::uint64_t d = digest(cells.data(), cells.size() * sizeof(double));
+  d ^= digest(h1.data(), h1.size() * sizeof(std::uint64_t));
+  d ^= digest(h2.data(), h2.size() * sizeof(std::uint64_t));
+  d ^= digest(hashes.data(), hashes.size() * sizeof(std::uint64_t));
+  d ^= digest(&est_acc, sizeof(est_acc));
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const KernelTier max_tier = max_supported_tier();
+  const SketchKernels& scalar = scalar_kernels();
+  const SketchKernels& best = kernels_for(max_tier);
+  std::fprintf(stderr,
+               "simd kernels: max tier %s, active tier %s, %u hardware "
+               "threads\n",
+               best.name, active_kernels().name, hw);
+
+  // Bit-identity digests — every selectable tier must reproduce the
+  // scalar bytes exactly. Never skipped.
+  const std::uint64_t scalar_digest = op_digest(scalar);
+  bool identity_ok = true;
+  for (int t = 0; t <= static_cast<int>(max_tier); ++t) {
+    const SketchKernels& k = kernels_for(static_cast<KernelTier>(t));
+    const std::uint64_t d = op_digest(k);
+    const bool ok = d == scalar_digest;
+    identity_ok = identity_ok && ok;
+    std::fprintf(stderr, "bit-identity %-6s digest %016llx %s\n", k.name,
+                 static_cast<unsigned long long>(d), ok ? "PASS" : "FAIL");
+  }
+
+  Workload w = make_workload();
+  const std::vector<double> dst0 = w.dst;
+  constexpr int kRounds = 2;
+  constexpr int kMaxRounds = 5;
+  double interleaved_speedup = 0.0;
+  double probe_speedup = 0.0;
+  double best_scalar_interleaved = 0.0, best_vector_interleaved = 0.0;
+  double best_scalar_probes = 0.0, best_vector_probes = 0.0;
+  const bool speedup_skipped = max_tier < KernelTier::kAvx2 || hw < 2;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    if (round >= kRounds &&
+        (speedup_skipped ||
+         (interleaved_speedup >= 2.0 && probe_speedup >= 1.5))) {
+      break;
+    }
+    const double si = time_interleaved(scalar, w, dst0);
+    const double vi = time_interleaved(best, w, dst0);
+    const double sp = time_probes(scalar, w);
+    const double vp = time_probes(best, w);
+    std::fprintf(stderr,
+                 "round %d: interleaved scalar %.2f ms vs %s %.2f ms, "
+                 "probes scalar %.2f ms vs %s %.2f ms\n",
+                 round, si, best.name, vi, sp, best.name, vp);
+    if (vi > 0.0) interleaved_speedup = std::max(interleaved_speedup, si / vi);
+    if (vp > 0.0) probe_speedup = std::max(probe_speedup, sp / vp);
+    const auto keep_min = [round](double& slot, double v) {
+      if (round == 0 || v < slot) slot = v;
+    };
+    keep_min(best_scalar_interleaved, si);
+    keep_min(best_vector_interleaved, vi);
+    keep_min(best_scalar_probes, sp);
+    keep_min(best_vector_probes, vp);
+  }
+
+  const bool interleaved_ok = speedup_skipped || interleaved_speedup >= 2.0;
+  const bool probes_ok = speedup_skipped || probe_speedup >= 1.5;
+  std::fprintf(
+      stderr,
+      "interleaved %.2fx (gate >= 2x: %s), probes %.2fx (gate >= 1.5x: %s), "
+      "bit-identity: %s\n",
+      interleaved_speedup,
+      speedup_skipped ? "SKIPPED" : (interleaved_ok ? "PASS" : "FAIL"),
+      probe_speedup,
+      speedup_skipped ? "SKIPPED" : (probes_ok ? "PASS" : "FAIL"),
+      identity_ok ? "PASS" : "FAIL");
+  if (speedup_skipped) {
+    std::fprintf(stderr,
+                 "speedup gates skipped: %s (identity gates still "
+                 "enforced)\n",
+                 max_tier < KernelTier::kAvx2 ? "host lacks AVX2 kernels"
+                                              : "single hardware thread");
+  }
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"micro_simd\",\n"
+      "  \"workload\": {\"cells\": %zu, \"stride\": %zu, \"batch\": %zu, "
+      "\"interleaved_iters\": %d, \"probe_iters\": %d},\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"kernel_tier\": \"%s\",\n"
+      "  \"max_tier\": \"%s\",\n"
+      "  \"interleaved_scalar_ms\": %.3f,\n"
+      "  \"interleaved_vector_ms\": %.3f,\n"
+      "  \"probes_scalar_ms\": %.3f,\n"
+      "  \"probes_vector_ms\": %.3f,\n"
+      "  \"interleaved_speedup\": %.3f,\n"
+      "  \"probe_speedup\": %.3f,\n"
+      "  \"gates\": {\"interleaved_speedup_ge_2x\": %s, "
+      "\"probe_speedup_ge_1p5x\": %s, \"speedup_skipped\": %s, "
+      "\"bit_identity\": %s}\n"
+      "}\n",
+      kCells, kStride, kBatch, kInterleavedIters, kProbeIters, hw,
+      active_kernels().name, best.name, best_scalar_interleaved,
+      best_vector_interleaved, best_scalar_probes, best_vector_probes,
+      interleaved_speedup, probe_speedup, interleaved_ok ? "true" : "false",
+      probes_ok ? "true" : "false", speedup_skipped ? "true" : "false",
+      identity_ok ? "true" : "false");
+
+  return (identity_ok && interleaved_ok && probes_ok) ? 0 : 1;
+}

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/clock.h"
 #include "common/consistent_hash.h"
 #include "common/zipf.h"
@@ -227,6 +228,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"micro_sketch\",\n"
+      "%s"
       "  \"workload\": {\"distribution\": \"zipf\", \"skew\": 1.2, "
       "\"keys\": %llu, \"tuples_per_interval\": %llu, \"intervals\": %d, "
       "\"window\": %d, \"instances\": %d},\n"
@@ -245,6 +247,7 @@ int main(int argc, char** argv) {
       "  \"gates\": {\"memory_ratio_ge_10x\": %s, "
       "\"theta_within_tolerance\": %s}\n"
       "}\n",
+      bench::env_json().c_str(),
       static_cast<unsigned long long>(num_keys),
       static_cast<unsigned long long>(tuples_per_interval), intervals, window,
       static_cast<int>(num_instances), exact_bytes, sketch_bytes, memory_ratio,

@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.h"
 #include "engine/threaded_engine.h"
 #include "sketch/sketch_stats_window.h"
 #include "workload/operators.h"
@@ -314,6 +315,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"micro_threaded\",\n"
+      "%s"
       "  \"workload\": {\"distribution\": \"zipf\", \"skew\": 1.2, "
       "\"keys\": %llu, \"tuples_per_interval\": %llu, \"intervals\": %d, "
       "\"workers\": %d, \"batch\": %zu},\n"
@@ -333,6 +335,7 @@ int main(int argc, char** argv) {
       "\"throughput_ratio_ge_0_97\": %s, \"stall_reduction_ge_5x\": %s, "
       "\"heavy_keys_nonzero\": %s, \"all_tuples_processed\": %s}\n"
       "}\n",
+      bench::env_json().c_str(),
       static_cast<unsigned long long>(sc.num_keys),
       static_cast<unsigned long long>(sc.tuples_per_interval), sc.intervals,
       static_cast<int>(sc.workers), sc.batch, exact.stats_memory_bytes,

@@ -38,6 +38,12 @@
 #       window, masses conserved exactly across every shard count. On a
 #       single-core host the speedup gate reports SKIPPED (there is no
 #       parallelism to demonstrate); CI's multi-core runners enforce it.
+#   bench_micro_simd     -> BENCH_simd.json
+#       SIMD kernel layer: vectorized add_interleaved >= 2x scalar and
+#       batched probe generation >= 1.5x scalar on AVX2 hosts (speedup
+#       gates SKIPPED, and recorded as such, when the host lacks AVX2 or
+#       has a single hardware thread); the scalar-vs-vector bit-identity
+#       digest gates are enforced on EVERY host, never skipped.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +56,7 @@ BENCHES=(
   bench_micro_churn:BENCH_churn.json
   bench_micro_net:BENCH_net.json
   bench_micro_shard:BENCH_shard.json
+  bench_micro_simd:BENCH_simd.json
 )
 
 status=0

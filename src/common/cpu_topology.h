@@ -1,0 +1,37 @@
+// CPU topology for pinning: which logical CPUs are distinct physical
+// cores vs SMT siblings, and (with libnuma) which node a CPU's memory
+// lives on. Parsed once from /sys; falls back to the identity order
+// when sysfs is unavailable so --pin never breaks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace skewless {
+
+struct CpuTopology {
+  /// std::thread::hardware_concurrency() (≥ 1).
+  unsigned hardware_threads = 1;
+  /// Number of distinct (package, core) pairs seen in sysfs.
+  unsigned physical_cores = 1;
+  /// True when hardware_threads > physical_cores (SMT siblings exist).
+  bool smt = false;
+  /// Logical CPU ids ordered for pinning: the first CPU of every
+  /// distinct physical core (in CPU-index order), then the remaining
+  /// SMT siblings. Pinning thread i to pin_order[i % size] spreads work
+  /// across physical cores before doubling up on hyperthreads.
+  std::vector<int> pin_order;
+};
+
+/// The host topology, probed once (thread-safe static init).
+[[nodiscard]] const CpuTopology& cpu_topology();
+
+/// Bind the calling thread's memory-allocation preference to the NUMA
+/// node owning `cpu`. No-op (returns false) when the build lacks
+/// libnuma, the host has a single node, or `cpu` is invalid.
+bool bind_current_thread_to_node_of_cpu(int cpu);
+
+/// True when this binary was built with libnuma support.
+[[nodiscard]] bool numa_support_compiled();
+
+}  // namespace skewless

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/clock.h"
+#include "common/cpu_topology.h"
 #include "common/log.h"
 #include "common/rng.h"
 
@@ -37,19 +38,23 @@ class CountingCollector final : public Collector {
   std::atomic<std::uint64_t>& counter_;
 };
 
-/// Pins `thread` to `core` (modulo the hardware concurrency) where the
-/// platform supports it. Returns whether the pin took effect.
-bool pin_thread_to_core(std::thread& thread, unsigned core) {
+/// Pins `thread` to the `slot`-th CPU of the topology-aware pin order:
+/// one CPU per distinct physical core first, SMT siblings only after
+/// every core already carries a worker — two workers sharing a core's
+/// execution ports is strictly worse than one per core while cores
+/// remain free. Returns whether the pin took effect.
+bool pin_thread_to_slot(std::thread& thread, unsigned slot) {
 #if defined(SKEWLESS_HAS_THREAD_AFFINITY)
-  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<int>& order = cpu_topology().pin_order;
+  if (order.empty()) return false;
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(core % n, &set);
+  CPU_SET(static_cast<unsigned>(order[slot % order.size()]), &set);
   return pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set) ==
          0;
 #else
   (void)thread;
-  (void)core;
+  (void)slot;
   return false;
 #endif
 }
@@ -138,17 +143,28 @@ void ThreadedEngine::start_workers() {
       slabs_.push_back(std::move(pair));
     }
   }
+#if defined(SKEWLESS_HAS_THREAD_AFFINITY)
+  // Where the driver runs now — the merge thread binds its allocations
+  // near this CPU's NUMA node, since the window it merges into was
+  // allocated by the driver.
+  driver_cpu_ = sched_getcpu();
+#endif
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back(
         [this, i] { worker_loop(static_cast<InstanceId>(i)); });
     if (config_.pin_workers &&
-        pin_thread_to_core(workers_.back(), static_cast<unsigned>(i))) {
+        pin_thread_to_slot(workers_.back(), static_cast<unsigned>(i))) {
       ++pinned_workers_;
     }
   }
   if (async_merge_on()) {
     merge_thread_ = std::thread([this] { merge_loop(); });
+    if (config_.pin_workers) {
+      // The slot after the workers: the next free physical core, or the
+      // first SMT sibling once the cores are full.
+      pin_thread_to_slot(merge_thread_, static_cast<unsigned>(n));
+    }
   }
 }
 
@@ -160,6 +176,14 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   // merge only) alternates at every seal.
   ShardedWorkerSlab* slab =
       slabs_.empty() ? nullptr : slabs_[idx]->bufs[0].get();
+  // First-touch NUMA placement: the slab buffers were mapped (untouched)
+  // on the driver thread; this worker commits each buffer's pages the
+  // first time it is about to write it, so they land on the worker's
+  // node. Done INSIDE message processing — never at loop top — so the
+  // done_msgs release/acquire protocol orders the prefault writes before
+  // any driver/merge read of the cells.
+  bool prefaulted[2] = {false, false};
+  std::size_t active_buf = 0;
   CountingCollector collector(total_outputs_);
   // Per-batch aggregation buffer, reused across batches (clear() keeps
   // the bucket array, so steady state allocates nothing per batch).
@@ -204,8 +228,12 @@ void ThreadedEngine::worker_loop(InstanceId id) {
         // Sketch mode: fold the batch into this worker's thread-local
         // slab — no lock anywhere, scalars included (they ride the slab
         // and are published by the seal / quiescence protocol). The
-        // batched fold computes one probe per distinct cold key and
-        // prefetches one scratch entry ahead (see add_batch).
+        // batched fold vector-hashes all cold probes in one call and
+        // prefetches a few entries ahead (see add_batch).
+        if (!prefaulted[active_buf]) {
+          slab->prefault();
+          prefaulted[active_buf] = true;
+        }
         slab->add_batch(local);
         WorkerSketchSlab::IntervalScalars& sc = slab->scalars();
         sc.processed += batch->tuples.size();
@@ -259,7 +287,8 @@ void ThreadedEngine::worker_loop(InstanceId id) {
         std::lock_guard lock(seal_mu_);
       }
       seal_cv_.notify_all();
-      slab = pair.bufs[seal->epoch & 1].get();
+      active_buf = static_cast<std::size_t>(seal->epoch & 1);
+      slab = pair.bufs[active_buf].get();
       if (heavy_epoch_.load(std::memory_order_acquire) < seal->epoch) {
         // Sleep (never spin — the merge path needs the cycles) until the
         // closing epoch's roll publishes the new heavy set.
@@ -280,16 +309,28 @@ void ThreadedEngine::worker_loop(InstanceId id) {
   }
 }
 
-InstanceId ThreadedEngine::route_of(KeyId key) const {
-  if (controller_) return controller_->assignment()(key);
-  return hash_ring_->owner(key);
-}
-
-void ThreadedEngine::route_tuple(Tuple tuple) {
-  const InstanceId d = route_of(tuple.key);
-  auto& batch = pending_batches_[static_cast<std::size_t>(d)];
-  batch.push_back(tuple);
-  if (batch.size() >= config_.batch_size) flush_batch(d);
+void ThreadedEngine::route_chunk(const Tuple* tuples, std::size_t n) {
+  // One batched F(k) evaluation per chunk: the routing-table lookups run
+  // tight, and the table misses' ring hashes go through the vectorized
+  // hash kernel in a single pass (AssignmentFunction::route_batch /
+  // ConsistentHashRing::owner_batch) instead of one scalar mix64 per
+  // tuple on the expand loop's critical path.
+  route_keys_.resize(n);
+  route_dests_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) route_keys_[j] = tuples[j].key;
+  if (controller_) {
+    controller_->assignment().route_batch(route_keys_.data(), n,
+                                          route_dests_.data());
+  } else {
+    hash_ring_->owner_batch(route_keys_.data(), n, route_dests_.data());
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const InstanceId d = route_dests_[j];
+    auto& batch = pending_batches_[static_cast<std::size_t>(d)];
+    batch.push_back(tuples[j]);
+    batch.back().emit_micros = steady_now_us() - engine_epoch_us_;
+    if (batch.size() >= config_.batch_size) flush_batch(d);
+  }
 }
 
 void ThreadedEngine::flush_batch(InstanceId d) {
@@ -426,6 +467,12 @@ void ThreadedEngine::merge_sealed_slabs(std::uint64_t epoch,
 }
 
 void ThreadedEngine::merge_loop() {
+  // Prefer allocations near the driver's NUMA node: the window this
+  // thread absorbs into (and everything it grows) was allocated by the
+  // driver, so keeping the merge path's memory on that node avoids
+  // remote-node traffic on every absorb. Graceful no-op without libnuma
+  // or on single-node hosts.
+  bind_current_thread_to_node_of_cpu(driver_cpu_);
   std::uint64_t epoch = 1;
   while (true) {
     {
@@ -543,11 +590,12 @@ ThreadedIntervalReport ThreadedEngine::ingest(const std::vector<Tuple>& tuples) 
   ThreadedIntervalReport report;
   report.interval = interval_;
   WallTimer timer;
-  for (Tuple t : tuples) {
-    t.emit_micros = steady_now_us() - engine_epoch_us_;
-    route_tuple(t);
-    ++report.emitted;
+  constexpr std::size_t kRouteChunk = 1024;
+  for (std::size_t base = 0; base < tuples.size(); base += kRouteChunk) {
+    route_chunk(tuples.data() + base,
+                std::min(kRouteChunk, tuples.size() - base));
   }
+  report.emitted = tuples.size();
   flush_batches();
   total_emitted_ += report.emitted;
   report.wall_ms = timer.elapsed_millis();

@@ -104,10 +104,14 @@ struct ThreadedConfig {
   /// absorb), kept as the byte-identical determinism baseline and the
   /// stall_ms A/B reference. Exact mode ignores this flag.
   bool async_merge = true;
-  /// Pin worker w to core (w mod hardware_concurrency) where the
-  /// platform supports it (pthread_setaffinity_np), so each worker's
-  /// slab pair stays resident in its owner's private L2 instead of
-  /// migrating between cores with the thread. No-op elsewhere; see
+  /// Pin worker w to the w-th CPU of the topology-aware pin order (one
+  /// CPU per distinct physical core first, SMT siblings only after every
+  /// core carries a worker — see cpu_topology()) where the platform
+  /// supports it (pthread_setaffinity_np), so each worker's slab pair
+  /// stays resident in its owner's private L2 instead of migrating
+  /// between cores with the thread, and two workers never share a core's
+  /// execution ports while whole cores sit idle. The merge thread takes
+  /// the slot after the last worker. No-op elsewhere; see
   /// ThreadedEngine::pinned_workers() for how many pins took effect.
   bool pin_workers = false;
 };
@@ -310,7 +314,10 @@ class ThreadedEngine {
   void start_workers();
   void worker_loop(InstanceId id);
   void merge_loop();
-  void route_tuple(Tuple tuple);
+  /// Routes a chunk of tuples with ONE batched assignment evaluation
+  /// (vectorized hash over the routing-table misses) and stamps each
+  /// tuple's emit time as it lands in its pending batch.
+  void route_chunk(const Tuple* tuples, std::size_t n);
   void flush_batches();
   void flush_batch(InstanceId d);
   /// Returns the serialized payload size (0 when serialization is off).
@@ -339,7 +346,6 @@ class ThreadedEngine {
   /// caught up), rolls/plans/migrates, publishes the heavy set, and
   /// finalizes the report's wall/stall/throughput numbers.
   void finish_boundary(ThreadedIntervalReport& report);
-  [[nodiscard]] InstanceId route_of(KeyId key) const;
   [[nodiscard]] bool async_merge_on() const {
     return sketch_sink_ != nullptr && config_.async_merge;
   }
@@ -373,6 +379,12 @@ class ThreadedEngine {
   BoundedMpmcQueue<ExtractedState> migration_mailbox_;
   std::vector<std::thread> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;
+  /// route_chunk scratch (driver-only; retained across chunks).
+  std::vector<KeyId> route_keys_;
+  std::vector<InstanceId> route_dests_;
+  /// CPU the driver ran start_workers() on (-1 if unknown); the merge
+  /// thread prefers allocations from this CPU's NUMA node.
+  int driver_cpu_ = -1;
 
   // --- Seal/merge protocol state (sketch mode + async_merge only) ---
   /// The post-roll heavy set of epoch heavy_epoch_. Written by whoever

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "sketch/simd/sketch_kernels.h"
 
 namespace skewless {
 namespace {
@@ -44,10 +45,8 @@ void CountMinSketch::add(double amount, const KeyProbe& p) {
 
 void CountMinSketch::add_conservative(double amount, const KeyProbe& p) {
   SKW_EXPECTS(amount >= 0.0);
-  double est = cells_[cell_index(p, 0)];
-  for (std::size_t row = 1; row < depth_; ++row) {
-    est = std::min(est, cells_[row * width_ + cell_index(p, row)]);
-  }
+  const double est = simd::active_kernels().estimate_min(
+      cells_.data(), width_, width_ - 1, depth_, p.h1, p.h2);
   const double target = est + amount;
   for (std::size_t row = 0; row < depth_; ++row) {
     double& cell = cells_[row * width_ + cell_index(p, row)];
@@ -58,17 +57,15 @@ void CountMinSketch::add_conservative(double amount, const KeyProbe& p) {
 
 double CountMinSketch::estimate(KeyId key) const {
   const KeyProbe p = probe(key);
-  double est = cells_[cell_index(p, 0)];
-  for (std::size_t row = 1; row < depth_; ++row) {
-    est = std::min(est, cells_[row * width_ + cell_index(p, row)]);
-  }
-  return est;
+  return simd::active_kernels().estimate_min(cells_.data(), width_,
+                                             width_ - 1, depth_, p.h1, p.h2);
 }
 
 void CountMinSketch::add_sketch(const CountMinSketch& other) {
   SKW_EXPECTS(other.width_ == width_ && other.depth_ == depth_ &&
               other.seed_ == seed_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  simd::active_kernels().add_cells(cells_.data(), other.cells_.data(),
+                                   cells_.size());
   total_ += other.total_;
 }
 
@@ -76,23 +73,21 @@ void CountMinSketch::add_interleaved(const double* cells, std::size_t stride,
                                      std::size_t width, std::size_t depth,
                                      double total) {
   SKW_EXPECTS(width == width_ && depth == depth_);
-  // Walk the interleaved buffer with a strided pointer instead of an
-  // index multiply — this is the boundary-merge inner loop, run once per
-  // quantity per sealed slab.
-  const double* src = cells;
-  for (std::size_t i = 0; i < cells_.size(); ++i, src += stride) {
-    cells_[i] += *src;
-  }
+  // The boundary-merge inner loop, run once per quantity per sealed
+  // slab: dst streams sequentially, the interleaved source is gathered
+  // (AVX2) with a one-stripe-ahead read prefetch inside the kernel.
+  simd::active_kernels().add_strided(cells_.data(), cells, stride,
+                                     cells_.size());
   total_ += total;
 }
 
 void CountMinSketch::subtract_sketch(const CountMinSketch& other) {
   SKW_EXPECTS(other.width_ == width_ && other.depth_ == depth_ &&
               other.seed_ == seed_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    // Clamp tiny float residue; cells are sums of non-negative amounts.
-    cells_[i] = std::max(0.0, cells_[i] - other.cells_[i]);
-  }
+  // Kernel clamps tiny float residue at 0.0; cells are sums of
+  // non-negative amounts.
+  simd::active_kernels().sub_cells_clamped(cells_.data(),
+                                           other.cells_.data(), cells_.size());
   total_ = std::max(0.0, total_ - other.total_);
 }
 

@@ -76,6 +76,12 @@ class ShardedWorkerSlab {
   /// retained, heavy sets kept).
   void clear();
 
+  /// First-touch commits every section's fused cell pages from the
+  /// CALLING thread (NUMA placement — see WorkerSketchSlab::prefault).
+  void prefault() {
+    for (auto& s : sections_) s.prefault();
+  }
+
   [[nodiscard]] std::size_t shard_count() const { return sections_.size(); }
   [[nodiscard]] WorkerSketchSlab& section(std::size_t shard) {
     return sections_[shard];

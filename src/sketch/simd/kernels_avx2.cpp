@@ -1,0 +1,203 @@
+// AVX2 kernel tier — 4-wide lanes. Compiled with -mavx2 ONLY (never
+// -mfma; see sketch_kernels.h for the bit-identity contract). When the
+// toolchain does not pass -mavx2 for this TU, it degrades to a stub
+// returning nullptr and the dispatcher clamps to SSE2/scalar.
+//
+// The 64×64→64 multiply uses the same 32-bit partial-product
+// decomposition as the SSE2 tier (vpmuludq): exact modular arithmetic,
+// so vector hashes are bit-identical to scalar. estimate_min and
+// add_strided use vpgatherqpd — the one genuinely AVX2-only win on the
+// merge path, since the strided source becomes a single gather.
+#include "sketch/simd/sketch_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace skewless::simd {
+namespace {
+
+constexpr std::size_t kStrideAheadCells = 64;
+
+inline __m256i mul64_epi64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i mix64v(__m256i z) {
+  z = _mm256_add_epi64(
+      z, _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  z = mul64_epi64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mul64_epi64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+inline std::uint64_t seed_constant(std::uint64_t seed) {
+  return seed * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL;
+}
+
+void avx2_make_probes(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* h1,
+                      std::uint64_t* h2) {
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<long long>(seed_constant(seed)));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(
+      seed_constant(seed ^ 0x9e3779b97f4a7c15ULL)));
+  const __m256i one = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h1 + i),
+                        mix64v(_mm256_xor_si256(k, c1)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(h2 + i),
+        _mm256_or_si256(mix64v(_mm256_xor_si256(k, c2)), one));
+  }
+  if (i < n) scalar_kernels().make_probes(keys + i, n - i, seed, h1 + i,
+                                          h2 + i);
+}
+
+void avx2_hash64_batch(const std::uint64_t* keys, std::size_t n,
+                       std::uint64_t seed, std::uint64_t* out) {
+  const __m256i c =
+      _mm256_set1_epi64x(static_cast<long long>(seed_constant(seed)));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        mix64v(_mm256_xor_si256(k, c)));
+  }
+  if (i < n) scalar_kernels().hash64_batch(keys + i, n - i, seed, out + i);
+}
+
+void avx2_add_cells(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                               _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void avx2_sub_cells_clamped(double* dst, const double* src, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // max(diff, +0.0) with diff FIRST: vmaxpd returns the second operand
+    // on equal/NaN inputs, matching std::max(0.0, d) bit-for-bit.
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(dst + i), _mm256_loadu_pd(src + i));
+    _mm256_storeu_pd(dst + i, _mm256_max_pd(diff, zero));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] - src[i] > 0.0 ? dst[i] - src[i] : 0.0;
+}
+
+void avx2_add_strided(double* dst, const double* src, std::size_t stride,
+                      std::size_t n) {
+  const double* const src_end = src + n * stride;
+  const long long s = static_cast<long long>(stride);
+  const __m256i vindex = _mm256_setr_epi64x(0, s, 2 * s, 3 * s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* base = src + i * stride;
+    const double* ahead = base + kStrideAheadCells * stride;
+    if (ahead < src_end) {
+      _mm_prefetch(reinterpret_cast<const char*>(ahead), _MM_HINT_T1);
+    }
+    const __m256d v = _mm256_i64gather_pd(base, vindex, /*scale=*/8);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), v));
+  }
+  for (; i < n; ++i) dst[i] += src[i * stride];
+}
+
+double avx2_estimate_min(const double* cells, std::size_t width,
+                         std::size_t mask, std::size_t depth,
+                         std::uint64_t h1, std::uint64_t h2) {
+  if (depth < 4) return scalar_kernels().estimate_min(cells, width, mask,
+                                                      depth, h1, h2);
+  // Gather 4 rows' probed cells at once. Indices are exact integer math;
+  // the min reduction is order-independent over the finite non-negative
+  // cell values, so lane order cannot change the result.
+  const __m256i row = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i four = _mm256_set1_epi64x(4);
+  const __m256i vh1 = _mm256_set1_epi64x(static_cast<long long>(h1));
+  const __m256i vh2 = _mm256_set1_epi64x(static_cast<long long>(h2));
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vwidth = _mm256_set1_epi64x(static_cast<long long>(width));
+  __m256i r = row;
+  __m256d acc = _mm256_set1_pd(__builtin_huge_val());
+  std::size_t d = 0;
+  for (; d + 4 <= depth; d += 4) {
+    const __m256i probe = _mm256_and_si256(
+        _mm256_add_epi64(vh1, mul64_epi64(r, vh2)), vmask);
+    // row * width fits 64 bits by construction (cells vector exists).
+    const __m256i idx = _mm256_add_epi64(mul64_epi64(r, vwidth), probe);
+    const __m256d v = _mm256_i64gather_pd(cells, idx, /*scale=*/8);
+    acc = _mm256_min_pd(acc, v);
+    r = _mm256_add_epi64(r, four);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double est = lanes[0];
+  est = lanes[1] < est ? lanes[1] : est;
+  est = lanes[2] < est ? lanes[2] : est;
+  est = lanes[3] < est ? lanes[3] : est;
+  for (; d < depth; ++d) {
+    const double v =
+        cells[d * width + (static_cast<std::size_t>(h1 + d * h2) & mask)];
+    est = v < est ? v : est;
+  }
+  return est;
+}
+
+void avx2_fold_fused_rows(double* cells4, std::size_t width,
+                          std::size_t mask, std::size_t depth,
+                          std::uint64_t h1, std::uint64_t h2, double cost,
+                          double freq, double state) {
+  // One 256-bit add per fused cell; the pad lane adds +0.0
+  // (bit-preserving: pad is always +0.0).
+  const __m256d delta = _mm256_setr_pd(cost, freq, state, 0.0);
+  for (std::size_t row = 0; row < depth; ++row) {
+    const std::size_t idx =
+        row * width + (static_cast<std::size_t>(h1 + row * h2) & mask);
+    double* cell = cells4 + 4 * idx;
+    _mm256_storeu_pd(cell, _mm256_add_pd(_mm256_loadu_pd(cell), delta));
+  }
+}
+
+const SketchKernels kAvx2Kernels = {
+    "avx2",
+    KernelTier::kAvx2,
+    &avx2_make_probes,
+    &avx2_hash64_batch,
+    &avx2_add_cells,
+    &avx2_sub_cells_clamped,
+    &avx2_add_strided,
+    &avx2_estimate_min,
+    &avx2_fold_fused_rows,
+};
+
+}  // namespace
+
+const SketchKernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace skewless::simd
+
+#else  // !__AVX2__
+
+namespace skewless::simd {
+const SketchKernels* avx2_kernels() { return nullptr; }
+}  // namespace skewless::simd
+
+#endif

@@ -1,0 +1,167 @@
+// SSE2 kernel tier — 2-wide lanes, baseline ISA on x86-64 (no special
+// compile flags needed; the __SSE2__ guard keeps the TU an empty stub on
+// other architectures). The interesting trick is the 64×64→64 multiply:
+// SSE2 has no 64-bit integer multiply, so mix64's two multiplies are
+// synthesized from 32-bit partial products:
+//   a*b mod 2^64 = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32)
+// — exact in modular arithmetic, so the vector hashes are bit-identical
+// to the scalar ones.
+#include "sketch/simd/sketch_kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace skewless::simd {
+namespace {
+
+constexpr std::size_t kStrideAheadCells = 64;
+
+inline __m128i mul64_epi64(__m128i a, __m128i b) {
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i b_hi = _mm_srli_epi64(b, 32);
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a_hi, b), _mm_mul_epu32(a, b_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i mix64v(__m128i z) {
+  z = _mm_add_epi64(
+      z, _mm_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL)));
+  z = mul64_epi64(
+      _mm_xor_si128(z, _mm_srli_epi64(z, 30)),
+      _mm_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mul64_epi64(
+      _mm_xor_si128(z, _mm_srli_epi64(z, 27)),
+      _mm_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+/// hash64(key, seed) = mix64(key ^ (seed * A + B)); the seed-derived
+/// constant is scalar per call, so the vector body is one xor + mix.
+inline std::uint64_t seed_constant(std::uint64_t seed) {
+  return seed * 0xda942042e4dd58b5ULL + 0x2545f4914f6cdd1dULL;
+}
+
+void sse2_make_probes(const std::uint64_t* keys, std::size_t n,
+                      std::uint64_t seed, std::uint64_t* h1,
+                      std::uint64_t* h2) {
+  const __m128i c1 = _mm_set1_epi64x(
+      static_cast<long long>(seed_constant(seed)));
+  const __m128i c2 = _mm_set1_epi64x(static_cast<long long>(
+      seed_constant(seed ^ 0x9e3779b97f4a7c15ULL)));
+  const __m128i one = _mm_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h1 + i),
+                     mix64v(_mm_xor_si128(k, c1)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h2 + i),
+                     _mm_or_si128(mix64v(_mm_xor_si128(k, c2)), one));
+  }
+  for (; i < n; ++i) {
+    scalar_kernels().make_probes(keys + i, 1, seed, h1 + i, h2 + i);
+  }
+}
+
+void sse2_hash64_batch(const std::uint64_t* keys, std::size_t n,
+                       std::uint64_t seed, std::uint64_t* out) {
+  const __m128i c =
+      _mm_set1_epi64x(static_cast<long long>(seed_constant(seed)));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     mix64v(_mm_xor_si128(k, c)));
+  }
+  for (; i < n; ++i) {
+    scalar_kernels().hash64_batch(keys + i, 1, seed, out + i);
+  }
+}
+
+void sse2_add_cells(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void sse2_sub_cells_clamped(double* dst, const double* src, std::size_t n) {
+  const __m128d zero = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // max(diff, +0.0) with diff as the FIRST operand: maxpd returns the
+    // second operand on equal/NaN inputs, matching std::max(0.0, d)'s
+    // +0.0 result for d ∈ {±0.0, NaN} bit-for-bit.
+    const __m128d diff =
+        _mm_sub_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i));
+    _mm_storeu_pd(dst + i, _mm_max_pd(diff, zero));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] - src[i] > 0.0 ? dst[i] - src[i] : 0.0;
+}
+
+void sse2_add_strided(double* dst, const double* src, std::size_t stride,
+                      std::size_t n) {
+  const double* const src_end = src + n * stride;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* s = src + i * stride;
+    const double* ahead = s + kStrideAheadCells * stride;
+    if (ahead < src_end) _mm_prefetch(reinterpret_cast<const char*>(ahead),
+                                      _MM_HINT_T1);
+    // No gather before AVX2: two scalar loads feed one vector add.
+    const __m128d v = _mm_set_pd(s[stride], s[0]);
+    _mm_storeu_pd(dst + i, _mm_add_pd(_mm_loadu_pd(dst + i), v));
+  }
+  for (; i < n; ++i) dst[i] += src[i * stride];
+}
+
+void sse2_fold_fused_rows(double* cells4, std::size_t width,
+                          std::size_t mask, std::size_t depth,
+                          std::uint64_t h1, std::uint64_t h2, double cost,
+                          double freq, double state) {
+  // Two 128-bit halves per 32-byte fused cell: {cost, freq} then
+  // {state, pad}; the pad lane adds +0.0 (bit-preserving, pad is +0.0).
+  const __m128d d01 = _mm_set_pd(freq, cost);
+  const __m128d d23 = _mm_set_pd(0.0, state);
+  for (std::size_t row = 0; row < depth; ++row) {
+    const std::size_t idx =
+        row * width + (static_cast<std::size_t>(h1 + row * h2) & mask);
+    double* cell = cells4 + 4 * idx;
+    _mm_storeu_pd(cell, _mm_add_pd(_mm_loadu_pd(cell), d01));
+    _mm_storeu_pd(cell + 2, _mm_add_pd(_mm_loadu_pd(cell + 2), d23));
+  }
+}
+
+const SketchKernels kSse2Kernels = {
+    "sse2",
+    KernelTier::kSse2,
+    &sse2_make_probes,
+    &sse2_hash64_batch,
+    &sse2_add_cells,
+    &sse2_sub_cells_clamped,
+    &sse2_add_strided,
+    // Row-minimum stays scalar at this tier: without a gather the vector
+    // form is all shuffles. The scalar loop is already branch-free.
+    scalar_kernels().estimate_min,
+    &sse2_fold_fused_rows,
+};
+
+}  // namespace
+
+const SketchKernels* sse2_kernels() { return &kSse2Kernels; }
+
+}  // namespace skewless::simd
+
+#else  // !__SSE2__
+
+namespace skewless::simd {
+const SketchKernels* sse2_kernels() { return nullptr; }
+}  // namespace skewless::simd
+
+#endif

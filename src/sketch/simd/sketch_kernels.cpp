@@ -1,0 +1,179 @@
+// Scalar reference kernels + the runtime dispatch. This TU is compiled
+// with the project-baseline flags only; the vector tiers live in their
+// own TUs (kernels_sse2.cpp / kernels_avx2.cpp) so ISA flags never leak
+// into code that runs before dispatch.
+#include "sketch/simd/sketch_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/hash.h"
+
+namespace skewless::simd {
+namespace {
+
+/// Same distance the strided-merge kernels use: far enough that the
+/// prefetched stripe's lines arrive before the loop reaches them, near
+/// enough not to thrash a small L1.
+constexpr std::size_t kStrideAheadCells = 64;
+
+void scalar_make_probes(const std::uint64_t* keys, std::size_t n,
+                        std::uint64_t seed, std::uint64_t* h1,
+                        std::uint64_t* h2) {
+  const std::uint64_t seed2 = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h1[i] = hash64(keys[i], seed);
+    h2[i] = hash64(keys[i], seed2) | 1ULL;
+  }
+}
+
+void scalar_hash64_batch(const std::uint64_t* keys, std::size_t n,
+                         std::uint64_t seed, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = hash64(keys[i], seed);
+}
+
+void scalar_add_cells(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void scalar_sub_cells_clamped(double* dst, const double* src,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = std::max(0.0, dst[i] - src[i]);
+  }
+}
+
+void scalar_add_strided(double* dst, const double* src, std::size_t stride,
+                        std::size_t n) {
+  // One stripe of read-prefetch ahead: the strided source is the only
+  // irregular access (dst streams), and the prefetch distance covers the
+  // latency of its line fetches without competing with them.
+  const double* ahead = src + kStrideAheadCells * stride;
+  const double* const src_end = src + n * stride;
+  for (std::size_t i = 0; i < n; ++i, src += stride, ahead += stride) {
+    if (ahead < src_end) {
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(ahead, /*rw=*/0, /*locality=*/2);
+#endif
+    }
+    dst[i] += *src;
+  }
+}
+
+double scalar_estimate_min(const double* cells, std::size_t width,
+                           std::size_t mask, std::size_t depth,
+                           std::uint64_t h1, std::uint64_t h2) {
+  double est = cells[static_cast<std::size_t>(h1) & mask];
+  for (std::size_t row = 1; row < depth; ++row) {
+    est = std::min(
+        est, cells[row * width + (static_cast<std::size_t>(h1 + row * h2) &
+                                  mask)]);
+  }
+  return est;
+}
+
+void scalar_fold_fused_rows(double* cells4, std::size_t width,
+                            std::size_t mask, std::size_t depth,
+                            std::uint64_t h1, std::uint64_t h2, double cost,
+                            double freq, double state) {
+  for (std::size_t row = 0; row < depth; ++row) {
+    const std::size_t idx =
+        row * width + (static_cast<std::size_t>(h1 + row * h2) & mask);
+    double* cell = cells4 + 4 * idx;
+    cell[0] += cost;
+    cell[1] += freq;
+    cell[2] += state;
+  }
+}
+
+constexpr SketchKernels kScalarKernels = {
+    "scalar",
+    KernelTier::kScalar,
+    &scalar_make_probes,
+    &scalar_hash64_batch,
+    &scalar_add_cells,
+    &scalar_sub_cells_clamped,
+    &scalar_add_strided,
+    &scalar_estimate_min,
+    &scalar_fold_fused_rows,
+};
+
+KernelTier probe_max_supported_tier() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (avx2_kernels() != nullptr && __builtin_cpu_supports("avx2")) {
+    return KernelTier::kAvx2;
+  }
+  if (sse2_kernels() != nullptr && __builtin_cpu_supports("sse2")) {
+    return KernelTier::kSse2;
+  }
+#endif
+  return KernelTier::kScalar;
+}
+
+std::atomic<const SketchKernels*> g_active{nullptr};
+
+}  // namespace
+
+const SketchKernels& scalar_kernels() { return kScalarKernels; }
+
+KernelTier max_supported_tier() {
+  static const KernelTier tier = probe_max_supported_tier();
+  return tier;
+}
+
+KernelTier default_tier() {
+  const char* force = std::getenv("SKEWLESS_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return KernelTier::kScalar;
+  }
+  return max_supported_tier();
+}
+
+const SketchKernels& kernels_for(KernelTier tier) {
+  const KernelTier clamped = std::min(tier, max_supported_tier());
+  switch (clamped) {
+    case KernelTier::kAvx2:
+      if (const SketchKernels* k = avx2_kernels()) return *k;
+      [[fallthrough]];
+    case KernelTier::kSse2:
+      if (const SketchKernels* k = sse2_kernels()) return *k;
+      [[fallthrough]];
+    case KernelTier::kScalar:
+      break;
+  }
+  return kScalarKernels;
+}
+
+const SketchKernels& active_kernels() {
+  const SketchKernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // First use: resolve the default tier. Concurrent first calls race
+    // benignly — both resolve the same table.
+    k = &kernels_for(default_tier());
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+void set_active_tier(KernelTier tier) {
+  g_active.store(&kernels_for(tier), std::memory_order_release);
+}
+
+void force_scalar() { set_active_tier(KernelTier::kScalar); }
+
+const char* tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kSse2:
+      return "sse2";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace skewless::simd

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "sketch/simd/sketch_kernels.h"
 #include "sketch/sketch_stats_window.h"
 
 namespace skewless {
@@ -18,7 +19,10 @@ WorkerSketchSlab::WorkerSketchSlab(const SketchStatsConfig& config)
   width_ = geometry.width();
   depth_ = geometry.depth();
   seed_ = geometry.seed();
-  cells_.assign(depth_ * width_, FusedCell{});
+  // Lazily-mapped zero pages: the constructor must NOT touch them, so
+  // the owning worker thread's first write (or prefault()) decides their
+  // NUMA placement — not the driver thread constructing the slab.
+  cells_.reset(depth_ * width_);
   heavy_.reserve(config.heavy_capacity);
   hot_.reserve(config.heavy_capacity);
 }
@@ -34,16 +38,11 @@ void WorkerSketchSlab::add_hot(KeyId key, const KeyAgg& agg) {
 void WorkerSketchSlab::add_cold(KeyId key, const KeyAgg& agg,
                                 const CountMinSketch::KeyProbe& probe) {
   // One probe, `depth_` fused cells: all three quantities ride the same
-  // cache lines (the point of the fused layout).
-  const std::size_t mask = width_ - 1;
-  const double freq = static_cast<double>(agg.frequency);
-  for (std::size_t row = 0; row < depth_; ++row) {
-    FusedCell& cell =
-        cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)];
-    cell.cost += agg.cost;
-    cell.freq += freq;
-    cell.state += agg.state_bytes;
-  }
+  // cache lines (the point of the fused layout). The kernel adds the
+  // whole 32-byte cell in one vector op where the ISA allows.
+  simd::active_kernels().fold_fused_rows(
+      &cells_.data()->cost, width_, width_ - 1, depth_, probe.h1, probe.h2,
+      agg.cost, static_cast<double>(agg.frequency), agg.state_bytes);
   candidates_.add(key, agg.cost);
   cold_cost_ += agg.cost;
   cold_freq_ += agg.frequency;
@@ -64,52 +63,53 @@ void WorkerSketchSlab::add(KeyId key, Cost cost, Bytes state_bytes,
 
 void WorkerSketchSlab::add_batch(
     const std::unordered_map<KeyId, KeyAgg>& batch) {
-  // Classify + probe + prefetch run one entry AHEAD of the flush, so
-  // each cold key's fused cell rows are already in flight when its
-  // update executes — and each key's probe is computed exactly once
-  // (hot keys never pay one at all).
-  const auto classify = [&](KeyId key, CountMinSketch::KeyProbe& probe) {
-    if (heavy_.find(key) != heavy_.end()) return false;
-    probe = CountMinSketch::make_probe(key, seed_);
-    const std::size_t mask = width_ - 1;
-    for (std::size_t row = 0; row < depth_; ++row) {
-      CountMinSketch::prefetch_cell(
-          &cells_[row * width_ + CountMinSketch::probe_index(probe, row, mask)]
-               .cost);
-    }
-    return true;
-  };
-
-  auto it = batch.begin();
-  if (it == batch.end()) return;
-  KeyId key = it->first;
-  const KeyAgg* agg = &it->second;
-  CountMinSketch::KeyProbe probe{};
-  bool cold = classify(key, probe);
-  while (true) {
-    ++it;
-    const bool more = it != batch.end();
-    KeyId next_key = 0;
-    const KeyAgg* next_agg = nullptr;
-    CountMinSketch::KeyProbe next_probe{};
-    bool next_cold = false;
-    if (more) {
-      next_key = it->first;
-      next_agg = &it->second;
-      next_cold = classify(next_key, next_probe);
-    }
-    SKW_EXPECTS(agg->cost >= 0.0 && agg->state_bytes >= 0.0);
-    key_bound_ = std::max(key_bound_, static_cast<std::size_t>(key) + 1);
-    if (cold) {
-      add_cold(key, *agg, probe);
+  if (batch.empty()) return;
+  // Pass 1 — classify every entry against the heavy set, in iteration
+  // order. Hot and cold entries land in disjoint accumulators
+  // (hot_/hot_cost_ vs cells_/candidates_/cold_*), so flushing all hot
+  // then all cold — each class in its original order — is byte-identical
+  // to add() per entry (key_bound_ is a max, order-free).
+  hot_scratch_.clear();
+  cold_scratch_.clear();
+  cold_keys_.clear();
+  for (const auto& entry : batch) {
+    SKW_EXPECTS(entry.second.cost >= 0.0 && entry.second.state_bytes >= 0.0);
+    key_bound_ =
+        std::max(key_bound_, static_cast<std::size_t>(entry.first) + 1);
+    if (heavy_.find(entry.first) != heavy_.end()) {
+      hot_scratch_.push_back(&entry);
     } else {
-      add_hot(key, *agg);
+      cold_scratch_.push_back(&entry.second);
+      cold_keys_.push_back(static_cast<std::uint64_t>(entry.first));
     }
-    if (!more) break;
-    key = next_key;
-    agg = next_agg;
-    probe = next_probe;
-    cold = next_cold;
+  }
+  for (const auto* entry : hot_scratch_) add_hot(entry->first, entry->second);
+  if (cold_keys_.empty()) return;
+
+  // Pass 2 — ONE batched vector-hash call generates every cold key's K–M
+  // probe, then the flush pipelines: the fused cell rows of the entry a
+  // few slots ahead are prefetched while the current entry updates, so
+  // its cache misses overlap work instead of serializing behind it.
+  const std::size_t n = cold_keys_.size();
+  probe_h1_.resize(n);
+  probe_h2_.resize(n);
+  const simd::SketchKernels& kernels = simd::active_kernels();
+  kernels.make_probes(cold_keys_.data(), n, seed_, probe_h1_.data(),
+                      probe_h2_.data());
+  constexpr std::size_t kAhead = 4;
+  const std::size_t mask = width_ - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ahead = i + kAhead;
+    if (ahead < n) {
+      const CountMinSketch::KeyProbe p{probe_h1_[ahead], probe_h2_[ahead]};
+      for (std::size_t row = 0; row < depth_; ++row) {
+        CountMinSketch::prefetch_cell(
+            &cells_[row * width_ + CountMinSketch::probe_index(p, row, mask)]
+                 .cost);
+      }
+    }
+    add_cold(static_cast<KeyId>(cold_keys_[i]), *cold_scratch_[i],
+             CountMinSketch::KeyProbe{probe_h1_[i], probe_h2_[i]});
   }
 }
 
@@ -120,7 +120,7 @@ void WorkerSketchSlab::set_heavy_keys(const std::vector<KeyId>& keys) {
 
 void WorkerSketchSlab::clear() {
   hot_.clear();  // keeps buckets
-  std::fill(cells_.begin(), cells_.end(), FusedCell{});
+  cells_.zero();  // in place — pages stay where first touch put them
   candidates_.clear();
   cold_cost_ = 0.0;
   hot_cost_ = 0.0;
@@ -265,8 +265,8 @@ std::size_t WorkerSketchSlab::memory_bytes() const {
   const std::size_t heavy_bytes =
       heavy_.size() * (sizeof(KeyId) + kNodeOverhead) +
       heavy_.bucket_count() * sizeof(void*);
-  return sizeof(*this) + hot_bytes + heavy_bytes +
-         cells_.capacity() * sizeof(FusedCell) + candidates_.memory_bytes();
+  return sizeof(*this) + hot_bytes + heavy_bytes + cells_.memory_bytes() +
+         candidates_.memory_bytes();
 }
 
 }  // namespace skewless

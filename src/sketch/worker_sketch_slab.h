@@ -50,6 +50,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/first_touch.h"
 #include "common/serde.h"
 #include "sketch/count_min.h"
 #include "sketch/space_saving.h"
@@ -97,14 +98,22 @@ class WorkerSketchSlab {
   /// exact map; everything else to the fused cells + candidate tracker.
   void add(KeyId key, Cost cost, Bytes state_bytes, std::uint64_t frequency);
 
-  /// Folds one batch's per-key aggregation in a single pass: each
-  /// distinct key pays ONE heavy-set lookup and (cold keys only) ONE
-  /// Kirsch–Mitzenmacher probe, computed one scratch entry ahead of its
-  /// use together with a software prefetch of the fused cell rows — the
-  /// next entry's cache misses overlap the current entry's update
-  /// instead of serializing behind it. Equivalent to add() per entry in
-  /// iteration order.
+  /// Folds one batch's per-key aggregation in two passes: pass 1
+  /// classifies every entry against the heavy set and collects the cold
+  /// keys; their Kirsch–Mitzenmacher probes are then generated in ONE
+  /// batched vector-hash call (SketchKernels::make_probes), and the cold
+  /// flush runs with a software-pipelined prefetch a few entries ahead —
+  /// each key's fused cell rows are already in flight when its update
+  /// executes. Byte-identical to add() per entry in iteration order: hot
+  /// and cold entries touch disjoint accumulators, and each class is
+  /// flushed in its original order.
   void add_batch(const std::unordered_map<KeyId, KeyAgg>& batch);
+
+  /// Commits the fused cell pages from the CALLING thread (first-touch
+  /// NUMA placement — the cells are mapped lazily so the owning worker
+  /// thread, not the constructing driver, places them). Value-neutral;
+  /// safe any time the caller may write the slab.
+  void prefault() { cells_.prefault(); }
 
   /// Replaces the hot-key set. Called by the driver at interval
   /// boundaries (after SketchStatsWindow::roll has promoted/demoted),
@@ -118,7 +127,9 @@ class WorkerSketchSlab {
   [[nodiscard]] const std::unordered_map<KeyId, KeyAgg>& hot() const {
     return hot_;
   }
-  [[nodiscard]] const std::vector<FusedCell>& cells() const { return cells_; }
+  [[nodiscard]] const FirstTouchArray<FusedCell>& cells() const {
+    return cells_;
+  }
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] std::size_t depth() const { return depth_; }
   [[nodiscard]] const MisraGries& candidates() const { return candidates_; }
@@ -175,8 +186,18 @@ class WorkerSketchSlab {
   std::size_t width_ = 0;  // power of two, mirrors the window's family
   std::size_t depth_ = 0;
   std::uint64_t seed_ = 0;
-  std::vector<FusedCell> cells_;  // depth_ rows of width_ fused cells
+  /// depth_ rows of width_ fused cells. First-touch mapped: pages commit
+  /// on the NUMA node of whichever thread writes them first — see
+  /// prefault().
+  FirstTouchArray<FusedCell> cells_;
   MisraGries candidates_;
+  // add_batch scratch (retained across calls; the slab is single-writer
+  // so plain members are safe where thread_local would be wasteful).
+  std::vector<const std::pair<const KeyId, KeyAgg>*> hot_scratch_;
+  std::vector<const KeyAgg*> cold_scratch_;
+  std::vector<std::uint64_t> cold_keys_;
+  std::vector<std::uint64_t> probe_h1_;
+  std::vector<std::uint64_t> probe_h2_;
   Cost cold_cost_ = 0.0;
   Cost hot_cost_ = 0.0;
   std::uint64_t cold_freq_ = 0;

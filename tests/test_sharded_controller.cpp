@@ -248,8 +248,9 @@ TEST(ShardedSketchStats, ConcurrentAbsorbIsDeterministic) {
     ShardedSketchStats stats(4000, 2, cfg, kShards);
     Xoshiro256 rng(21);
     for (int interval = 0; interval < 3; ++interval) {
-      std::vector<ShardedWorkerSlab> slabs(kWorkers,
-                                           ShardedWorkerSlab(cfg, kShards));
+      std::vector<ShardedWorkerSlab> slabs;
+      slabs.reserve(kWorkers);
+      for (int w = 0; w < kWorkers; ++w) slabs.emplace_back(cfg, kShards);
       const auto heavy = stats.heavy_keys();
       for (auto& slab : slabs) slab.set_heavy_keys(heavy);
       for (int i = 0; i < 4000; ++i) {

@@ -1,0 +1,340 @@
+// The SIMD kernel layer's contract: every vector tier is BIT-IDENTICAL
+// to the scalar reference on every operation, over randomized geometries
+// and values — including the odd tails a 2/4-lane kernel has to finish
+// scalar. Plus the dispatch machinery (tier resolution, forcing, the
+// SKEWLESS_FORCE_SCALAR override), the FirstTouchArray the NUMA
+// placement rides on, and the CPU-topology pin order.
+//
+// These suites carry the "simd" label and run on every CI leg; one leg
+// additionally reruns them under SKEWLESS_FORCE_SCALAR=1 (the dispatch
+// tests read the environment, so they pass either way).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cpu_topology.h"
+#include "common/first_touch.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "sketch/count_min.h"
+#include "sketch/simd/sketch_kernels.h"
+#include "sketch/worker_sketch_slab.h"
+
+namespace skewless {
+namespace {
+
+using simd::KernelTier;
+using simd::SketchKernels;
+
+/// Every tier selectable on this host, scalar first.
+std::vector<const SketchKernels*> selectable_tiers() {
+  std::vector<const SketchKernels*> tiers;
+  for (int t = 0; t <= static_cast<int>(simd::max_supported_tier()); ++t) {
+    tiers.push_back(&simd::kernels_for(static_cast<KernelTier>(t)));
+  }
+  return tiers;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch machinery.
+
+TEST(SimdDispatch, TierTablesAreSelfConsistent) {
+  const SketchKernels& scalar = simd::scalar_kernels();
+  EXPECT_EQ(scalar.tier, KernelTier::kScalar);
+  EXPECT_STREQ(scalar.name, "scalar");
+  EXPECT_STREQ(simd::tier_name(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(KernelTier::kSse2), "sse2");
+  EXPECT_STREQ(simd::tier_name(KernelTier::kAvx2), "avx2");
+  for (const SketchKernels* k : selectable_tiers()) {
+    EXPECT_STREQ(k->name, simd::tier_name(k->tier));
+    EXPECT_LE(static_cast<int>(k->tier),
+              static_cast<int>(simd::max_supported_tier()));
+  }
+  if (const SketchKernels* sse2 = simd::sse2_kernels()) {
+    EXPECT_EQ(sse2->tier, KernelTier::kSse2);
+  }
+  if (const SketchKernels* avx2 = simd::avx2_kernels()) {
+    EXPECT_EQ(avx2->tier, KernelTier::kAvx2);
+  }
+}
+
+TEST(SimdDispatch, ForcingEachSupportedTierResolvesItsKernels) {
+  const KernelTier restore = simd::active_kernels().tier;
+  for (const SketchKernels* k : selectable_tiers()) {
+    simd::set_active_tier(k->tier);
+    EXPECT_EQ(&simd::active_kernels(), k);
+    EXPECT_STREQ(simd::active_kernels().name, simd::tier_name(k->tier));
+  }
+  // Requesting an unsupported tier clamps to the best supported one
+  // instead of dispatching into illegal instructions.
+  simd::set_active_tier(KernelTier::kAvx2);
+  EXPECT_EQ(simd::active_kernels().tier, simd::max_supported_tier());
+  simd::force_scalar();
+  EXPECT_EQ(simd::active_kernels().tier, KernelTier::kScalar);
+  simd::set_active_tier(restore);
+}
+
+TEST(SimdDispatch, DefaultTierHonorsForceScalarEnvironment) {
+  // Environment-aware on purpose: under SKEWLESS_FORCE_SCALAR (the CI
+  // forced-scalar leg) the default must be scalar; otherwise it is the
+  // best supported tier.
+  const char* force = std::getenv("SKEWLESS_FORCE_SCALAR");
+  if (force != nullptr && *force != '\0' && std::strcmp(force, "0") != 0) {
+    EXPECT_EQ(simd::default_tier(), KernelTier::kScalar);
+  } else {
+    EXPECT_EQ(simd::default_tier(), simd::max_supported_tier());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-operation bit-identity fuzz: scalar vs every selectable tier over
+// random geometries (random power-of-two widths, depths, batch sizes
+// including 0 and lane-count remainders) and random values.
+
+TEST(SimdBitIdentity, ProbeAndHashBatchesMatchScalarAndCountMin) {
+  Xoshiro256 rng(0xbeefULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = rng.next_below(67);  // covers 0 and odd tails
+    const std::uint64_t seed = rng.next();
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng.next();
+
+    std::vector<std::uint64_t> h1_ref(n), h2_ref(n), hash_ref(n);
+    simd::scalar_kernels().make_probes(keys.data(), n, seed, h1_ref.data(),
+                                       h2_ref.data());
+    simd::scalar_kernels().hash64_batch(keys.data(), n, seed,
+                                        hash_ref.data());
+    // The scalar kernels must agree with the sketch's own probe
+    // constructor — they ARE CountMinSketch::make_probe, batched.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto probe = CountMinSketch::make_probe(keys[i], seed);
+      ASSERT_EQ(h1_ref[i], probe.h1);
+      ASSERT_EQ(h2_ref[i], probe.h2);
+      ASSERT_EQ(hash_ref[i], hash64(keys[i], seed));
+    }
+    for (const SketchKernels* k : selectable_tiers()) {
+      std::vector<std::uint64_t> h1(n), h2(n), hashes(n);
+      k->make_probes(keys.data(), n, seed, h1.data(), h2.data());
+      k->hash64_batch(keys.data(), n, seed, hashes.data());
+      ASSERT_EQ(h1, h1_ref) << k->name << " iter " << iter;
+      ASSERT_EQ(h2, h2_ref) << k->name << " iter " << iter;
+      ASSERT_EQ(hashes, hash_ref) << k->name << " iter " << iter;
+    }
+  }
+}
+
+TEST(SimdBitIdentity, CellMergeKernelsMatchScalar) {
+  Xoshiro256 rng(0xfeedULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = rng.next_below(515);
+    const std::size_t stride = 1 + rng.next_below(6);
+    std::vector<double> dst0(n), add_src(n), sub_src(n);
+    std::vector<double> strided_src(n * stride + 1);
+    for (auto& v : dst0) v = static_cast<double>(rng.next_below(1 << 20));
+    for (auto& v : add_src) v = static_cast<double>(rng.next_below(1 << 20));
+    // Subtrahends larger than the cells exercise the max(0, ...) clamp,
+    // including exact-zero differences.
+    for (std::size_t i = 0; i < n; ++i) {
+      sub_src[i] = (rng.next_below(4) == 0)
+                       ? dst0[i]
+                       : static_cast<double>(rng.next_below(1 << 21));
+    }
+    for (auto& v : strided_src) {
+      v = static_cast<double>(rng.next_below(1 << 20));
+    }
+
+    std::vector<double> ref = dst0;
+    simd::scalar_kernels().add_cells(ref.data(), add_src.data(), n);
+    simd::scalar_kernels().sub_cells_clamped(ref.data(), sub_src.data(), n);
+    simd::scalar_kernels().add_strided(ref.data(), strided_src.data(),
+                                       stride, n);
+    for (const SketchKernels* k : selectable_tiers()) {
+      std::vector<double> out = dst0;
+      k->add_cells(out.data(), add_src.data(), n);
+      k->sub_cells_clamped(out.data(), sub_src.data(), n);
+      k->add_strided(out.data(), strided_src.data(), stride, n);
+      ASSERT_EQ(0, std::memcmp(out.data(), ref.data(), n * sizeof(double)))
+          << k->name << " iter " << iter << " n=" << n
+          << " stride=" << stride;
+    }
+  }
+}
+
+TEST(SimdBitIdentity, EstimateAndFusedFoldMatchScalar) {
+  Xoshiro256 rng(0xabadcafeULL);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t width = std::size_t{8} << rng.next_below(6);  // 8..256
+    const std::size_t depth = 1 + rng.next_below(8);
+    const std::size_t mask = width - 1;
+    std::vector<double> cells(width * depth);
+    for (auto& v : cells) v = static_cast<double>(rng.next_below(1 << 16));
+    std::vector<double> fused0(width * depth * 4);
+    for (auto& v : fused0) v = static_cast<double>(rng.next_below(1 << 16));
+    // The pad lane must hold +0.0 — the fused-cell invariant the vector
+    // fold's 4th lane relies on.
+    for (std::size_t c = 0; c < width * depth; ++c) fused0[4 * c + 3] = 0.0;
+
+    std::vector<std::uint64_t> h1s(32), h2s(32);
+    std::vector<double> costs(32), freqs(32), states(32);
+    for (std::size_t i = 0; i < h1s.size(); ++i) {
+      const auto probe = CountMinSketch::make_probe(rng.next(), 0x5a17ULL ^ i);
+      h1s[i] = probe.h1;
+      h2s[i] = probe.h2;
+      costs[i] = static_cast<double>(rng.next_below(1000)) * 0.25;
+      freqs[i] = static_cast<double>(1 + rng.next_below(16));
+      states[i] = static_cast<double>(rng.next_below(4096));
+    }
+
+    std::vector<double> est_ref(h1s.size());
+    std::vector<double> fused_ref = fused0;
+    for (std::size_t i = 0; i < h1s.size(); ++i) {
+      est_ref[i] = simd::scalar_kernels().estimate_min(
+          cells.data(), width, mask, depth, h1s[i], h2s[i]);
+      simd::scalar_kernels().fold_fused_rows(fused_ref.data(), width, mask,
+                                             depth, h1s[i], h2s[i], costs[i],
+                                             freqs[i], states[i]);
+    }
+    for (const SketchKernels* k : selectable_tiers()) {
+      if (k->tier == KernelTier::kScalar) continue;
+      std::vector<double> fused = fused0;
+      for (std::size_t i = 0; i < h1s.size(); ++i) {
+        const double est = k->estimate_min(cells.data(), width, mask, depth,
+                                           h1s[i], h2s[i]);
+        ASSERT_EQ(std::memcmp(&est, &est_ref[i], sizeof(double)), 0)
+            << k->name << " iter " << iter << " width=" << width
+            << " depth=" << depth;
+        k->fold_fused_rows(fused.data(), width, mask, depth, h1s[i], h2s[i],
+                           costs[i], freqs[i], states[i]);
+      }
+      ASSERT_EQ(0, std::memcmp(fused.data(), fused_ref.data(),
+                               fused.size() * sizeof(double)))
+          << k->name << " iter " << iter << " width=" << width
+          << " depth=" << depth;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end slab identity: a WorkerSketchSlab fed identical batches
+// under the scalar tier and under the best tier serializes to identical
+// bytes (cells, hot map, candidates, scalars — the full wire image).
+
+TEST(SimdBitIdentity, SlabAddBatchSerializesIdenticallyAcrossTiers) {
+  const KernelTier restore = simd::active_kernels().tier;
+  SketchStatsConfig cfg;
+  cfg.heavy_capacity = 64;
+
+  const auto run_tier = [&](KernelTier tier) {
+    simd::set_active_tier(tier);
+    WorkerSketchSlab slab(cfg);
+    std::vector<KeyId> heavy;
+    for (KeyId k = 0; k < 16; ++k) heavy.push_back(k * 97);
+    slab.set_heavy_keys(heavy);
+    Xoshiro256 rng(0x600dULL);
+    for (int batch = 0; batch < 8; ++batch) {
+      std::unordered_map<KeyId, WorkerSketchSlab::KeyAgg> entries;
+      for (int i = 0; i < 400; ++i) {
+        const KeyId key = rng.next_below(5000);
+        auto& agg = entries[key];
+        agg.cost += static_cast<double>(1 + rng.next_below(8));
+        agg.state_bytes += 8.0;
+        agg.frequency += 1;
+      }
+      slab.add_batch(entries);
+    }
+    ByteWriter out;
+    slab.serialize(out);
+    simd::set_active_tier(restore);
+    return out.take();
+  };
+
+  const std::vector<std::uint8_t> scalar_bytes = run_tier(KernelTier::kScalar);
+  const std::vector<std::uint8_t> best_bytes =
+      run_tier(simd::max_supported_tier());
+  ASSERT_EQ(scalar_bytes.size(), best_bytes.size());
+  EXPECT_EQ(0, std::memcmp(scalar_bytes.data(), best_bytes.data(),
+                           scalar_bytes.size()));
+}
+
+// ---------------------------------------------------------------------
+// FirstTouchArray — the lazily-mapped backing store the NUMA first-touch
+// placement relies on.
+
+TEST(FirstTouchArrayTest, ResetZeroPrefaultAndMoveSemantics) {
+  FirstTouchArray<double> arr;
+  EXPECT_TRUE(arr.empty());
+  EXPECT_EQ(arr.size(), 0u);
+
+  arr.reset(1000);
+  ASSERT_EQ(arr.size(), 1000u);
+  ASSERT_NE(arr.data(), nullptr);
+  EXPECT_GE(arr.memory_bytes(), 1000 * sizeof(double));
+  // Fresh mappings read as zero without any explicit initialization.
+  for (std::size_t i = 0; i < arr.size(); ++i) ASSERT_EQ(arr[i], 0.0);
+
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    arr[i] = static_cast<double>(i);
+  }
+  // prefault() is value-neutral: committing pages must not disturb
+  // already-written contents.
+  arr.prefault();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    ASSERT_EQ(arr[i], static_cast<double>(i));
+  }
+  arr.zero();
+  for (std::size_t i = 0; i < arr.size(); ++i) ASSERT_EQ(arr[i], 0.0);
+
+  arr[7] = 42.0;
+  FirstTouchArray<double> moved = std::move(arr);
+  ASSERT_EQ(moved.size(), 1000u);
+  EXPECT_EQ(moved[7], 42.0);
+  EXPECT_TRUE(arr.empty());  // NOLINT(bugprone-use-after-move): specified
+
+  // reset() replaces the mapping: new extent, zeroed content again.
+  moved.reset(64);
+  ASSERT_EQ(moved.size(), 64u);
+  for (std::size_t i = 0; i < moved.size(); ++i) ASSERT_EQ(moved[i], 0.0);
+}
+
+// ---------------------------------------------------------------------
+// CPU topology — the worker pin order.
+
+TEST(CpuTopologyTest, PinOrderIsAPermutationCoveringEveryHardwareThread) {
+  const CpuTopology& topo = cpu_topology();
+  EXPECT_GE(topo.hardware_threads, 1u);
+  EXPECT_GE(topo.physical_cores, 1u);
+  EXPECT_LE(topo.physical_cores, topo.hardware_threads);
+  EXPECT_EQ(topo.smt, topo.hardware_threads > topo.physical_cores);
+
+  ASSERT_EQ(topo.pin_order.size(), topo.hardware_threads);
+  std::set<int> seen;
+  for (const int cpu : topo.pin_order) {
+    EXPECT_GE(cpu, 0);
+    EXPECT_TRUE(seen.insert(cpu).second) << "duplicate cpu " << cpu;
+  }
+  // Physical-core primaries occupy the first physical_cores slots: a
+  // worker fleet no larger than the core count never lands on an SMT
+  // sibling. (With the identity fallback physical_cores ==
+  // hardware_threads and the property holds trivially.)
+  std::set<int> primaries(topo.pin_order.begin(),
+                          topo.pin_order.begin() +
+                              static_cast<std::ptrdiff_t>(topo.physical_cores));
+  EXPECT_EQ(primaries.size(), topo.physical_cores);
+}
+
+TEST(CpuTopologyTest, NumaBindIsSafeWhereverItLands) {
+  // On hosts without libnuma (or single-node machines) this is a no-op
+  // returning false; with libnuma it binds. Either way it must not
+  // crash and must tolerate an arbitrary valid CPU id.
+  const bool bound = bind_current_thread_to_node_of_cpu(0);
+  if (!numa_support_compiled()) {
+    EXPECT_FALSE(bound);
+  }
+}
+
+}  // namespace
+}  // namespace skewless

@@ -287,7 +287,9 @@ TEST(SketchStatsWindow, AbsorbPreservesExactAggregatesAndHotTier) {
   ASSERT_TRUE(merged.is_heavy(7));
 
   // One interval of traffic split across 3 workers vs fed directly.
-  std::vector<WorkerSketchSlab> slabs(3, WorkerSketchSlab(cfg));
+  std::vector<WorkerSketchSlab> slabs;
+  slabs.reserve(3);
+  for (int w = 0; w < 3; ++w) slabs.emplace_back(cfg);
   const auto heavy = merged.heavy_keys();
   ASSERT_EQ(heavy, std::vector<KeyId>{7});
   for (auto& slab : slabs) slab.set_heavy_keys(heavy);
@@ -571,8 +573,9 @@ TEST(SketchStatsWindow, ShardedAbsorbConservesMass) {
   ASSERT_TRUE(direct.is_heavy(7));
   ASSERT_EQ(sharded.heavy_keys(), std::vector<KeyId>{7});
 
-  std::vector<ShardedWorkerSlab> slabs(
-      static_cast<std::size_t>(kWorkers), ShardedWorkerSlab(cfg, kShards));
+  std::vector<ShardedWorkerSlab> slabs;
+  slabs.reserve(static_cast<std::size_t>(kWorkers));
+  for (int w = 0; w < kWorkers; ++w) slabs.emplace_back(cfg, kShards);
   const auto heavy = sharded.heavy_keys();
   for (auto& slab : slabs) slab.set_heavy_keys(heavy);
 

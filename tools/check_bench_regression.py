@@ -24,6 +24,12 @@ move with the runner hardware; the gated quantities are ratios and
 within-run throughput numbers whose baselines came from the same class
 of runner.
 
+Every bench records the environment it ran under ("hardware_threads"
+and the dispatched SIMD "kernel_tier"). When both sides carry one of
+those fields and they DIFFER, the file is skipped with a note instead of
+compared: a scalar-vs-avx2 or 2-thread-vs-32-thread comparison measures
+the machines, not the code. Same-tier baselines remain fully enforced.
+
 Exit status: 0 when no metric regressed, 1 otherwise. Stdlib only.
 """
 
@@ -42,7 +48,13 @@ THROUGHPUT_KEYS = {
     "merge_speedup_8x",
     "speedup",     # BENCH_plan: compact vs dense planning path
     "reduction",   # BENCH_churn: decayed vs no-decay heavy-set churn
+    "interleaved_speedup",  # BENCH_simd: vectorized add_interleaved
+    "probe_speedup",        # BENCH_simd: batched K-M probe generation
 }
+
+# Environment fields stamped into every bench JSON; a mismatch between
+# baseline and fresh run means the numbers are not comparable.
+ENV_KEYS = ("kernel_tier", "hardware_threads")
 MEMORY_RATIO_KEYS = {"memory_ratio", "ratio"}
 THROUGHPUT_TOLERANCE = 0.20
 MEMORY_TOLERANCE = 0.10
@@ -90,6 +102,18 @@ def check_file(path, ref):
         print("-- %s: no committed baseline at %s, skipping" % (path, ref))
         return []
     baseline = json.loads(baseline_text)
+
+    for env_key in ENV_KEYS:
+        base_env = baseline.get(env_key)
+        fresh_env = fresh.get(env_key)
+        if base_env is not None and fresh_env is not None \
+                and base_env != fresh_env:
+            print(
+                "-- %s: %s differs (baseline %r, fresh %r) -- different "
+                "machine class, skipping" % (path, env_key, base_env,
+                                             fresh_env)
+            )
+            return []
 
     fresh_leaves = dict(walk(fresh))
     regressions = []

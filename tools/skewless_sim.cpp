@@ -17,12 +17,14 @@
 
 #include "baselines/dkg.h"
 #include "baselines/readj.h"
+#include "common/cpu_topology.h"
 #include "core/compact.h"
 #include "core/controller.h"
 #include "core/planners.h"
 #include "engine/sim_engine.h"
 #include "engine/threaded_engine.h"
 #include "net/net_engine.h"
+#include "sketch/simd/sketch_kernels.h"
 #include "workload/adversarial.h"
 #include "workload/operators.h"
 #include "workload/social.h"
@@ -70,6 +72,10 @@ struct Args {
   /// Threaded sketch mode: double-buffered slabs + asynchronous
   /// boundary merge (default) vs the inline quiesce-and-merge baseline.
   bool async_merge = true;
+  /// Force the scalar sketch kernels (skip the SIMD dispatch). The run
+  /// is bit-identical either way — this flag exists for A/B timing and
+  /// for proving exactly that.
+  bool no_simd = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -85,7 +91,7 @@ struct Args {
       "          [--attack rotating|skew-flip|pareto|churn|collision]\n"
       "          [--rotation-period N]\n"
       "          [--engine sim|threaded|net] [--batch N] [--pin]\n"
-      "          [--inline-merge] [--workers-proc N]\n"
+      "          [--inline-merge] [--workers-proc N] [--no-simd]\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
       "          hash shuffle pkg (shuffle/pkg: sim engine only)\n",
       argv0);
@@ -176,6 +182,8 @@ Args parse(int argc, char** argv) {
       args.pin = true;
     } else if (flag == "--inline-merge") {
       args.async_merge = false;
+    } else if (flag == "--no-simd") {
+      args.no_simd = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       usage(argv[0]);
@@ -309,19 +317,22 @@ int run_threaded(const Args& args, char* argv0) {
 
   const auto reports = engine->run(*source, args.intervals, args.seed);
   // `pinned` is the number of workers whose core pin took effect (0 with
-  // --pin absent or on platforms without affinity support) — constant
-  // per run, carried per-row so downstream CSV tooling keeps one schema.
+  // --pin absent or on platforms without affinity support) and `kernel`
+  // the dispatched SIMD tier — constant per run, carried per-row so
+  // downstream CSV tooling keeps one schema.
   std::printf(
       "interval,throughput_tps,latency_ms,max_theta,migrated,moves,"
-      "migration_bytes,gen_ms,stall_ms,merge_ms,stats_memory_bytes,pinned\n");
+      "migration_bytes,gen_ms,stall_ms,merge_ms,stats_memory_bytes,pinned,"
+      "kernel\n");
   for (const auto& r : reports) {
-    std::printf("%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,%d\n",
+    std::printf("%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,%d,%s\n",
                 static_cast<long long>(r.interval), r.throughput_tps,
                 r.avg_latency_ms, r.max_theta, r.migrated ? 1 : 0, r.moves,
                 r.migration_bytes,
                 static_cast<double>(r.generation_micros) / 1000.0,
                 r.stall_ms, r.merge_ms, r.stats_memory_bytes,
-                static_cast<int>(engine->pinned_workers()));
+                static_cast<int>(engine->pinned_workers()),
+                simd::active_kernels().name);
   }
   const auto* ctrl = engine->controller();
   double stall_total = 0.0;
@@ -331,13 +342,18 @@ int run_threaded(const Args& args, char* argv0) {
     merge_total += r.merge_ms;
   }
   engine->shutdown();
+  const CpuTopology& topo = cpu_topology();
   std::fprintf(stderr,
                "# engine=threaded stats=%s merge=%s stats_memory_bytes=%zu "
-               "pinned=%d total_stall_ms=%.3f total_merge_ms=%.3f\n",
+               "pinned=%d kernel=%s cores=%u smt_threads=%u numa=%s "
+               "total_stall_ms=%.3f total_merge_ms=%.3f\n",
                args.stats_mode == StatsMode::kSketch ? "sketch" : "exact",
                args.async_merge ? "async" : "inline",
                reports.empty() ? 0 : reports.back().stats_memory_bytes,
-               static_cast<int>(engine->pinned_workers()), stall_total,
+               static_cast<int>(engine->pinned_workers()),
+               simd::active_kernels().name, topo.physical_cores,
+               topo.smt ? topo.hardware_threads - topo.physical_cores : 0,
+               numa_support_compiled() ? "on" : "off", stall_total,
                merge_total);
   if (ctrl != nullptr) {
     std::fprintf(stderr,
@@ -402,14 +418,15 @@ int run_net(const Args& args, char* argv0) {
   std::printf(
       "interval,throughput_tps,latency_ms,max_theta,migrated,moves,"
       "migration_bytes,gen_ms,stall_ms,merge_ms,stats_memory_bytes,pinned,"
-      "data_wire_bytes,ctrl_wire_bytes\n");
+      "kernel,data_wire_bytes,ctrl_wire_bytes\n");
   for (const auto& r : reports) {
     std::printf(
-        "%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,0,%llu,%llu\n",
+        "%lld,%.0f,%.3f,%.4f,%d,%zu,%.0f,%.2f,%.3f,%.3f,%zu,0,%s,%llu,%llu\n",
         static_cast<long long>(r.interval), r.throughput_tps,
         r.avg_latency_ms, r.max_theta, r.migrated ? 1 : 0, r.moves,
         r.migration_bytes, static_cast<double>(r.generation_micros) / 1000.0,
         r.stall_ms, r.merge_ms, r.stats_memory_bytes,
+        simd::active_kernels().name,
         static_cast<unsigned long long>(r.data_wire_bytes),
         static_cast<unsigned long long>(r.ctrl_wire_bytes));
   }
@@ -429,11 +446,11 @@ int run_net(const Args& args, char* argv0) {
   }
   std::fprintf(stderr,
                "# engine=net workers=%d stats=sketch stats_memory_bytes=%zu "
-               "total_stall_ms=%.3f total_merge_ms=%.3f wire_bytes=%llu "
-               "state_checksum=%016llx state_entries=%zu\n",
+               "kernel=%s total_stall_ms=%.3f total_merge_ms=%.3f "
+               "wire_bytes=%llu state_checksum=%016llx state_entries=%zu\n",
                static_cast<int>(workers),
                reports.empty() ? 0 : reports.back().stats_memory_bytes,
-               stall_total, merge_total,
+               simd::active_kernels().name, stall_total, merge_total,
                static_cast<unsigned long long>(wire_total),
                static_cast<unsigned long long>(engine.state_checksum()),
                engine.total_state_entries());
@@ -456,6 +473,7 @@ int run_net(const Args& args, char* argv0) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.no_simd) simd::force_scalar();
   if (args.engine == "threaded") return run_threaded(args, argv[0]);
   if (args.engine == "net") return run_net(args, argv[0]);
   auto source = make_source(args);
