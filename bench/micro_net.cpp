@@ -131,6 +131,9 @@ ModeResult run_net(const Scenario& sc) {
   auto source = make_source(sc);
   NetConfig cfg;
   cfg.batch_size = sc.batch;
+  // This bench gates the raw engine-vs-engine ratio; the per-epoch
+  // checkpoint and replay-recording overhead is micro_fault's subject.
+  cfg.recovery_enabled = false;
   NetEngine engine(cfg, std::make_shared<WordCountLogic>(),
                    make_controller(sc));
   const auto reports = engine.run(source, sc.intervals, /*seed=*/1);
@@ -198,6 +201,7 @@ ControlProbe run_control_probe() {
 
   NetConfig cfg;
   cfg.batch_size = 64;
+  cfg.recovery_enabled = false;
   NetEngine engine(cfg, std::make_shared<SpinWordCountLogic>(/*spin_us=*/20.0),
                    make_controller(sc));
 

@@ -32,6 +32,12 @@
 #       threaded engine's throughput with IDENTICAL plan digests, and a
 #       plan broadcast on the control channel round-trips >= 5x faster
 #       than the saturated data channel drains.
+#   bench_micro_fault    -> BENCH_fault.json
+#       fault tolerance: a worker SIGKILLed at an early and a late
+#       interval boundary is checkpoint-restored and replayed with ZERO
+#       digest divergence vs the crash-free run (plan digest, state
+#       checksum, processed count), and mean time to repair stays within
+#       5x the crash-free run's per-boundary stall.
 #   bench_micro_shard    -> BENCH_shard.json
 #       sharded controller at a 10M-key domain: the boundary merge
 #       (absorb + roll) is >= 2x faster at 4 shards than the single
@@ -55,6 +61,7 @@ BENCHES=(
   bench_micro_plan:BENCH_plan.json
   bench_micro_churn:BENCH_churn.json
   bench_micro_net:BENCH_net.json
+  bench_micro_fault:BENCH_fault.json
   bench_micro_shard:BENCH_shard.json
   bench_micro_simd:BENCH_simd.json
 )

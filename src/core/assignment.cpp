@@ -19,11 +19,18 @@ void AssignmentFunction::route_batch(const KeyId* keys, std::size_t n,
       miss_idx.push_back(i);
     }
   }
-  if (miss_keys.empty()) return;
-  miss_out.resize(miss_keys.size());
-  ring_.owner_batch(miss_keys.data(), miss_keys.size(), miss_out.data());
-  for (std::size_t j = 0; j < miss_keys.size(); ++j) {
-    out[miss_idx[j]] = miss_out[j];
+  if (!miss_keys.empty()) {
+    miss_out.resize(miss_keys.size());
+    ring_.owner_batch(miss_keys.data(), miss_keys.size(), miss_out.data());
+    for (std::size_t j = 0; j < miss_keys.size(); ++j) {
+      out[miss_idx[j]] = miss_out[j];
+    }
+  }
+  if (!survivors_.empty()) {
+    // Degraded mode: re-home any destination that points at a retired
+    // instance. One predictable post-pass; the common (healthy) case
+    // pays a single branch above.
+    for (std::size_t i = 0; i < n; ++i) out[i] = resolve(out[i], keys[i]);
   }
 }
 

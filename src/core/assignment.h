@@ -10,7 +10,9 @@
 
 #include <vector>
 
+#include "common/assert.h"
 #include "common/consistent_hash.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "core/routing_table.h"
 
@@ -21,10 +23,12 @@ class AssignmentFunction {
   AssignmentFunction(ConsistentHashRing ring, std::size_t max_table_entries)
       : ring_(std::move(ring)), table_(max_table_entries) {}
 
-  /// Evaluates F(k).
+  /// Evaluates F(k). With retired instances (degraded mode), any key
+  /// whose table or ring destination is retired is deterministically
+  /// re-homed onto a survivor.
   [[nodiscard]] InstanceId operator()(KeyId key) const {
-    if (const auto dest = table_.lookup(key)) return *dest;
-    return ring_.owner(key);
+    if (const auto dest = table_.lookup(key)) return resolve(*dest, key);
+    return resolve(ring_.owner(key), key);
   }
 
   /// Batched F(k) over a chunk of keys: table lookups first, then ONE
@@ -69,9 +73,52 @@ class AssignmentFunction {
   /// (entry exists iff F(k) != h(k)) is preserved key-by-key.
   void apply(KeyId key, InstanceId dest);
 
+  /// Degraded mode (fault tolerance): marks an instance as permanently
+  /// gone. F never returns it again — keys it owned re-home onto the
+  /// survivors via a deterministic salted hash, WITHOUT moving the ring
+  /// (a ring rebuild would shuffle keys between healthy instances too).
+  /// At least one instance must survive.
+  void retire(InstanceId id) {
+    SKW_EXPECTS(id >= 0 && id < num_instances());
+    if (retired_.empty()) {
+      retired_.assign(static_cast<std::size_t>(num_instances()), 0);
+    }
+    retired_[static_cast<std::size_t>(id)] = 1;
+    survivors_.clear();
+    for (InstanceId d = 0; d < num_instances(); ++d) {
+      if (retired_[static_cast<std::size_t>(d)] == 0) survivors_.push_back(d);
+    }
+    SKW_EXPECTS(!survivors_.empty());
+  }
+
+  [[nodiscard]] bool is_retired(InstanceId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return i < retired_.size() && retired_[i] != 0;
+  }
+
+  [[nodiscard]] bool has_retired() const { return !survivors_.empty(); }
+
  private:
+  /// Survivor re-home for retired destinations (identity otherwise).
+  [[nodiscard]] InstanceId resolve(InstanceId dest, KeyId key) const {
+    if (survivors_.empty() || retired_[static_cast<std::size_t>(dest)] == 0) {
+      return dest;
+    }
+    const auto h = mix64(static_cast<std::uint64_t>(key) ^ kRetireSalt);
+    return survivors_[h % survivors_.size()];
+  }
+
+  /// Distinct from the ring's hashing so re-homed keys spread evenly
+  /// across survivors instead of piling onto ring neighbours.
+  static constexpr std::uint64_t kRetireSalt = 0x5377766f72537276ULL;
+
   ConsistentHashRing ring_;
   RoutingTable table_;
+  /// Empty until the first retire() (the hot path stays branch-cheap);
+  /// afterwards retired_[d] != 0 marks dead instances and survivors_
+  /// lists the rest.
+  std::vector<char> retired_;
+  std::vector<InstanceId> survivors_;
 };
 
 /// ∆(F, F') — keys whose destination differs between two dense assignments.

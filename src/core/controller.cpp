@@ -73,8 +73,12 @@ PartitionSnapshot Controller::build_snapshot() const {
       if (snap.current[e] != snap.hash_dest[e]) ++entry_table;
     }
     // Table entries held by untracked keys: the invariant "entry exists
-    // iff F(k) != h(k)" makes them exactly the non-heavy remainder.
-    snap.cold_table_entries = assignment_.table().size() - entry_table;
+    // iff F(k) != h(k)" makes them exactly the non-heavy remainder. After
+    // a retirement the invariant weakens (a re-homed heavy key differs
+    // from h(k) without holding an entry), so clamp the subtraction.
+    const std::size_t table_size = assignment_.table().size();
+    snap.cold_table_entries =
+        table_size >= entry_table ? table_size - entry_table : 0;
   } else {
     // Exact mode: the dense per-key view IS the compact view with every
     // key an entry (keys empty = identity, no cold residuals).
@@ -95,6 +99,15 @@ std::optional<RebalancePlan> Controller::end_interval() {
   if (last_observed_theta_ <= config_.planner.theta_max) return std::nullopt;
 
   RebalancePlan plan = planner_->plan(last_snapshot_, config_.planner);
+  if (assignment_.has_retired()) {
+    // Degraded mode: the planner sees retired instances as valid slots
+    // (the snapshot's loads simply read zero for them). Never move a key
+    // onto — or pointlessly off — a dead instance; sources read from
+    // `current`, which resolve() already maps onto survivors.
+    std::erase_if(plan.moves, [&](const KeyMove& mv) {
+      return assignment_.is_retired(mv.to) || assignment_.is_retired(mv.from);
+    });
+  }
   if (plan.moves.empty()) return std::nullopt;
 
   // Sparse install: only moved keys change routing state; cold keys keep

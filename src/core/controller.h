@@ -111,6 +111,12 @@ class Controller {
   /// Adds one instance (scale-out), pinning current destinations.
   void add_instance();
 
+  /// Degraded mode (fault tolerance): permanently removes an instance
+  /// from the assignment. Its keys re-home deterministically onto the
+  /// survivors and future plans never touch it. See
+  /// AssignmentFunction::retire.
+  void retire_instance(InstanceId id) { assignment_.retire(id); }
+
   /// The snapshot used for the most recent planning decision. Compact in
   /// sketch mode (heavy entries + cold residuals), dense in exact mode.
   [[nodiscard]] const PartitionSnapshot& last_snapshot() const {

@@ -78,6 +78,17 @@ class StateStore {
     (void)it;
   }
 
+  /// Installs a state, replacing any existing one. Only the net worker's
+  /// checkpoint-restore path uses this: a restore payload is peer input,
+  /// and reinstalling over a half-built store must not abort. Migration
+  /// installs keep the strict install() contract.
+  void install_or_replace(KeyId key, std::unique_ptr<KeyState> state) {
+    SKW_EXPECTS(state != nullptr);
+    states_[key] = std::move(state);
+  }
+
+  void clear() { states_.clear(); }
+
   void expire_before(Micros watermark) {
     for (auto& [key, state] : states_) state->expire_before(watermark);
   }

@@ -6,6 +6,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -26,8 +27,21 @@ FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     bytes_sent_ = other.bytes_sent_;
     bytes_received_ = other.bytes_received_;
     last_error_ = std::move(other.last_error_);
+    eof_ = other.eof_;
+    timed_out_ = other.timed_out_;
   }
   return *this;
+}
+
+void FrameChannel::set_io_timeout_ms(int timeout_ms) {
+  if (fd_ < 0) return;
+  struct timeval tv = {};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  }
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void FrameChannel::close() {
@@ -39,6 +53,8 @@ void FrameChannel::close() {
 
 bool FrameChannel::send(FrameType type, std::uint64_t epoch,
                         const std::uint8_t* payload, std::size_t size) {
+  eof_ = false;
+  timed_out_ = false;
   if (fd_ < 0) {
     last_error_ = "send on closed channel";
     return false;
@@ -82,6 +98,13 @@ bool FrameChannel::send(FrameType type, std::uint64_t epoch,
     const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer is alive enough to hold the
+        // socket open but is not draining — a wedge, not a crash.
+        timed_out_ = true;
+        last_error_ = "sendmsg: timed out (peer not draining)";
+        return false;
+      }
       last_error_ = std::string("sendmsg: ") + std::strerror(errno);
       return false;
     }
@@ -108,10 +131,18 @@ bool FrameChannel::read_exact(std::uint8_t* dst, std::size_t n) {
     const ssize_t r = ::recv(fd_, dst + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired mid-frame: the peer stalled after a
+        // partial write — classified as a wedge by the recovery layer.
+        timed_out_ = true;
+        last_error_ = "recv: timed out mid-frame";
+        return false;
+      }
       last_error_ = std::string("recv: ") + std::strerror(errno);
       return false;
     }
     if (r == 0) {
+      eof_ = true;
       last_error_ = "peer closed the connection";
       return false;
     }
@@ -123,6 +154,8 @@ bool FrameChannel::read_exact(std::uint8_t* dst, std::size_t n) {
 
 bool FrameChannel::recv(FrameHeader& header,
                         std::vector<std::uint8_t>& payload) {
+  eof_ = false;
+  timed_out_ = false;
   if (fd_ < 0) {
     last_error_ = "recv on closed channel";
     return false;

@@ -59,9 +59,21 @@ class FrameChannel {
   /// with nothing to read. timeout_ms < 0 blocks indefinitely.
   [[nodiscard]] int wait_readable(int timeout_ms);
 
+  /// Installs SO_SNDTIMEO + SO_RCVTIMEO so a send into a full buffer or
+  /// a read of a half-written frame cannot block past the deadline —
+  /// crash detection needs every channel operation to be bounded. 0
+  /// clears the timeouts (blocking).
+  void set_io_timeout_ms(int timeout_ms);
+
   [[nodiscard]] int fd() const { return fd_; }
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  /// True when the last failed operation hit a clean EOF (peer closed) —
+  /// the crash-vs-corruption classifier recovery keys off.
+  [[nodiscard]] bool eof() const { return eof_; }
+  /// True when the last failed operation exceeded the channel's I/O
+  /// timeout (a wedged peer, not a dead one).
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t bytes_received() const {
     return bytes_received_;
@@ -76,6 +88,8 @@ class FrameChannel {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::string last_error_;
+  bool eof_ = false;
+  bool timed_out_ = false;
 };
 
 }  // namespace skewless

@@ -1,0 +1,76 @@
+// Deterministic fault injection for the socket engine.
+//
+// A FaultPlan is a list of (kind, worker, epoch) events, parsed from a
+// spec string (`skewless_sim --fault`) or built programmatically in
+// tests / from a seed. The plan crosses the fork inside NetWorkerOptions,
+// so worker-side faults (wedge, garble, drop) fire at an exact protocol
+// point — the kSeal receipt for the matching epoch — and driver-side
+// kills fire at the matching interval boundary. Every failure mode the
+// recovery layer claims to survive is therefore reproducible on demand.
+//
+// Re-arming: a one-shot event fires only in a worker's FIRST incarnation
+// (incarnation 0), so the respawned worker replays the epoch cleanly; a
+// `sticky` event fires in EVERY incarnation, which is how the
+// retry-budget-exhaustion / degraded-mode paths are driven.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skewless {
+
+enum class FaultKind : std::uint8_t {
+  /// Driver-side: SIGKILL the worker process at the start of the
+  /// epoch's interval boundary (before the seal goes out). Always
+  /// one-shot — the respawned worker is never re-killed.
+  kKill = 0,
+  /// Worker-side: pause forever on the epoch's kSeal — alive but
+  /// silent, the case only the receive deadline can detect.
+  kWedge,
+  /// Worker-side: write garbage bytes onto the control channel where
+  /// the epoch's boundary summary belongs (corrupt-frame detection).
+  kGarble,
+  /// Worker-side: close both channels and exit mid-epoch (clean-EOF
+  /// detection, distinct worker exit code).
+  kDrop,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKill;
+  std::uint32_t worker = 0;
+  std::uint64_t epoch = 1;  // epochs are 1-based (interval i seals epoch i+1)
+  bool sticky = false;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// First event armed for (worker, epoch) in this incarnation, or
+  /// nullptr. One-shot events arm only for incarnation 0.
+  [[nodiscard]] const FaultEvent* match(std::uint32_t worker,
+                                        std::uint64_t epoch,
+                                        std::uint32_t incarnation) const;
+};
+
+/// Parses `"kind:w=W,epoch=E[,sticky][;...]"` where kind is one of
+/// kill|wedge|garble|drop. Returns false with a human-readable reason in
+/// `error` on any malformed field. Example:
+///   "kill:w=1,epoch=3;wedge:w=0,epoch=5,sticky"
+[[nodiscard]] bool parse_fault_plan(const std::string& spec, FaultPlan& plan,
+                                    std::string& error);
+
+/// Seeded random plan: `count` events drawn over `workers` x `epochs`
+/// (all one-shot, kinds cycled deterministically) — the fuzz-flavored
+/// byte-identity suites use this to cover the fault space without
+/// hand-picking coordinates.
+[[nodiscard]] FaultPlan randomized_fault_plan(std::uint64_t seed,
+                                              std::uint32_t workers,
+                                              std::uint64_t epochs,
+                                              std::size_t count);
+
+}  // namespace skewless

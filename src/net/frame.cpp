@@ -20,6 +20,10 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kPlanAck: return "PlanAck";
     case FrameType::kStop: return "Stop";
     case FrameType::kFin: return "Fin";
+    case FrameType::kCheckpoint: return "Checkpoint";
+    case FrameType::kRestore: return "Restore";
+    case FrameType::kRestoreAck: return "RestoreAck";
+    case FrameType::kHeartbeat: return "Heartbeat";
   }
   return "?";
 }

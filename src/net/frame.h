@@ -28,8 +28,9 @@ inline constexpr std::uint32_t kFrameMagic = 0x4c574b53u;
 
 /// Bumped on ANY wire-visible change (header layout, frame types,
 /// payload encodings). Mismatched peers refuse each other at the
-/// handshake.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// handshake. v2: fault-tolerance frames (Checkpoint/Restore/RestoreAck/
+/// Heartbeat).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Hard cap on a single frame's payload. Loopback batches and boundary
 /// summaries are a few MiB at most; anything bigger is a corrupt length
@@ -52,13 +53,17 @@ enum class FrameType : std::uint8_t {
   kPlanAck = 12, // ctrl, worker->driver: plan received (latency probe)
   kStop = 13,    // ctrl, driver->worker: shut down after Fin
   kFin = 14,     // ctrl, worker->driver: final checksums + counters
+  kCheckpoint = 15,  // ctrl, worker->driver: post-seal state checkpoint
+  kRestore = 16,     // ctrl, driver->worker: reinstall a checkpoint
+  kRestoreAck = 17,  // ctrl, worker->driver: checkpoint reinstalled
+  kHeartbeat = 18,   // ctrl, worker->driver: epoch-progress liveness beat
 };
 
 /// Smallest and largest valid FrameType values (decode range check).
 inline constexpr std::uint8_t kMinFrameType =
     static_cast<std::uint8_t>(FrameType::kHello);
 inline constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kFin);
+    static_cast<std::uint8_t>(FrameType::kHeartbeat);
 
 [[nodiscard]] const char* frame_type_name(FrameType type);
 

@@ -9,9 +9,10 @@
 //     kernel socket buffer, exactly like the threaded engine's bounded
 //     queues.
 //   * ctrl channel — everything else (seal, boundary summary, heavy-set
-//     broadcast, plan, migration, shutdown). A separate socket means a
-//     control frame NEVER queues behind a data backlog — the socket
-//     translation of the force_push lesson from the in-process engine.
+//     broadcast, plan, migration, checkpoint, shutdown). A separate
+//     socket means a control frame NEVER queues behind a data backlog —
+//     the socket translation of the force_push lesson from the
+//     in-process engine.
 //
 // Epoch protocol (mirrors ThreadedEngine's inline boundary):
 //   1. the driver routes the interval's tuples as kBatch frames, counting
@@ -20,7 +21,8 @@
 //      ctrl — the worker seals only after processing exactly that many
 //      batches, which re-establishes cross-channel ordering by content;
 //   3. each worker serializes its WorkerSketchSlab and ships it back as
-//      the kSummary boundary payload (O(sketch), never O(|K|));
+//      the kSummary boundary payload (O(sketch), never O(|K|)), followed
+//      by a kCheckpoint snapshot of its key states when recovery is on;
 //   4. the driver absorbs the summaries IN WORKER-INDEX ORDER into the
 //      controller's SketchStatsWindow — the same fixed order as the
 //      in-process merge, which is what makes a net run byte-identical to
@@ -31,10 +33,25 @@
 //      serialized state blobs without materializing them), broadcasts the
 //      post-roll heavy set, and only then routes the next interval.
 //
-// Failure model: any channel error, protocol violation or corrupt frame
-// records a reason (error()), kills and reaps every worker, and makes
-// further engine calls no-ops — the driver process never aborts on bytes
-// a peer sent.
+// Failure model (recovery_enabled, the default): a worker crash, wedge
+// or corrupt frame is detected by deadline-bounded control receives
+// (heartbeats extend the deadline; EOF/POLLHUP classifies a crash, a
+// timeout classifies a wedge). The driver then respawns the worker with
+// exponential backoff, reinstalls its last checkpoint (adjusted for any
+// migration since), re-broadcasts the heavy set and expiry watermark,
+// replays the open epoch's recorded batches VERBATIM, and re-seals.
+// Because the replayed bytes and control sequence are exactly the lost
+// worker's inputs, a recovered run is byte-identical to a crash-free
+// run: same plan-history digest, same θ bit patterns, same state
+// checksums. When the per-worker retry budget is exhausted the engine
+// degrades instead of failing: the dead worker's keys and checkpointed
+// states are reassigned to the survivors and the run finishes with
+// every tuple still counted exactly once.
+//
+// With recovery disabled the engine is fail-stop: any channel error,
+// protocol violation or corrupt frame records a reason (error()), kills
+// and reaps every worker, and makes further engine calls no-ops — the
+// driver process never aborts on bytes a peer sent.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +59,7 @@
 #include <optional>
 #include <string>
 #include <sys/types.h>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -50,6 +68,8 @@
 #include "engine/tuple.h"
 #include "engine/workload_source.h"
 #include "net/channel.h"
+#include "net/fault_injector.h"
+#include "net/recovery.h"
 #include "net/wire.h"
 #include "sketch/sharded_worker_slab.h"
 #include "sketch/slab_sink.h"
@@ -67,6 +87,31 @@ struct NetConfig {
   /// kernel clamps unprivileged values (wmem_max); this is a knob for
   /// benches that want a specific backlog depth, not a guarantee.
   int data_sndbuf_bytes = 0;
+
+  // --- fault tolerance ---
+  /// Checkpoint + replay recovery of crashed workers. Off = the legacy
+  /// fail-stop engine (no checkpoints, no heartbeats, unbounded waits).
+  bool recovery_enabled = true;
+  /// Deterministic fault schedule (tests / skewless_sim --fault).
+  FaultPlan fault = {};
+  /// Deadline for any control-channel receive (and for channel I/O via
+  /// SO_RCVTIMEO/SO_SNDTIMEO). A worker that neither speaks nor
+  /// heartbeats for this long is declared wedged and recovered.
+  int ctrl_timeout_ms = 30'000;
+  /// Worker heartbeat period; must be well under ctrl_timeout_ms.
+  int heartbeat_interval_ms = 250;
+  /// Respawn attempts per failure before degrading the worker away.
+  /// The budget resets whenever the worker completes an epoch
+  /// (checkpoint received) — it bounds retries per wedge, not per run.
+  int respawn_max_attempts = 3;
+  /// Base respawn backoff; attempt i sleeps backoff << i milliseconds.
+  int respawn_backoff_ms = 2;
+  /// Byte budget of the per-worker replay buffer (the open epoch's
+  /// routed batches). Overflow makes a crash in that epoch fatal rather
+  /// than silently unreplayable.
+  std::size_t replay_max_bytes = 256u << 20;
+  /// Checkpoints retained per worker (only latest() is ever restored).
+  std::size_t checkpoint_ring_capacity = 2;
 };
 
 /// Same shape as ThreadedIntervalReport, plus the wire-level byte
@@ -97,6 +142,10 @@ struct NetIntervalReport {
   /// directions, including frame headers).
   std::uint64_t data_wire_bytes = 0;
   std::uint64_t ctrl_wire_bytes = 0;
+  /// Cumulative successful crash recoveries at this interval's close.
+  std::uint64_t recoveries = 0;
+  /// True once any worker has been retired (degraded mode).
+  bool degraded = false;
 };
 
 class NetEngine {
@@ -128,8 +177,9 @@ class NetEngine {
   /// channel with broadcast_plan before finish_interval).
   NetIntervalReport ingest(const std::vector<Tuple>& tuples);
 
-  /// Closes the open interval: seal, summaries, absorb, plan, migrate,
-  /// heavy-set broadcast, expiry.
+  /// Closes the open interval: seal, summaries, checkpoints, absorb,
+  /// plan, migrate, heavy-set broadcast, expiry. Injected kKill faults
+  /// scheduled for this epoch fire at entry.
   void finish_interval(NetIntervalReport& report);
 
   /// Broadcasts a sparse plan on every worker's CONTROL channel and
@@ -140,16 +190,21 @@ class NetEngine {
   double broadcast_plan(const RebalancePlan& plan, std::uint64_t seq);
 
   /// Stops the workers (kStop / kFin), harvests final counters and reaps
-  /// the child processes. Called automatically by the destructor.
+  /// the child processes. Called automatically by the destructor. In
+  /// degraded mode any re-routed replay tuples still pending are sealed
+  /// through one extra interval first, so mass stays conserved.
   void shutdown();
 
-  /// Empty while healthy; set to the failure reason after any channel or
-  /// protocol error (workers are killed and reaped at that point).
+  /// Empty while healthy; set to the failure reason after any
+  /// unrecoverable error (workers are killed and reaped at that point).
+  /// A degraded run stays ok() — degradation is a survival mode, not a
+  /// failure.
   [[nodiscard]] const std::string& error() const { return error_; }
   [[nodiscard]] bool ok() const { return error_.empty(); }
 
   /// Valid after shutdown(): order-insensitive checksum over all worker
   /// states, directly comparable to ThreadedEngine::state_checksum().
+  /// Dead workers contribute their last effective checkpoint.
   [[nodiscard]] std::uint64_t state_checksum() const;
   [[nodiscard]] std::size_t total_state_entries() const;
 
@@ -164,32 +219,90 @@ class NetEngine {
     return total_outputs_;
   }
 
+  /// Successful crash recoveries (respawn + restore + replay) so far.
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  /// True once a worker exhausted its retry budget and was retired.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  /// Wall time spent inside recovery (reap → replay), summed — the MTTR
+  /// numerator the fault bench gates on.
+  [[nodiscard]] double total_recovery_ms() const {
+    return total_recovery_ms_;
+  }
+  [[nodiscard]] std::size_t live_workers() const;
+  [[nodiscard]] const CheckpointRing& checkpoint_ring(std::size_t w) const {
+    return checkpoints_[w];
+  }
+
  private:
   struct Worker {
     FrameChannel data;
     FrameChannel ctrl;
     pid_t pid = -1;
     std::uint64_t batches_sent = 0;  // kBatch frames this epoch
+    /// The open epoch's kSeal went out; a restore must re-send it.
+    bool seal_sent = false;
+    /// Retired after retry-budget exhaustion (degraded mode).
+    bool dead = false;
+    /// Consecutive recoveries without a completed epoch; reset when a
+    /// checkpoint arrives.
+    int recover_attempts = 0;
+    /// Respawn generation; one-shot fault events arm only for 0.
+    std::uint32_t incarnation = 0;
+  };
+
+  /// Outcome of one bounded control receive.
+  enum class CtrlRecv {
+    kFrame,    // a non-heartbeat frame landed in header/payload
+    kTimeout,  // deadline expired with no frame and no heartbeat
+    kClosed,   // EOF / POLLHUP — the peer process is gone
+    kBadFrame  // bytes arrived but the frame was rejected
   };
 
   void spawn_workers();
+  [[nodiscard]] bool spawn_one(std::size_t w, std::string& err);
   [[nodiscard]] bool handshake();
+  [[nodiscard]] bool handshake_one(std::size_t w);
   /// Records the failure, kills + reaps every worker. Every public
   /// method becomes a no-op afterwards.
   void fail(const std::string& what);
+  /// Closes channels, SIGKILLs and reaps worker `w`, logging the
+  /// classified exit status.
+  void reap_worker(std::size_t w, const char* why);
+  /// Detect → respawn → restore → replay. Returns true when the worker
+  /// is live again; false when it was degraded away or the engine
+  /// failed (check ok()).
+  [[nodiscard]] bool recover_worker(std::size_t w, const std::string& why);
+  [[nodiscard]] bool restore_worker(std::size_t w);
+  /// Latest checkpoint minus keys migrated away since, plus states
+  /// installed since — the state worker `w` is responsible for.
+  [[nodiscard]] CheckpointPayload effective_checkpoint(std::size_t w) const;
+  /// Retry budget exhausted: retire `w`, re-home its checkpointed
+  /// states and replay tuples onto the survivors.
+  void degrade_worker(std::size_t w);
+  /// Fires scheduled driver-side kKill events for `epoch`.
+  void inject_kills(std::uint64_t epoch);
   void route_tuple(const Tuple& tuple);
   void flush_batch(InstanceId d);
   void flush_batches();
-  /// Receives one ctrl frame from worker `w`, requiring `type`; returns
-  /// false after fail() on anything else.
+  /// One bounded ctrl receive from worker `w`. Skips heartbeat frames
+  /// (each restarts the deadline and marks liveness). Never calls
+  /// fail() — callers decide between recovery and fail-stop.
+  [[nodiscard]] CtrlRecv recv_ctrl_any(std::size_t w, FrameHeader& header,
+                                       std::vector<std::uint8_t>& payload);
+  /// Fail-stop receive requiring `type` (handshake / recovery-disabled
+  /// paths): returns false after fail() on anything else.
   [[nodiscard]] bool recv_ctrl(std::size_t w, FrameType type,
                                FrameHeader& header,
                                std::vector<std::uint8_t>& payload);
+  /// Human-readable classification of a non-kFrame recv_ctrl_any outcome.
+  [[nodiscard]] std::string ctrl_failure_reason(std::size_t w,
+                                                CtrlRecv rc) const;
   [[nodiscard]] bool absorb_summaries(std::uint64_t epoch,
                                       NetIntervalReport& report);
   [[nodiscard]] bool execute_migration(const RebalancePlan& plan,
                                        NetIntervalReport& report);
   [[nodiscard]] bool broadcast_heavy_set();
+  [[nodiscard]] bool broadcast_expire();
   [[nodiscard]] std::uint64_t wire_bytes_data() const;
   [[nodiscard]] std::uint64_t wire_bytes_ctrl() const;
 
@@ -200,6 +313,27 @@ class NetEngine {
   InstanceId num_workers_ = 0;
   std::vector<Worker> workers_;
   std::vector<std::vector<Tuple>> pending_batches_;
+  /// A state kInstall-ed into a worker since its last checkpoint (a
+  /// restore must re-deliver it — the checkpoint predates it). Tagged
+  /// with the epoch of the boundary that sent it: a checkpoint for
+  /// epoch e proves only installs tagged BEFORE e are reflected.
+  struct PendingInstall {
+    std::uint64_t epoch = 0;
+    WireKeyState state;
+  };
+
+  /// Per-worker recovery state, indexed like workers_.
+  std::vector<CheckpointRing> checkpoints_;
+  std::vector<ReplayBuffer> replay_;
+  std::vector<std::vector<PendingInstall>> pending_installs_;
+  /// Keys kExtract-ed from the worker since its last checkpoint (a
+  /// restore must NOT resurrect them).
+  std::vector<std::unordered_set<KeyId>> migrated_away_;
+  /// InstallAcks owed by each worker for barrier-free degrade installs;
+  /// recv_ctrl_any consumes them transparently, like heartbeats.
+  std::vector<int> owed_install_acks_;
+  /// One flag per fault-plan event: driver-side kills fire once.
+  std::vector<bool> fault_fired_;
   /// Reusable decode target for boundary summaries (same geometry as
   /// every worker slab).
   std::unique_ptr<ShardedWorkerSlab> scratch_slab_;
@@ -214,10 +348,23 @@ class NetEngine {
   std::size_t final_state_entries_ = 0;
   IntervalId interval_ = 0;
   Micros engine_epoch_us_ = 0;
+  /// The last broadcast heavy set / expiry watermark — a restored
+  /// worker needs both re-delivered before its replay.
+  std::vector<KeyId> last_heavy_keys_;
+  bool heavy_broadcast_done_ = false;
+  Micros last_expire_watermark_ = 0;
+  bool expire_sent_ = false;
+  std::uint64_t recoveries_ = 0;
+  bool degraded_ = false;
+  double total_recovery_ms_ = 0.0;
   /// Wire-counter snapshots at the open interval's start (per-interval
   /// byte deltas in the report).
   std::uint64_t wire_mark_data_ = 0;
   std::uint64_t wire_mark_ctrl_ = 0;
+  /// Byte counters of channels closed by recovery reaps, folded in so
+  /// the totals stay monotonic across respawns.
+  std::uint64_t wire_retired_data_ = 0;
+  std::uint64_t wire_retired_ctrl_ = 0;
   double open_interval_wall_ms_ = 0.0;
   bool interval_open_ = false;
   bool stopped_ = false;

@@ -1,0 +1,33 @@
+#include "net/recovery.h"
+
+#include <cstring>
+
+#include <sys/wait.h>
+
+namespace skewless {
+
+std::string describe_worker_exit(int wait_status) {
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    const char* what = "unknown exit code";
+    switch (code) {
+      case kWorkerExitOk: what = "clean Fin"; break;
+      case kWorkerExitChannel: what = "channel I/O failure"; break;
+      case kWorkerExitHandshake: what = "handshake failure"; break;
+      case kWorkerExitProtocol: what = "protocol error"; break;
+      case kWorkerExitCorruptFrame: what = "corrupt frame"; break;
+      case kWorkerExitFault: what = "injected fault"; break;
+      default: break;
+    }
+    return "exited " + std::to_string(code) + " (" + what + ")";
+  }
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    const char* name = ::strsignal(sig);
+    return "killed by signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "?") + ")";
+  }
+  return "unrecognized wait status " + std::to_string(wait_status);
+}
+
+}  // namespace skewless

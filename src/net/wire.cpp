@@ -142,6 +142,34 @@ bool decode_ack(ByteReader& in, AckPayload& ack) {
   return in.ok();
 }
 
+void encode_checkpoint(ByteWriter& out, const CheckpointPayload& cp) {
+  out.u64(cp.epoch);
+  out.u64(cp.processed);
+  out.u64(cp.outputs);
+  out.u64(cp.local_buckets);
+  out.u64(cp.state_checksum);
+  encode_key_states(out, cp.states);
+}
+
+bool decode_checkpoint(ByteReader& in, CheckpointPayload& cp) {
+  cp.epoch = in.u64();
+  cp.processed = in.u64();
+  cp.outputs = in.u64();
+  cp.local_buckets = in.u64();
+  cp.state_checksum = in.u64();
+  if (!in.ok()) return false;
+  return decode_key_states(in, cp.states);
+}
+
+void encode_heartbeat(ByteWriter& out, const HeartbeatPayload& hb) {
+  out.u64(hb.epoch_batches);
+}
+
+bool decode_heartbeat(ByteReader& in, HeartbeatPayload& hb) {
+  hb.epoch_batches = in.u64();
+  return in.ok();
+}
+
 void encode_fin(ByteWriter& out, const FinPayload& fin) {
   out.u64(fin.state_checksum);
   out.u64(fin.state_entries);

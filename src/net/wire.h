@@ -85,6 +85,37 @@ struct AckPayload {
 void encode_ack(ByteWriter& out, const AckPayload& ack);
 [[nodiscard]] bool decode_ack(ByteReader& in, AckPayload& ack);
 
+// --- kCheckpoint / kRestore -----------------------------------------------
+/// Post-seal worker checkpoint: every counter and state blob a respawned
+/// worker needs to resume the sealed epoch's successor deterministically.
+/// kRestore reuses the same encoding driver -> worker (the driver may
+/// first subtract keys migrated away since the checkpoint and add keys
+/// installed since — the "effective" checkpoint). `local_buckets` is the
+/// worker's per-batch scratch-map bucket count: fold order into the slab
+/// depends on that map's rehash history, so the restore re-establishes it
+/// before replaying (the byte-identity contract under recovery).
+struct CheckpointPayload {
+  std::uint64_t epoch = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t outputs = 0;
+  std::uint64_t local_buckets = 0;
+  std::uint64_t state_checksum = 0;
+  std::vector<WireKeyState> states;
+};
+void encode_checkpoint(ByteWriter& out, const CheckpointPayload& cp);
+[[nodiscard]] bool decode_checkpoint(ByteReader& in, CheckpointPayload& cp);
+
+// --- kHeartbeat -----------------------------------------------------------
+/// Epoch-progress liveness beat: how many batches of the open epoch the
+/// worker has processed. Any heartbeat resets the driver's per-worker
+/// receive deadline, so a slow-but-alive worker is never mistaken for a
+/// wedged one.
+struct HeartbeatPayload {
+  std::uint64_t epoch_batches = 0;
+};
+void encode_heartbeat(ByteWriter& out, const HeartbeatPayload& hb);
+[[nodiscard]] bool decode_heartbeat(ByteReader& in, HeartbeatPayload& hb);
+
 // --- kFin -----------------------------------------------------------------
 struct FinPayload {
   std::uint64_t state_checksum = 0;

@@ -6,9 +6,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "engine/state.h"
 #include "net/channel.h"
 #include "net/poller.h"
+#include "net/recovery.h"
 #include "net/wire.h"
 #include "sketch/sharded_worker_slab.h"
 #include "sketch/worker_sketch_slab.h"
@@ -54,16 +58,24 @@ class NetWorker {
   }
 
   int run() {
-    if (!handshake()) return 2;
+    if (!handshake()) return kWorkerExitHandshake;
     Poller poller;
     poller.add(ctrl_.fd(), kCtrl);
     poller.add(data_.fd(), kData);
     std::vector<int> ready;
+    // With recovery on, the poll wakes at the heartbeat period even when
+    // both channels are idle, so liveness beats keep flowing while the
+    // driver is busy elsewhere.
+    const int poll_timeout = options_.recovery
+                                 ? std::max(1, options_.heartbeat_interval_ms)
+                                 : -1;
     while (true) {
       const int rc = maybe_seal();
       if (rc >= 0) return rc;
-      if (!poller.wait(-1, ready)) {
-        return fail("poller", poller.last_error().c_str());
+      const int hb_rc = maybe_heartbeat();
+      if (hb_rc >= 0) return hb_rc;
+      if (!poller.wait(poll_timeout, ready)) {
+        return fail(kWorkerExitChannel, "poller", poller.last_error().c_str());
       }
       // Control has strict priority: every ready ctrl frame is handled
       // before the next data frame. The driver's per-socket write order
@@ -94,34 +106,84 @@ class NetWorker {
   /// Handler return: -1 = keep running, >= 0 = exit with that code.
   static constexpr int kKeepRunning = -1;
 
-  int fail(const char* what, const char* detail) {
+  int fail(int code, const char* what, const char* detail) {
     std::fprintf(stderr, "[net-worker %u] %s: %s\n", options_.worker_id, what,
                  detail);
-    return 1;
+    return code;
+  }
+
+  /// Triggers any worker-side fault armed for this epoch's seal. Returns
+  /// an exit code for kDrop, kKeepRunning otherwise (kWedge never
+  /// returns; kGarble corrupts ctrl and lets the protocol continue).
+  int maybe_fault(std::uint64_t epoch) {
+    const FaultEvent* ev =
+        options_.fault.match(options_.worker_id, epoch, options_.incarnation);
+    if (ev == nullptr) return kKeepRunning;
+    switch (ev->kind) {
+      case FaultKind::kWedge:
+        // Alive but silent: holds both sockets open and never speaks
+        // again — only the driver's receive deadline can see this.
+        for (;;) ::pause();
+      case FaultKind::kGarble: {
+        // Raw junk where the boundary summary belongs; the driver's
+        // header validation rejects it as a corrupt frame.
+        std::uint8_t junk[64];
+        for (std::uint8_t& b : junk) b = 0xA5;
+        (void)::send(ctrl_.fd(), junk, sizeof(junk), MSG_NOSIGNAL);
+        return kKeepRunning;
+      }
+      case FaultKind::kDrop:
+        data_.close();
+        ctrl_.close();
+        return kWorkerExitFault;
+      case FaultKind::kKill:
+        break;  // driver-side fault; nothing to do in the worker
+    }
+    return kKeepRunning;
+  }
+
+  /// Emits an epoch-progress liveness beat on ctrl when the heartbeat
+  /// period has elapsed (recovery mode only).
+  int maybe_heartbeat() {
+    if (!options_.recovery) return kKeepRunning;
+    const Micros now = steady_now_us();
+    const Micros period =
+        static_cast<Micros>(options_.heartbeat_interval_ms) * 1000;
+    if (last_heartbeat_us_ != 0 && now - last_heartbeat_us_ < period) {
+      return kKeepRunning;
+    }
+    last_heartbeat_us_ = now;
+    scratch_.clear();
+    encode_heartbeat(scratch_, HeartbeatPayload{epoch_batches_});
+    if (!ctrl_.send(FrameType::kHeartbeat, 0, scratch_)) {
+      return fail(kWorkerExitChannel, "send Heartbeat",
+                  ctrl_.last_error().c_str());
+    }
+    return kKeepRunning;
   }
 
   bool handshake() {
     FrameHeader header;
     std::vector<std::uint8_t> payload;
     if (!ctrl_.recv(header, payload)) {
-      fail("handshake", ctrl_.last_error().c_str());
+      fail(kWorkerExitHandshake, "handshake", ctrl_.last_error().c_str());
       return false;
     }
     if (header.type != FrameType::kHello) {
-      fail("handshake", "first frame is not Hello");
+      fail(kWorkerExitHandshake, "handshake", "first frame is not Hello");
       return false;
     }
     ByteReader in(payload, ByteReader::Untrusted{});
     HelloPayload hello;
     if (!decode_hello(in, hello) || hello.worker_id != options_.worker_id ||
         hello.num_workers != options_.num_workers) {
-      fail("handshake", "Hello payload mismatch");
+      fail(kWorkerExitHandshake, "handshake", "Hello payload mismatch");
       return false;
     }
     scratch_.clear();
     encode_hello(scratch_, hello);
     if (!ctrl_.send(FrameType::kHello, 0, scratch_)) {
-      fail("handshake", ctrl_.last_error().c_str());
+      fail(kWorkerExitHandshake, "handshake", ctrl_.last_error().c_str());
       return false;
     }
     return true;
@@ -136,26 +198,100 @@ class NetWorker {
     scratch_.clear();
     slab_.serialize(scratch_);
     if (!ctrl_.send(FrameType::kSummary, seal_epoch_, scratch_)) {
-      return fail("send Summary", ctrl_.last_error().c_str());
+      return fail(kWorkerExitChannel, "send Summary",
+                  ctrl_.last_error().c_str());
     }
     slab_.clear();
     epoch_batches_ = 0;
     seal_pending_ = false;
+    if (options_.recovery) {
+      const int rc = send_checkpoint();
+      if (rc >= 0) return rc;
+    }
+    return kKeepRunning;
+  }
+
+  /// Ships the post-seal durable snapshot: counters, the scratch map's
+  /// bucket count (its rehash trajectory is byte-identity relevant), the
+  /// state checksum, and every key state's serialized blob.
+  int send_checkpoint() {
+    CheckpointPayload cp;
+    cp.epoch = seal_epoch_;
+    cp.processed = processed_;
+    cp.outputs = outputs_;
+    cp.local_buckets = local_.bucket_count();
+    cp.state_checksum = store_.checksum();
+    cp.states.reserve(store_.size());
+    for (const auto& [key, state] : store_.states()) {
+      WireKeyState wire;
+      wire.key = key;
+      ByteWriter blob;
+      state->serialize(blob);
+      wire.blob = blob.take();
+      cp.states.push_back(std::move(wire));
+    }
+    scratch_.clear();
+    encode_checkpoint(scratch_, cp);
+    if (!ctrl_.send(FrameType::kCheckpoint, cp.epoch, scratch_)) {
+      return fail(kWorkerExitChannel, "send Checkpoint",
+                  ctrl_.last_error().c_str());
+    }
+    return kKeepRunning;
+  }
+
+  /// Reinstalls a driver-held checkpoint after a respawn: replaces the
+  /// whole store, restores the counters and the scratch map's bucket
+  /// trajectory, and acks so the driver can start the replay.
+  int handle_restore(ByteReader& in) {
+    CheckpointPayload cp;
+    if (!decode_checkpoint(in, cp)) {
+      return fail(kWorkerExitCorruptFrame, "decode",
+                  "corrupt Restore payload");
+    }
+    store_.clear();
+    for (const WireKeyState& wire : cp.states) {
+      ByteReader blob(wire.blob, ByteReader::Untrusted{});
+      std::unique_ptr<KeyState> state = logic_.deserialize_state(blob);
+      if (state == nullptr || !blob.ok() || !blob.exhausted()) {
+        return fail(kWorkerExitCorruptFrame, "decode",
+                    "corrupt checkpoint state blob");
+      }
+      store_.install_or_replace(wire.key, std::move(state));
+    }
+    processed_ = cp.processed;
+    outputs_ = cp.outputs;
+    if (cp.local_buckets > local_.bucket_count()) {
+      local_.rehash(cp.local_buckets);
+    }
+    slab_.clear();
+    epoch_batches_ = 0;
+    seal_pending_ = false;
+    scratch_.clear();
+    encode_ack(scratch_, AckPayload{cp.epoch});
+    if (!ctrl_.send(FrameType::kRestoreAck, cp.epoch, scratch_)) {
+      return fail(kWorkerExitChannel, "send RestoreAck",
+                  ctrl_.last_error().c_str());
+    }
     return kKeepRunning;
   }
 
   int handle_ctrl_frame() {
     FrameHeader header;
     if (!ctrl_.recv(header, ctrl_payload_)) {
-      return fail("ctrl recv", ctrl_.last_error().c_str());
+      return fail(kWorkerExitChannel, "ctrl recv", ctrl_.last_error().c_str());
     }
     ByteReader in(ctrl_payload_, ByteReader::Untrusted{});
     switch (header.type) {
       case FrameType::kSeal: {
         SealPayload seal;
         if (!decode_seal(in, seal)) {
-          return fail("decode", "corrupt Seal payload");
+          return fail(kWorkerExitCorruptFrame, "decode",
+                      "corrupt Seal payload");
         }
+        // Injected worker-side faults fire here: the seal receipt is the
+        // protocol point every epoch passes through exactly once.
+        const int fault_rc = maybe_fault(header.epoch);
+        if (fault_rc >= 0) return fault_rc;
         seal_pending_ = true;
         seal_epoch_ = header.epoch;
         seal_target_ = seal.batches;
@@ -164,7 +300,8 @@ class NetWorker {
       case FrameType::kHeavySet: {
         std::vector<KeyId> keys;
         if (!decode_key_list(in, keys)) {
-          return fail("decode", "corrupt HeavySet payload");
+          return fail(kWorkerExitCorruptFrame, "decode",
+                      "corrupt HeavySet payload");
         }
         slab_.set_heavy_keys(keys);
         return kKeepRunning;
@@ -173,10 +310,13 @@ class NetWorker {
         return handle_extract(in);
       case FrameType::kInstall:
         return handle_install(header.epoch, in);
+      case FrameType::kRestore:
+        return handle_restore(in);
       case FrameType::kExpire: {
         Micros watermark = 0;
         if (!decode_expire(in, watermark)) {
-          return fail("decode", "corrupt Expire payload");
+          return fail(kWorkerExitCorruptFrame, "decode",
+                      "corrupt Expire payload");
         }
         store_.expire_before(watermark);
         return kKeepRunning;
@@ -184,28 +324,32 @@ class NetWorker {
       case FrameType::kPlan: {
         PlanPayload plan;
         if (!decode_plan(in, plan)) {
-          return fail("decode", "corrupt Plan payload");
+          return fail(kWorkerExitCorruptFrame, "decode",
+                      "corrupt Plan payload");
         }
         // The ack IS the point: it proves a control round-trip completes
         // while the data channel may be fully backlogged.
         scratch_.clear();
         encode_ack(scratch_, AckPayload{plan.seq});
         if (!ctrl_.send(FrameType::kPlanAck, header.epoch, scratch_)) {
-          return fail("send PlanAck", ctrl_.last_error().c_str());
+          return fail(kWorkerExitChannel, "send PlanAck",
+                      ctrl_.last_error().c_str());
         }
         return kKeepRunning;
       }
       case FrameType::kStop:
         return send_fin();
       default:
-        return fail("protocol", "unexpected frame type on ctrl");
+        return fail(kWorkerExitProtocol, "protocol",
+                    "unexpected frame type on ctrl");
     }
   }
 
   int handle_extract(ByteReader& in) {
     std::vector<KeyId> keys;
     if (!decode_key_list(in, keys)) {
-      return fail("decode", "corrupt Extract payload");
+      return fail(kWorkerExitCorruptFrame, "decode",
+                  "corrupt Extract payload");
     }
     std::vector<WireKeyState> out;
     out.reserve(keys.size());
@@ -222,7 +366,8 @@ class NetWorker {
     scratch_.clear();
     encode_key_states(scratch_, out);
     if (!ctrl_.send(FrameType::kMigrated, 0, scratch_)) {
-      return fail("send Migrated", ctrl_.last_error().c_str());
+      return fail(kWorkerExitChannel, "send Migrated",
+                  ctrl_.last_error().c_str());
     }
     return kKeepRunning;
   }
@@ -230,15 +375,24 @@ class NetWorker {
   int handle_install(std::uint64_t epoch, ByteReader& in) {
     std::vector<WireKeyState> states;
     if (!decode_key_states(in, states)) {
-      return fail("decode", "corrupt Install payload");
+      return fail(kWorkerExitCorruptFrame, "decode",
+                  "corrupt Install payload");
     }
     for (const WireKeyState& wire : states) {
       ByteReader blob(wire.blob, ByteReader::Untrusted{});
       std::unique_ptr<KeyState> state = logic_.deserialize_state(blob);
       if (!blob.ok() || !blob.exhausted()) {
-        return fail("decode", "corrupt migrated state blob");
+        return fail(kWorkerExitCorruptFrame, "decode",
+                    "corrupt migrated state blob");
       }
-      store_.install(wire.key, std::move(state));
+      if (options_.recovery) {
+        // Degraded-mode re-home installs are barrier-free (the driver
+        // may still be re-routing tuples while this frame is in flight),
+        // so a fresh state created a moment earlier must be replaceable.
+        store_.install_or_replace(wire.key, std::move(state));
+      } else {
+        store_.install(wire.key, std::move(state));
+      }
     }
     // The ack closes the migration barrier: the driver routes no
     // next-interval tuple to ANY worker until every destination has
@@ -246,7 +400,8 @@ class NetWorker {
     scratch_.clear();
     encode_ack(scratch_, AckPayload{epoch});
     if (!ctrl_.send(FrameType::kInstallAck, epoch, scratch_)) {
-      return fail("send InstallAck", ctrl_.last_error().c_str());
+      return fail(kWorkerExitChannel, "send InstallAck",
+                  ctrl_.last_error().c_str());
     }
     return kKeepRunning;
   }
@@ -254,14 +409,15 @@ class NetWorker {
   int handle_data_frame() {
     FrameHeader header;
     if (!data_.recv(header, data_payload_)) {
-      return fail("data recv", data_.last_error().c_str());
+      return fail(kWorkerExitChannel, "data recv", data_.last_error().c_str());
     }
     if (header.type != FrameType::kBatch) {
-      return fail("protocol", "non-Batch frame on the data channel");
+      return fail(kWorkerExitProtocol, "protocol",
+                  "non-Batch frame on the data channel");
     }
     ByteReader in(data_payload_, ByteReader::Untrusted{});
     if (!decode_tuple_batch(in, batch_)) {
-      return fail("decode", "corrupt Batch payload");
+      return fail(kWorkerExitCorruptFrame, "decode", "corrupt Batch payload");
     }
     process_batch();
     ++epoch_batches_;
@@ -307,9 +463,9 @@ class NetWorker {
     scratch_.clear();
     encode_fin(scratch_, fin);
     if (!ctrl_.send(FrameType::kFin, 0, scratch_)) {
-      return fail("send Fin", ctrl_.last_error().c_str());
+      return fail(kWorkerExitChannel, "send Fin", ctrl_.last_error().c_str());
     }
-    return 0;
+    return kWorkerExitOk;
   }
 
   NetWorkerOptions options_;
@@ -330,6 +486,7 @@ class NetWorker {
   std::uint64_t seal_epoch_ = 0;
   std::uint64_t seal_target_ = 0;
   std::uint64_t epoch_batches_ = 0;
+  Micros last_heartbeat_us_ = 0;
 };
 
 }  // namespace

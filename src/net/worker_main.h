@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "engine/operator.h"
+#include "net/fault_injector.h"
 #include "sketch/stats_provider.h"
 
 namespace skewless {
@@ -23,6 +24,18 @@ namespace skewless {
 struct NetWorkerOptions {
   std::uint32_t worker_id = 0;
   std::uint32_t num_workers = 0;
+  /// Deterministic fault schedule (crosses the fork by value). Worker-side
+  /// events (wedge/garble/drop) fire on the matching epoch's kSeal.
+  FaultPlan fault = {};
+  /// 0 for the first spawn, incremented by the driver on every respawn;
+  /// one-shot fault events arm only for incarnation 0.
+  std::uint32_t incarnation = 0;
+  /// When true the worker ships a post-seal checkpoint frame and emits
+  /// periodic epoch-progress heartbeats on ctrl.
+  bool recovery = false;
+  /// Heartbeat period (only meaningful with recovery on). Must be well
+  /// under the driver's ctrl receive deadline.
+  int heartbeat_interval_ms = 250;
   /// Must equal the driver-side sink's GLOBAL config: the slab
   /// replicates the shard windows' Count-Min geometry (via the shared
   /// shard_config derivation), and the summary decode on the driver
@@ -36,8 +49,10 @@ struct NetWorkerOptions {
   Micros engine_epoch_us = 0;
 };
 
-/// Runs the worker protocol until a kStop frame (returns 0) or a fatal
-/// channel/protocol error (returns nonzero after logging to stderr).
+/// Runs the worker protocol until a kStop frame (returns kWorkerExitOk)
+/// or a fatal error (returns one of the kWorkerExit* codes from
+/// net/recovery.h after logging to stderr, so the driver's reap log can
+/// tell a protocol error from a corrupt frame from a channel failure).
 /// Takes ownership of both fds.
 [[nodiscard]] int run_net_worker(int data_fd, int ctrl_fd,
                                  const NetWorkerOptions& options,

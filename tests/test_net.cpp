@@ -5,9 +5,11 @@
 // bytes must REJECT bad input — error returns, never aborts.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -37,6 +39,21 @@ bool tsan_enabled() {
 #endif
   return false;
 }
+
+// Every worker a NetEngine ever forked must be reaped by the time its
+// shutdown returns — a zombie after the suite means an engine exit path
+// skipped its waitpid.
+class NoZombieEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+    EXPECT_TRUE(r == -1 && errno == ECHILD)
+        << "unreaped child process (waitpid returned " << r << ")";
+  }
+};
+
+const ::testing::Environment* const kNoZombieEnv =
+    ::testing::AddGlobalTestEnvironment(new NoZombieEnvironment);
 
 // --- frame header ---------------------------------------------------------
 

@@ -95,6 +95,28 @@ std::vector<std::vector<std::uint8_t>> valid_payloads() {
     encode_fin(w, FinPayload{1, 2, 3, 4});
     out.push_back(w.bytes());
   }
+  {
+    CheckpointPayload cp;
+    cp.epoch = 6;
+    cp.processed = 6'000;
+    cp.outputs = 5'900;
+    cp.local_buckets = 512;
+    cp.state_checksum = 0x1122334455667788ULL;
+    for (int i = 0; i < 5; ++i) {
+      WireKeyState s;
+      s.key = static_cast<KeyId>(i * 31);
+      s.blob.assign(static_cast<std::size_t>(4 + i * 7), std::uint8_t(0xc0 + i));
+      cp.states.push_back(std::move(s));
+    }
+    ByteWriter w;
+    encode_checkpoint(w, cp);
+    out.push_back(w.bytes());
+  }
+  {
+    ByteWriter w;
+    encode_heartbeat(w, HeartbeatPayload{17});
+    out.push_back(w.bytes());
+  }
   return out;
 }
 
@@ -158,6 +180,19 @@ void decode_all(const std::vector<std::uint8_t>& bytes) {
     ByteReader r(bytes, ByteReader::Untrusted{});
     FinPayload fin;
     (void)decode_fin(r, fin);
+  }
+  {
+    ByteReader r(bytes, ByteReader::Untrusted{});
+    CheckpointPayload cp;
+    const bool ok = decode_checkpoint(r, cp);
+    if (!ok) {
+      EXPECT_FALSE(r.ok());
+    }
+  }
+  {
+    ByteReader r(bytes, ByteReader::Untrusted{});
+    HeartbeatPayload hb;
+    (void)decode_heartbeat(r, hb);
   }
 }
 

@@ -50,6 +50,7 @@ THROUGHPUT_KEYS = {
     "reduction",   # BENCH_churn: decayed vs no-decay heavy-set churn
     "interleaved_speedup",  # BENCH_simd: vectorized add_interleaved
     "probe_speedup",        # BENCH_simd: batched K-M probe generation
+    "mttr_headroom",  # BENCH_fault: 5x boundary stall / mean time to repair
 }
 
 # Environment fields stamped into every bench JSON; a mismatch between

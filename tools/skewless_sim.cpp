@@ -65,6 +65,14 @@ struct Args {
   std::size_t batch = 256;
   /// Net engine: worker process count override (0 = --instances).
   InstanceId workers_proc = 0;
+  /// Net engine: deterministic fault schedule, e.g.
+  /// "kill:w=1,epoch=3;wedge:w=0,epoch=5,sticky" (empty = none).
+  std::string fault;
+  /// Net engine: checkpoint/replay crash recovery (--no-recovery turns
+  /// the engine fail-stop, the pre-fault-tolerance behaviour).
+  bool net_recovery = true;
+  /// Net engine: control receive deadline / channel I/O timeout.
+  int net_timeout_ms = 30'000;
   /// Threaded engine only: pin worker w to core w mod hw_concurrency
   /// (pthread_setaffinity_np where available) so each worker's slab
   /// pair stays resident in its owner's private L2.
@@ -92,6 +100,9 @@ struct Args {
       "          [--rotation-period N]\n"
       "          [--engine sim|threaded|net] [--batch N] [--pin]\n"
       "          [--inline-merge] [--workers-proc N] [--no-simd]\n"
+      "          [--fault SPEC] [--no-recovery] [--net-timeout-ms N]\n"
+      "fault spec: kind:w=W,epoch=E[,sticky][;...] with kind one of\n"
+      "          kill|wedge|garble|drop (net engine only)\n"
       "planners: mixed mintable minmig mixedbf compact readj dkg\n"
       "          hash shuffle pkg (shuffle/pkg: sim engine only)\n",
       argv0);
@@ -176,6 +187,13 @@ Args parse(int argc, char** argv) {
     } else if (flag == "--workers-proc") {
       args.workers_proc = std::atoi(need_value());
       if (args.workers_proc < 1) usage(argv[0]);
+    } else if (flag == "--fault") {
+      args.fault = need_value();
+    } else if (flag == "--no-recovery") {
+      args.net_recovery = false;
+    } else if (flag == "--net-timeout-ms") {
+      args.net_timeout_ms = std::atoi(need_value());
+      if (args.net_timeout_ms < 1) usage(argv[0]);
     } else if (flag == "--batch") {
       args.batch = std::strtoull(need_value(), nullptr, 10);
     } else if (flag == "--pin") {
@@ -411,6 +429,15 @@ int run_net(const Args& args, char* argv0) {
 
   NetConfig ncfg;
   ncfg.batch_size = args.batch;
+  ncfg.recovery_enabled = args.net_recovery;
+  ncfg.ctrl_timeout_ms = args.net_timeout_ms;
+  if (!args.fault.empty()) {
+    std::string err;
+    if (!parse_fault_plan(args.fault, ncfg.fault, err)) {
+      std::fprintf(stderr, "bad --fault spec: %s\n", err.c_str());
+      usage(argv0);
+    }
+  }
   auto logic = std::make_shared<WordCountLogic>(args.tuple_cost_us);
   NetEngine engine(ncfg, logic, std::move(controller));
 
@@ -447,13 +474,18 @@ int run_net(const Args& args, char* argv0) {
   std::fprintf(stderr,
                "# engine=net workers=%d stats=sketch stats_memory_bytes=%zu "
                "kernel=%s total_stall_ms=%.3f total_merge_ms=%.3f "
-               "wire_bytes=%llu state_checksum=%016llx state_entries=%zu\n",
+               "wire_bytes=%llu state_checksum=%016llx state_entries=%zu "
+               "recoveries=%llu degraded=%d recovery_ms=%.3f "
+               "live_workers=%zu\n",
                static_cast<int>(workers),
                reports.empty() ? 0 : reports.back().stats_memory_bytes,
                simd::active_kernels().name, stall_total, merge_total,
                static_cast<unsigned long long>(wire_total),
                static_cast<unsigned long long>(engine.state_checksum()),
-               engine.total_state_entries());
+               engine.total_state_entries(),
+               static_cast<unsigned long long>(engine.recoveries()),
+               engine.degraded() ? 1 : 0, engine.total_recovery_ms(),
+               engine.live_workers());
   if (ctrl != nullptr) {
     std::fprintf(stderr,
                  "# rebalances=%zu total_generation_micros=%lld "
